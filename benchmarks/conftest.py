@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the corresponding rows/series (run with ``-s`` to see them), in
+addition to timing a representative kernel via pytest-benchmark.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a report block even under captured output."""
+
+    def _report(title, text):
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            print(text)
+
+    return _report

@@ -1,0 +1,43 @@
+"""Tech-4: the 8KB coalescing cache — and why bigger caches don't pay."""
+
+import numpy as np
+
+from repro.axe.cache import CoalescingCache
+from repro.graph.datasets import instantiate_dataset
+
+
+def run_access_pattern(capacity_bytes):
+    """Replay a sampling batch's edge-list reads through a cache of the
+    given size; returns (memory requests issued, element accesses)."""
+    graph = instantiate_dataset("ml", max_nodes=60_000, seed=0)
+    rng = np.random.default_rng(1)
+    cache = CoalescingCache(capacity_bytes=capacity_bytes)
+    nodes = rng.integers(0, graph.num_nodes, 2000)
+    issued = 0
+    for node in nodes:
+        degree = graph.degree(int(node))
+        if degree == 0:
+            continue
+        addr = int(graph.indptr[int(node)]) * 8
+        issued += cache.access(addr, degree * 8, element_bytes=8)
+    return issued, cache.stats.element_accesses, cache.stats.hit_rate
+
+
+def test_tech4_coalescing_cache(benchmark, report):
+    issued_8k, elements, hit_8k = benchmark(run_access_pattern, 8 * 1024)
+    issued_64k, _elements, hit_64k = run_access_pattern(64 * 1024)
+    issued_1m, _e, hit_1m = run_access_pattern(1024 * 1024)
+    lines = [
+        "cache   mem_requests  coalescing_factor  line_hit_rate",
+        f"none    {elements:>12}  {1.0:>17.2f}  {'-':>13}",
+        f"8KB     {issued_8k:>12}  {elements / issued_8k:>17.2f}  {hit_8k:>13.3f}",
+        f"64KB    {issued_64k:>12}  {elements / issued_64k:>17.2f}  {hit_64k:>13.3f}",
+        f"1MB     {issued_1m:>12}  {elements / issued_1m:>17.2f}  {hit_1m:>13.3f}",
+        "paper: 8KB suffices — coalescing captures spatial reuse, while",
+        "temporal reuse is absent (512-batch over billions of nodes).",
+    ]
+    report("Tech-4 — coalescing cache ablation", "\n".join(lines))
+    # Shape: 8KB coalesces several elements per request; growing the
+    # cache 128x barely helps (<10% fewer requests) — no temporal reuse.
+    assert elements / issued_8k > 2.0
+    assert issued_1m > 0.9 * issued_8k

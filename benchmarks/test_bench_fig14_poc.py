@@ -1,0 +1,24 @@
+"""Figure 14: PoC GNN sampling rate vs the CPU software baseline."""
+
+from repro.perfmodel.poc import geomean_equivalence, poc_vcpu_equivalence
+
+
+def compute_rows():
+    return poc_vcpu_equivalence(max_nodes=8000, batch_size=96)
+
+
+def test_fig14_poc_measurement(benchmark, report):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    geomean = geomean_equivalence(rows)
+    lines = ["dataset  FPGA(roots/s)  vCPU(roots/s)  vCPU-equivalence"]
+    for row in rows:
+        lines.append(
+            f"{row.dataset:<8} {row.fpga_roots_per_s:>12.0f}"
+            f"  {row.vcpu_roots_per_s:>12.1f}  {row.vcpu_equivalence:>15.0f}"
+        )
+    lines.append(f"geomean equivalence: {geomean:.0f} (paper: 894)")
+    report("Figure 14 — PoC sampling measurement", "\n".join(lines))
+    # Shape: every dataset beats the vCPU by orders of magnitude; the
+    # geomean lands near the paper's 894x.
+    assert all(row.vcpu_equivalence > 100 for row in rows)
+    assert 600 < geomean < 1300

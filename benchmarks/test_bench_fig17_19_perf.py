@@ -1,0 +1,39 @@
+"""Figures 17 and 19: FaaS sampling performance per instance."""
+
+from repro.faas.dse import FaasDse
+from repro.faas.report import (
+    arch_perf_geomeans,
+    format_perf_table,
+    geomean,
+)
+
+
+def run_sweep():
+    dse = FaasDse()
+    return dse.evaluate_all()
+
+
+def test_fig17_19_performance(benchmark, report):
+    results = benchmark(run_sweep)
+    report(
+        "Figure 17 — sampling performance per instance (batches/s, batch=512)",
+        format_perf_table(results),
+    )
+    geomeans = arch_perf_geomeans(results)
+    order = (
+        "base.decp", "cost-opt.decp", "comm-opt.decp", "mem-opt.decp",
+        "base.tc", "cost-opt.tc", "comm-opt.tc", "mem-opt.tc",
+    )
+    lines = ["arch            geomean roots/s   vs base.decp"]
+    for name in order:
+        lines.append(
+            f"{name:<15} {geomeans[name]:>14.0f}  {geomeans[name] / geomeans['base.decp']:>12.2f}x"
+        )
+    report("Figure 19 — geomean performance per architecture", "\n".join(lines))
+    # Shape assertions: the paper's ordering and equivalences.
+    assert geomeans["cost-opt.tc"] == geomeans["base.tc"]
+    assert geomeans["mem-opt.decp"] == geomeans["comm-opt.decp"]
+    assert 2.0 < geomeans["comm-opt.tc"] / geomeans["base.tc"] < 4.5
+    assert 2.0 < geomeans["mem-opt.tc"] / geomeans["comm-opt.tc"] < 6.0
+    equivalents = [r.vcpu_equivalent for r in results if r.arch == "base.decp"]
+    assert 45 < geomean(equivalents) < 100  # paper: ~67 vCPU per FPGA

@@ -1,0 +1,36 @@
+"""Figure 20: minimal service cost to carry each graph, CPU vs FaaS.base."""
+
+from repro.faas.dse import FaasDse
+from repro.faas.report import format_min_cost_table
+from repro.graph.datasets import DATASET_ORDER
+
+
+def compute_costs():
+    dse = FaasDse()
+    table = {}
+    for size in ("small", "medium", "large"):
+        for dataset in DATASET_ORDER:
+            table[(size, dataset, "cpu")] = dse.min_service_cost(
+                dataset, size, faas=False
+            )
+            table[(size, dataset, "faas")] = dse.min_service_cost(
+                dataset, size, faas=True
+            )
+    return dse, table
+
+
+def test_fig20_min_cost(benchmark, report):
+    dse, table = benchmark(compute_costs)
+    report(
+        "Figure 20 — minimal service cost (normalized to ss CPU cost)",
+        format_min_cost_table(dse),
+    )
+    # Shape: FaaS hosting always costs more than CPU hosting; costs grow
+    # with graph footprint; small instances need many shards.
+    for size in ("small", "medium", "large"):
+        for dataset in DATASET_ORDER:
+            assert table[(size, dataset, "faas")] > table[(size, dataset, "cpu")]
+        assert table[(size, "syn", "cpu")] > table[(size, "ss", "cpu")]
+    # If users do not care about performance, CPU is the cheapest host
+    # (the paper's guidance).
+    assert table[("small", "ml", "cpu")] < table[("small", "ml", "faas")]

@@ -1,0 +1,25 @@
+"""Figure 2(a): memory footprint of the six graphs and minimal servers."""
+
+from repro.graph.datasets import DATASET_ORDER, get_dataset
+from repro.memstore.layout import FootprintModel
+from repro.units import TB, format_bytes
+
+
+def compute_reports():
+    model = FootprintModel()
+    return [model.report(get_dataset(name)) for name in DATASET_ORDER]
+
+
+def test_fig2a_footprint(benchmark, report):
+    reports = benchmark(compute_reports)
+    lines = ["dataset   footprint      min_servers"]
+    for row in reports:
+        lines.append(
+            f"{row.name:<9} {format_bytes(row.total_bytes):<14} {row.min_servers}"
+        )
+    report("Figure 2(a) — memory footprint & minimal servers", "\n".join(lines))
+    # Shape assertions: biggest graph is multi-TB and needs many servers.
+    by_name = {row.name: row for row in reports}
+    assert by_name["syn"].total_bytes > 5 * TB
+    assert by_name["syn"].min_servers >= 10
+    assert by_name["ss"].min_servers == 1

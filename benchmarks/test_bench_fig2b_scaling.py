@@ -1,0 +1,26 @@
+"""Figure 2(b): sampling throughput scaling with server count."""
+
+from repro.framework.cluster import ClusterModel
+from repro.framework.cpu_model import CpuSamplingModel, WorkloadShape
+from repro.graph.datasets import DATASET_ORDER, get_dataset
+
+
+def compute_curve():
+    shapes = [WorkloadShape.from_spec(get_dataset(n)) for n in DATASET_ORDER]
+    model = ClusterModel(CpuSamplingModel(), vcpus_per_server=32)
+    return model.average_scaling_curve(shapes, (1, 5, 15))
+
+
+def test_fig2b_scaling(benchmark, report):
+    curve = benchmark(compute_curve)
+    lines = ["servers  speedup  efficiency"]
+    for point in curve:
+        lines.append(
+            f"{point.num_servers:>7}  {point.speedup_vs_one:>7.2f}  "
+            f"{point.efficiency:>10.2f}"
+        )
+    report("Figure 2(b) — throughput scaling (geomean over datasets)", "\n".join(lines))
+    # Shape: sublinear scaling (Observation-2).
+    assert curve[1].speedup_vs_one < 5
+    assert curve[2].speedup_vs_one < 15
+    assert curve[2].efficiency < curve[0].efficiency

@@ -1,0 +1,36 @@
+"""Figure 2(c): structure vs attribute memory-access distribution."""
+
+import numpy as np
+
+from repro.framework.tracing import characterize_access_mix
+from repro.graph.datasets import DATASET_ORDER, instantiate_dataset
+
+
+def characterize_all():
+    reports = []
+    for name in DATASET_ORDER:
+        graph = instantiate_dataset(name, max_nodes=4000, seed=0)
+        reports.append(
+            characterize_access_mix(
+                graph, name, batch_size=32, num_batches=2, num_partitions=4
+            )
+        )
+    return reports
+
+
+def test_fig2c_access_mix(benchmark, report):
+    reports = benchmark.pedantic(characterize_all, rounds=1, iterations=1)
+    lines = ["dataset  structure%(count)  structure%(bytes)  mean_struct_B"]
+    for row in reports:
+        lines.append(
+            f"{row.name:<8} {100 * row.structure_count_fraction:>16.1f}"
+            f" {100 * row.structure_bytes_fraction:>18.1f}"
+            f" {row.mean_structure_bytes:>13.1f}"
+        )
+    average = float(np.mean([r.structure_count_fraction for r in reports]))
+    lines.append(f"average structure fraction: {100 * average:.1f}% (paper: ~48%)")
+    report("Figure 2(c) — memory access request distribution", "\n".join(lines))
+    # Shape: about half the accesses are fine-grained structure reads.
+    assert 0.40 < average < 0.65
+    for row in reports:
+        assert row.mean_structure_bytes < 128  # 8-64B indirect accesses

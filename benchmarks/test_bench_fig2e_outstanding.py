@@ -1,0 +1,40 @@
+"""Figure 2(e): outstanding requests required to fill link bandwidth."""
+
+from repro.framework.cpu_model import WorkloadShape
+from repro.graph.datasets import get_dataset
+from repro.memstore.links import get_link
+from repro.memstore.outstanding import outstanding_table
+from repro.units import GB
+
+
+TARGETS = tuple(x * GB for x in (16, 32, 64, 100, 200))
+LINKS = ("local_dram", "pcie_host_dram", "mof_fabric", "rdma_remote_dram")
+
+
+def compute_table():
+    mix = WorkloadShape.from_spec(get_dataset("ls")).access_mix
+    links = [get_link(name) for name in LINKS]
+    return outstanding_table(links, TARGETS, mix)
+
+
+def test_fig2e_outstanding(benchmark, report):
+    table = benchmark(compute_table)
+    header = "link              " + "".join(
+        f"{int(t / GB):>8}GB/s" for t in TARGETS
+    )
+    lines = [header]
+    for link_name in LINKS:
+        row = [f"{link_name:<18}"]
+        for target in TARGETS:
+            row.append(f"{table[link_name][target]:>12.0f}")
+        lines.append("".join(row))
+    report("Figure 2(e) — outstanding requests to fill bandwidth", "\n".join(lines))
+    # Shape: longer-latency links need far more outstanding requests,
+    # and demand grows with the bandwidth target.
+    for target in TARGETS:
+        assert (
+            table["rdma_remote_dram"][target]
+            > table["mof_fabric"][target]
+            > table["local_dram"][target]
+        )
+    assert table["rdma_remote_dram"][TARGETS[0]] > 100

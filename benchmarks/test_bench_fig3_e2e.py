@@ -1,0 +1,35 @@
+"""Figure 3: end-to-end LSD-GNN characterization (Table 3 application)."""
+
+from repro.gnn.e2e import EndToEndModel
+
+
+def compute_breakdowns():
+    model = EndToEndModel()
+    return model, model.breakdown(training=True), model.breakdown(training=False)
+
+
+def test_fig3_e2e_breakdown(benchmark, report):
+    model, train, infer = benchmark(compute_breakdowns)
+    lines = [
+        "phase      sampling%   embed%      nn%    total(ms/batch)",
+        (
+            f"training   {100 * train.sampling_fraction:>8.1f} "
+            f"{100 * train.embedding_s / train.total_s:>8.1f} "
+            f"{100 * train.nn_s / train.total_s:>8.1f} "
+            f"{1e3 * train.total_s:>12.2f}"
+        ),
+        (
+            f"inference  {100 * infer.sampling_fraction:>8.1f} "
+            f"{100 * infer.embedding_s / infer.total_s:>8.1f} "
+            f"{100 * infer.nn_s / infer.total_s:>8.1f} "
+            f"{1e3 * infer.total_s:>12.2f}"
+        ),
+        f"graph-storage / NN-model bytes ratio: {model.storage_ratio():.2e}",
+        "paper: sampling 64% (training) / 88% (inference); storage ratio ~1e5",
+    ]
+    report("Figure 3 — end-to-end characterization", "\n".join(lines))
+    # Shape: sampling dominates both; more at inference; storage gap huge.
+    assert 0.55 < train.sampling_fraction < 0.75
+    assert 0.78 < infer.sampling_fraction < 0.95
+    assert infer.sampling_fraction > train.sampling_fraction
+    assert model.storage_ratio() > 1e5

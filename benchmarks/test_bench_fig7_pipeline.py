@@ -1,0 +1,35 @@
+"""Figure 7: measured performance (latency) vs pipeline depth (Tech-1)."""
+
+from repro.axe.fifo import Pipeline, split_work
+
+
+WORK_CYCLES = 16
+DEPTHS = (1, 2, 4, 8, 16)
+ITEMS = 256
+
+
+def sweep_depths():
+    results = {}
+    for depth in DEPTHS:
+        pipeline = Pipeline(split_work(WORK_CYCLES, depth))
+        results[depth] = pipeline.run(list(range(ITEMS))).cycles
+    return results
+
+
+def test_fig7_pipeline_depth(benchmark, report):
+    results = benchmark.pedantic(sweep_depths, rounds=1, iterations=1)
+    lines = ["depth  batch_latency(cycles)  speedup"]
+    base = results[DEPTHS[0]]
+    for depth in DEPTHS:
+        lines.append(
+            f"{depth:>5}  {results[depth]:>20}  {base / results[depth]:>7.2f}"
+        )
+    report(
+        "Figure 7 — latency vs pipeline depth "
+        f"({ITEMS} items, {WORK_CYCLES} cycles of work each)",
+        "\n".join(lines),
+    )
+    # Shape: deeper pipeline, better performance — monotonic.
+    latencies = [results[d] for d in DEPTHS]
+    assert latencies == sorted(latencies, reverse=True)
+    assert base / results[DEPTHS[-1]] > 8  # near-linear at depth 16

@@ -1,0 +1,57 @@
+"""Table 7: QRCH vs MMIO vs tightly coupled ISA extension."""
+
+from repro.riscv.asm import assemble
+from repro.riscv.cpu import RiscvCpu
+from repro.riscv.mmio import MmioBus, MmioDevice
+from repro.riscv.qrch import INTERACTION_COSTS, TABLE7, Qrch, QrchQueue
+
+
+def measure_qrch(interactions=32):
+    hub = Qrch()
+    hub.attach(1, QrchQueue("echo", lambda a, b: a))
+    source = ["addi x2, x0, 7"]
+    for _ in range(interactions):
+        source.append("qpush x0, x2, x0, 1")
+        source.append("qpull x4, 1")
+    source.append("ecall")
+    cpu = RiscvCpu(qrch=hub)
+    cpu.load_program(assemble("\n".join(source)))
+    cpu.run()
+    return hub.interaction_cycles / interactions
+
+
+def measure_mmio(interactions=32):
+    bus = MmioBus(access_cycles=100)
+    bus.attach(0x4000_0000, 0x100, MmioDevice("echo"))
+    source = ["lui x1, 0x40000", "addi x2, x0, 7"]
+    for _ in range(interactions):
+        source.append("sw x2, 0(x1)")
+        source.append("lw x4, 0(x1)")
+    source.append("ecall")
+    cpu = RiscvCpu(mmio=bus)
+    cpu.load_program(assemble("\n".join(source)))
+    cpu.run()
+    return bus.interaction_cycles / interactions
+
+
+def test_table7_qrch(benchmark, report):
+    qrch_cycles = benchmark(measure_qrch)
+    mmio_cycles = measure_mmio()
+    lines = [
+        "interface  cycles/interaction (measured)  paper",
+        f"mmio       {mmio_cycles:>28.1f}  ~100",
+        f"qrch       {qrch_cycles:>28.1f}  ~10",
+        f"isa-ext    {INTERACTION_COSTS['isa_ext']:>28}  ~1 (reference cost)",
+        "",
+        "qualitative (Table 7):",
+    ]
+    for row in TABLE7:
+        lines.append(
+            f"  {row.name:<8} programmability={row.programmability:<22}"
+            f" toolchain={row.toolchain_effort:<5} extensibility={row.extensibility}"
+        )
+    report("Table 7 — QRCH vs design alternatives", "\n".join(lines))
+    # Shape: one order of magnitude between each tier.
+    assert 5 <= qrch_cycles <= 20
+    assert mmio_cycles >= 10 * qrch_cycles
+    assert qrch_cycles >= 5 * INTERACTION_COSTS["isa_ext"]

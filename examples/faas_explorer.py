@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""FaaS design-space explorer: the Section 6/7 evaluation in one run.
+
+Prints Figures 17-21: per-instance throughput, normalized performance
+per dollar, the geomean summaries, and the minimal hosting cost, for
+all eight Table 8 architectures over the six Table 2 graphs and three
+Table 12 instance sizes.
+
+Run:  python examples/faas_explorer.py [--gpus-per-12gbps N]
+"""
+
+import argparse
+
+from repro.faas.dse import FaasDse
+from repro.faas.report import (
+    arch_geomeans,
+    arch_perf_geomeans,
+    format_min_cost_table,
+    format_perf_per_dollar_table,
+    format_perf_table,
+)
+
+
+ARCH_ORDER = (
+    "base.decp", "cost-opt.decp", "comm-opt.decp", "mem-opt.decp",
+    "base.tc", "cost-opt.tc", "comm-opt.tc", "mem-opt.tc",
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--gpus-per-12gbps",
+        type=float,
+        default=1.0,
+        help="GPU provisioning rule (Limitation-2 sensitivity; paper "
+        "default 1, deep-model scenario 10)",
+    )
+    args = parser.parse_args()
+
+    dse = FaasDse(gpus_per_12gbps=args.gpus_per_12gbps)
+    results = dse.evaluate_all()
+    cpu_results = dse.cpu_baseline_all()
+
+    print("=== Figure 17: sampling performance per instance (batches/s) ===")
+    print(format_perf_table(results))
+
+    print("\n=== Figure 18: perf/$ normalized to CPU geomean ===")
+    print(format_perf_per_dollar_table(results, cpu_results))
+
+    print("\n=== Figure 19: geomean performance per architecture ===")
+    perf = arch_perf_geomeans(results)
+    for name in ARCH_ORDER:
+        print(f"{name:<15} {perf[name]:>12.0f} roots/s")
+
+    print("\n=== Figure 21: geomean normalized perf/$ (paper: base 2.47/4.11,"
+          " comm-opt.tc 7.78, mem-opt.tc 12.58) ===")
+    ppd = arch_geomeans(results, cpu_results)
+    for name in ARCH_ORDER:
+        print(f"{name:<15} {ppd[name]:>8.2f}x")
+
+    print("\n=== Figure 20: minimal hosting cost (normalized to ss CPU) ===")
+    print(format_min_cost_table(dse))
+
+    print("\nbottleneck summary (medium instances, ls):")
+    from repro.faas.arch import get_architecture
+
+    for name in ARCH_ORDER:
+        result = dse.evaluate(get_architecture(name), "medium", "ls")
+        print(f"  {name:<15} bound by {result.bottleneck:<12} "
+              f"{result.roots_per_second:>10.0f} roots/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""PoC characterization: Figures 2, 14, and 15 in one run.
+
+Characterizes the LSD-GNN workload (footprints, scaling, access mix,
+link behaviour), measures the event-simulated PoC against the vCPU
+baseline (Figure 14), and validates the analytical model against the
+simulation (Figure 15).
+
+Run:  python examples/poc_characterization.py
+"""
+
+from repro.framework.cluster import ClusterModel
+from repro.framework.cpu_model import CpuSamplingModel, WorkloadShape
+from repro.framework.tracing import characterize_access_mix
+from repro.graph.datasets import DATASET_ORDER, get_dataset, instantiate_dataset
+from repro.memstore.layout import FootprintModel
+from repro.memstore.links import get_link
+from repro.perfmodel.poc import (
+    POC_SWEEP,
+    geomean_equivalence,
+    poc_vcpu_equivalence,
+    validate_model,
+)
+from repro.units import US, format_bytes
+
+
+def main():
+    print("=== Figure 2(a): memory footprint and minimal servers ===")
+    footprint = FootprintModel()
+    for name in DATASET_ORDER:
+        row = footprint.report(get_dataset(name))
+        print(f"{name:<5} {format_bytes(row.total_bytes):>10}  "
+              f"min_servers={row.min_servers}")
+
+    print("\n=== Figure 2(b): throughput scaling with servers ===")
+    shapes = [WorkloadShape.from_spec(get_dataset(n)) for n in DATASET_ORDER]
+    cluster = ClusterModel(CpuSamplingModel())
+    for point in cluster.average_scaling_curve(shapes, (1, 5, 15)):
+        print(f"{point.num_servers:>3} servers: speedup "
+              f"{point.speedup_vs_one:5.2f} (efficiency {point.efficiency:.2f})")
+
+    print("\n=== Figure 2(c): access mix (structure vs attribute) ===")
+    for name in DATASET_ORDER:
+        graph = instantiate_dataset(name, max_nodes=4000, seed=0)
+        mix = characterize_access_mix(graph, name, batch_size=32, num_batches=2)
+        print(f"{name:<5} structure accesses: "
+              f"{100 * mix.structure_count_fraction:5.1f}% of count, "
+              f"{100 * mix.structure_bytes_fraction:5.1f}% of bytes")
+
+    print("\n=== Figure 2(d): latency vs request size ===")
+    for link_name in ("local_dram", "pcie_host_dram", "rdma_remote_dram"):
+        link = get_link(link_name)
+        latencies = "  ".join(
+            f"{size}B={link.latency(size) / US:6.2f}us" for size in (8, 64, 1024)
+        )
+        print(f"{link_name:<17} {latencies}")
+
+    print("\n=== Figure 14: PoC vs vCPU baseline ===")
+    rows = poc_vcpu_equivalence(max_nodes=8000, batch_size=96)
+    for row in rows:
+        print(f"{row.dataset:<5} FPGA {row.fpga_roots_per_s:>9.0f} roots/s  "
+              f"= {row.vcpu_equivalence:>6.0f} vCPUs")
+    print(f"geomean: one FPGA ~ {geomean_equivalence(rows):.0f} vCPUs "
+          "(paper: 894)")
+
+    print("\n=== Figure 15: analytical model validation (first 12 configs) ===")
+    graph = instantiate_dataset("ls", max_nodes=8000, seed=0)
+    rows = validate_model(graph, POC_SWEEP[:12], batch_size=48)
+    for row in rows:
+        print(f"{row.point.label:<14} measured {row.measured_roots_per_s:>9.0f}"
+              f"  modeled {row.modeled_roots_per_s:>9.0f}"
+              f"  err {100 * row.error:4.1f}%  [{row.bottleneck}]")
+    mean_error = sum(r.error for r in rows) / len(rows)
+    print(f"mean error: {100 * mean_error:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,175 @@
+"""User-facing programming interface (the Section 5 software stack).
+
+The paper exposes "various levels of programming interface": (1) ISA
+level (RISC-V/QRCH — :mod:`repro.riscv`), (2) accelerator operator
+level (CSR access), (3) GNN operator level (n-hop sampling, attribute
+reads, negative sampling), and (4) fixed model APIs (graphSAGE),
+all integrated behind the framework interface. :class:`GnnSession`
+bundles levels 2-4 over one graph, dispatching to the software sampler
+or the AxE hardware model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.axe.commands import Command, CommandKind, sample_command
+from repro.axe.engine import AxeEngine, EngineConfig
+from repro.framework.cache import HotNodeCache
+from repro.framework.requests import (
+    NegativeSampleRequest,
+    SampleRequest,
+    SampleResult,
+)
+from repro.framework.sampler import MultiHopSampler
+from repro.framework.selectors import get_selector
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import HashPartitioner
+from repro.gnn.models import GraphSageEncoder
+from repro.gnn.train import Trainer
+from repro.memstore.store import PartitionedStore
+
+
+class GnnSession:
+    """One graph, every programming level above the ISA.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve.
+    num_partitions:
+        Logical shards (servers/FPGA nodes).
+    engine_config:
+        AxE configuration for the hardware path; ``None`` uses the PoC
+        defaults with ``num_partitions`` FPGA nodes.
+    sampling_method:
+        "uniform" (software default) or "streaming" (the hardware's
+        step-based method).
+    cache_nodes:
+        Optional hot-node cache capacity for the software path.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        num_partitions: int = 4,
+        engine_config: Optional[EngineConfig] = None,
+        sampling_method: str = "uniform",
+        cache_nodes: int = 0,
+        seed: int = 0,
+    ) -> None:
+        if cache_nodes < 0:
+            raise ConfigurationError(
+                f"cache_nodes must be non-negative, got {cache_nodes}"
+            )
+        self.graph = graph
+        self.store = PartitionedStore(graph, HashPartitioner(num_partitions))
+        cache = HotNodeCache(cache_nodes) if cache_nodes else None
+        self.sampler = MultiHopSampler(
+            self.store,
+            seed=seed,
+            cache=cache,
+            selector=get_selector(sampling_method),
+        )
+        if engine_config is None:
+            engine_config = EngineConfig(
+                num_cores=2,
+                num_fpga_nodes=max(1, num_partitions),
+                seed=seed,
+            )
+        self.engine = AxeEngine(graph, engine_config)
+        self._seed = seed
+
+    # ------------------------------------------ accelerator operator level
+    def set_csr(self, index: int, value: int) -> None:
+        """Write an accelerator control/status register."""
+        self.engine.run(
+            Command(kind=CommandKind.SET_CSR, csr_index=index, csr_value=value)
+        )
+
+    def read_csr(self, index: int) -> int:
+        """Read an accelerator control/status register."""
+        value, _stats = self.engine.run(
+            Command(kind=CommandKind.READ_CSR, csr_index=index)
+        )
+        return value
+
+    # -------------------------------------------------- GNN operator level
+    def sample(
+        self,
+        roots: np.ndarray,
+        fanouts: Tuple[int, ...],
+        with_attributes: bool = True,
+    ) -> SampleResult:
+        """Software n-hop sampling (the AliGraph path)."""
+        request = SampleRequest(
+            roots=np.asarray(roots, dtype=np.int64),
+            fanouts=tuple(fanouts),
+            with_attributes=with_attributes,
+        )
+        return self.sampler.sample(request)
+
+    def sample_hw(
+        self,
+        roots: np.ndarray,
+        fanouts: Tuple[int, ...],
+        method: str = "streaming",
+    ):
+        """Hardware n-hop sampling on the AxE model.
+
+        Returns ``(per_root_layers, EngineStats)``.
+        """
+        return self.engine.run(
+            sample_command(
+                np.asarray(roots, dtype=np.int64), tuple(fanouts), method=method
+            )
+        )
+
+    def read_node_attributes(self, nodes: np.ndarray) -> np.ndarray:
+        """Hardware attribute gather (Table 4's read node attribute)."""
+        values, _stats = self.engine.run(
+            Command(
+                kind=CommandKind.READ_NODE_ATTRIBUTE,
+                nodes=np.asarray(nodes, dtype=np.int64),
+            )
+        )
+        return values
+
+    def negative_sample(self, pairs: np.ndarray, rate: int) -> np.ndarray:
+        """Software negative sampling (non-neighbors per pair)."""
+        request = NegativeSampleRequest(
+            pairs=np.asarray(pairs, dtype=np.int64), rate=rate
+        )
+        return self.sampler.negative_sample(request)
+
+    # ------------------------------------------------------ fixed model API
+    def graphsage(
+        self,
+        hidden_dim: int,
+        fanouts: Tuple[int, ...],
+        num_labels: int,
+        aggregator: str = "max",
+        lr: float = 1.0,
+    ) -> Trainer:
+        """A ready-to-train graphSAGE classifier over this session.
+
+        The frequently-used fixed-model API of Section 5: wires the
+        session's sampler to an encoder and a classification head.
+        """
+        if self.graph.attr_len == 0:
+            raise ConfigurationError(
+                "graphsage needs node attributes; this graph has none"
+            )
+        encoder = GraphSageEncoder(
+            self.graph.attr_len,
+            hidden_dim,
+            tuple(fanouts),
+            aggregator=aggregator,
+            seed=self._seed,
+        )
+        return Trainer(
+            self.sampler, encoder, num_labels=num_labels, lr=lr, seed=self._seed
+        )

@@ -1,0 +1,48 @@
+"""Access Engine (AxE) hardware model: the paper's core contribution.
+
+Cycle-approximate, event-driven simulation of the decoupled
+access-execute sampling accelerator: FIFO-pipelined GetNeighbor /
+GetSample / GetAttribute modules, an out-of-order load unit with
+scoreboards, the streaming step-based sampler, and a small coalescing
+cache — assembled into multi-core engines driven by Table 4 commands.
+"""
+
+from repro.axe.events import Simulator
+from repro.axe.fifo import Fifo, PipelineStage, Pipeline
+from repro.axe.sampling import ReservoirSampler, StreamingSampler
+from repro.axe.loadunit import LoadUnit, MemoryChannel
+from repro.axe.scoreboard import OrderingScoreboard
+from repro.axe.cache import CoalescingCache
+from repro.axe.core import AxeCore, CoreConfig
+from repro.axe.engine import AxeEngine, EngineConfig, EngineStats
+from repro.axe.commands import Command, CommandKind
+from repro.axe.resources import ResourceEstimate, sampler_resources, engine_resources
+from repro.axe.gemm import GemmConfig, GemmEngine
+from repro.axe.vpu import VectorUnit, VpuConfig
+
+__all__ = [
+    "Simulator",
+    "Fifo",
+    "PipelineStage",
+    "Pipeline",
+    "ReservoirSampler",
+    "StreamingSampler",
+    "LoadUnit",
+    "MemoryChannel",
+    "OrderingScoreboard",
+    "CoalescingCache",
+    "AxeCore",
+    "CoreConfig",
+    "AxeEngine",
+    "EngineConfig",
+    "EngineStats",
+    "Command",
+    "CommandKind",
+    "ResourceEstimate",
+    "sampler_resources",
+    "engine_resources",
+    "GemmConfig",
+    "GemmEngine",
+    "VectorUnit",
+    "VpuConfig",
+]

@@ -1,0 +1,95 @@
+"""AxE command set (Table 4).
+
+Commands arrive from the RISC-V controller through the decoder and are
+dispatched by the top scheduler onto cores. This module defines the
+command records and their validation; execution lives in
+:mod:`repro.axe.engine`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CommandError
+
+
+class CommandKind(enum.Enum):
+    """Table 4 command opcodes."""
+
+    SET_CSR = "set_csr"
+    READ_CSR = "read_csr"
+    SAMPLE_N_HOP = "sample_n_hop"
+    READ_NODE_ATTRIBUTE = "read_node_attribute"
+    READ_EDGE_ATTRIBUTE = "read_edge_attribute"
+    NEGATIVE_SAMPLE = "negative_sample"
+
+
+@dataclass(frozen=True)
+class Command:
+    """One decoded AxE command."""
+
+    kind: CommandKind
+    #: Root node IDs (sample), node IDs (attr read), or flattened node
+    #: pairs (edge attr / negative sample).
+    nodes: Optional[np.ndarray] = None
+    #: Per-hop sample counts for SAMPLE_N_HOP.
+    fanouts: Tuple[int, ...] = ()
+    #: Sampling method name ("streaming" or "reservoir"/"uniform").
+    method: str = "streaming"
+    #: Fetch node attributes as part of the command.
+    with_attributes: bool = True
+    #: Fetch edge weights alongside neighbor IDs.
+    with_edge_attributes: bool = False
+    #: Negatives per pair for NEGATIVE_SAMPLE.
+    rate: int = 0
+    #: CSR index and value for SET_CSR / READ_CSR.
+    csr_index: int = 0
+    csr_value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nodes is not None:
+            object.__setattr__(
+                self, "nodes", np.asarray(self.nodes, dtype=np.int64)
+            )
+        self._validate()
+
+    def _validate(self) -> None:
+        kind = self.kind
+        if kind in (CommandKind.SET_CSR, CommandKind.READ_CSR):
+            if not 0 <= self.csr_index < 32:
+                raise CommandError(
+                    f"CSR index {self.csr_index} outside the 32-entry file"
+                )
+            return
+        if self.nodes is None or self.nodes.size == 0:
+            raise CommandError(f"{kind.value} requires a non-empty node list")
+        if kind is CommandKind.SAMPLE_N_HOP:
+            if not self.fanouts:
+                raise CommandError("sample_n_hop requires at least one fanout")
+            if any(f <= 0 for f in self.fanouts):
+                raise CommandError(f"fanouts must be positive, got {self.fanouts}")
+        if kind in (CommandKind.READ_EDGE_ATTRIBUTE, CommandKind.NEGATIVE_SAMPLE):
+            if self.nodes.ndim != 2 or self.nodes.shape[1] != 2:
+                raise CommandError(f"{kind.value} requires (n, 2) node pairs")
+        if kind is CommandKind.NEGATIVE_SAMPLE and self.rate <= 0:
+            raise CommandError(f"negative_sample requires rate > 0, got {self.rate}")
+
+
+def sample_command(
+    roots: np.ndarray,
+    fanouts: Tuple[int, ...],
+    method: str = "streaming",
+    with_attributes: bool = True,
+) -> Command:
+    """Convenience constructor for the common n-hop sample command."""
+    return Command(
+        kind=CommandKind.SAMPLE_N_HOP,
+        nodes=roots,
+        fanouts=tuple(fanouts),
+        method=method,
+        with_attributes=with_attributes,
+    )

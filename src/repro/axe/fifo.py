@@ -1,0 +1,216 @@
+"""FIFO-connected producer-consumer pipeline machinery (Tech-1).
+
+AxE's modules are built from fine-grained asynchronous stages connected
+by bounded FIFOs (Figure 6). Deep pipelining is what lets a batch of N
+items complete in roughly ``N + depth`` cycles instead of
+``N * work_per_item`` — the effect Figure 7 measures.
+
+The model here is cycle-accurate for a linear pipeline: each stage has
+an initiation interval (II, cycles between accepted items) and a
+latency; a stage stalls when its output FIFO is full (backpressure).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Sequence
+
+from repro.errors import CapacityError, ConfigurationError
+
+
+class Fifo:
+    """Bounded FIFO queue connecting two pipeline stages."""
+
+    def __init__(self, depth: int) -> None:
+        if depth <= 0:
+            raise ConfigurationError(f"FIFO depth must be positive, got {depth}")
+        self.depth = depth
+        self._items: Deque[object] = deque()
+
+    def push(self, item: object) -> None:
+        if self.full:
+            raise CapacityError("push to a full FIFO")
+        self._items.append(item)
+
+    def pop(self) -> object:
+        if self.empty:
+            raise CapacityError("pop from an empty FIFO")
+        return self._items.popleft()
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class PipelineStage:
+    """One pipeline stage with an initiation interval and a latency.
+
+    ``work`` transforms an item (identity by default); timing is what
+    the pipeline model cares about.
+    """
+
+    def __init__(
+        self, name: str, initiation_interval: int = 1, latency: int = 1, work=None
+    ) -> None:
+        if initiation_interval <= 0:
+            raise ConfigurationError(
+                f"initiation_interval must be positive, got {initiation_interval}"
+            )
+        if latency < initiation_interval:
+            raise ConfigurationError(
+                "latency must be at least the initiation interval"
+            )
+        self.name = name
+        self.initiation_interval = initiation_interval
+        self.latency = latency
+        self.work = work or (lambda item: item)
+        # (ready_cycle, item) entries currently in flight inside the stage
+        self._in_flight: Deque[List] = deque()
+        self._next_accept_cycle = 0
+
+    def reset(self) -> None:
+        self._in_flight.clear()
+        self._next_accept_cycle = 0
+
+
+class Pipeline:
+    """A linear pipeline of stages connected by bounded FIFOs.
+
+    :meth:`run` feeds a sequence of items and returns the cycle at which
+    the last item leaves the final stage. The simulation advances cycle
+    by cycle; per-cycle work is O(stages), so runtime is
+    O(cycles * stages).
+    """
+
+    def __init__(self, stages: Sequence[PipelineStage], fifo_depth: int = 2) -> None:
+        if not stages:
+            raise ConfigurationError("pipeline needs at least one stage")
+        self.stages = list(stages)
+        # fifos[i] feeds stages[i]; one extra FIFO collects the output.
+        self.fifos = [Fifo(fifo_depth) for _ in range(len(self.stages) + 1)]
+
+    def run(self, items: Sequence[object]) -> "PipelineResult":
+        """Push ``items`` through the pipeline; returns timing results."""
+        for stage in self.stages:
+            stage.reset()
+        inputs: Deque[object] = deque(items)
+        outputs: List[object] = []
+        cycle = 0
+        total = len(inputs)
+        completed = 0
+        # Iterate until every item has drained out of the last FIFO.
+        while completed < total:
+            # Drain the output FIFO (unbounded consumer).
+            out_fifo = self.fifos[-1]
+            while not out_fifo.empty:
+                outputs.append(out_fifo.pop())
+                completed += 1
+            # Walk stages from back to front so an item can advance at
+            # most one stage per cycle (no combinational fall-through).
+            for index in range(len(self.stages) - 1, -1, -1):
+                stage = self.stages[index]
+                in_fifo = self.fifos[index]
+                out_fifo = self.fifos[index + 1]
+                # Retire finished items into the output FIFO.
+                while (
+                    stage._in_flight
+                    and stage._in_flight[0][0] <= cycle
+                    and not out_fifo.full
+                ):
+                    _ready, item = stage._in_flight.popleft()
+                    out_fifo.push(stage.work(item))
+                # Accept a new item if the II allows and there is space
+                # in the stage's internal buffer (latency/II slots).
+                slots = max(1, stage.latency // stage.initiation_interval)
+                if (
+                    not in_fifo.empty
+                    and cycle >= stage._next_accept_cycle
+                    and len(stage._in_flight) < slots
+                ):
+                    item = in_fifo.pop()
+                    stage._in_flight.append([cycle + stage.latency, item])
+                    stage._next_accept_cycle = cycle + stage.initiation_interval
+            # Feed the first FIFO from the input sequence.
+            while inputs and not self.fifos[0].full:
+                self.fifos[0].push(inputs.popleft())
+            cycle += 1
+            if cycle > 100 * (total + 1) * sum(s.latency for s in self.stages) + 1000:
+                raise CapacityError(
+                    "pipeline failed to drain; stages are deadlocked"
+                )
+        return PipelineResult(cycles=cycle, outputs=outputs)
+
+    @property
+    def depth(self) -> int:
+        """Total pipeline depth in stages."""
+        return len(self.stages)
+
+
+class PipelineResult:
+    """Timing and data results from a pipeline run."""
+
+    def __init__(self, cycles: int, outputs: List[object]) -> None:
+        self.cycles = cycles
+        self.outputs = outputs
+
+    def throughput(self, frequency_hz: float) -> float:
+        """Items per second at the given clock."""
+        if self.cycles == 0:
+            return 0.0
+        return len(self.outputs) / (self.cycles / frequency_hz)
+
+
+def get_neighbor_pipeline(
+    avg_degree: float = 10.0, fifo_depth: int = 4
+) -> Pipeline:
+    """The GetNeighbor sub-module pipeline of Figure 6.
+
+    Five FIFO-connected sub-stages: command decode, index lookup,
+    offset fetch, neighbor-ID stream, and the sample handoff. The
+    ID-stream stage's initiation interval tracks the average adjacency
+    length (one 64B line per ~8 neighbors); everything else accepts one
+    item per cycle — the "fine-grained async-pipelining" of Tech-1.
+    """
+    if avg_degree <= 0:
+        raise ConfigurationError(f"avg_degree must be positive, got {avg_degree}")
+    id_stream_ii = max(1, int(round(avg_degree / 8.0)))
+    stages = [
+        PipelineStage("cmd_decode", initiation_interval=1, latency=1),
+        PipelineStage("index_lookup", initiation_interval=1, latency=2),
+        PipelineStage("offset_fetch", initiation_interval=1, latency=2),
+        PipelineStage(
+            "id_stream",
+            initiation_interval=id_stream_ii,
+            latency=max(id_stream_ii, 2),
+        ),
+        PipelineStage("sample_handoff", initiation_interval=1, latency=1),
+    ]
+    return Pipeline(stages, fifo_depth=fifo_depth)
+
+
+def split_work(total_work_cycles: int, depth: int) -> List[PipelineStage]:
+    """Split a monolithic ``total_work_cycles`` computation into ``depth``
+    balanced stages — the Figure 7 experiment's independent variable.
+
+    Depth 1 models the unpipelined module: one stage whose II equals the
+    whole work. Depth D splits the work into D stages of II =
+    ceil(work/D), so deeper pipelines accept new items more often.
+    """
+    if total_work_cycles <= 0:
+        raise ConfigurationError(
+            f"total_work_cycles must be positive, got {total_work_cycles}"
+        )
+    if depth <= 0:
+        raise ConfigurationError(f"depth must be positive, got {depth}")
+    per_stage = -(-total_work_cycles // depth)
+    return [
+        PipelineStage(f"s{i}", initiation_interval=per_stage, latency=per_stage)
+        for i in range(depth)
+    ]

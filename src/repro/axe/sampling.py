@@ -1,0 +1,96 @@
+"""Hardware sampling units: conventional vs streaming (Tech-2).
+
+Two functional+timing models of the GetSample module:
+
+* :class:`ReservoirSampler` — the conventional design: buffer all N
+  candidates, then draw K. Needs N entries of storage and N + K cycles.
+* :class:`StreamingSampler` — the paper's step-based approximate random
+  sampler: divide the incoming stream into K groups and pick one random
+  element per group. Needs O(1) storage beyond the K outputs and
+  exactly N cycles (one per arriving candidate); it is a pure streaming
+  operator that slots into the FIFO pipeline.
+
+Functional behaviour matches :mod:`repro.framework.selectors`, so the
+accuracy-parity experiment can swap samplers in GNN training.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.framework.selectors import select_streaming, select_uniform
+
+
+class ReservoirSampler:
+    """Conventional buffered random sampler: N storage, N + K cycles."""
+
+    name = "reservoir"
+
+    def sample(
+        self, neighbors: np.ndarray, fanout: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, int, int]:
+        """Sample ``fanout`` of ``neighbors``.
+
+        Returns ``(samples, cycles, storage_entries)``.
+        """
+        neighbors = np.asarray(neighbors)
+        if fanout <= 0:
+            raise ConfigurationError(f"fanout must be positive, got {fanout}")
+        if neighbors.size == 0:
+            raise ConfigurationError("cannot sample from an empty neighbor list")
+        samples = select_uniform(neighbors, fanout, rng)
+        cycles = neighbors.size + fanout  # fill the buffer, then drain K
+        storage = int(neighbors.size)
+        return samples, cycles, storage
+
+    def cycles(self, num_candidates: int, fanout: int) -> int:
+        """Cycle count without sampling (for timing-only callers)."""
+        if num_candidates <= 0 or fanout <= 0:
+            raise ConfigurationError("num_candidates and fanout must be positive")
+        return num_candidates + fanout
+
+    def storage_entries(self, num_candidates: int) -> int:
+        return max(0, num_candidates)
+
+
+class StreamingSampler:
+    """Step-based streaming sampler: O(1) storage, N cycles (Tech-2)."""
+
+    name = "streaming"
+
+    def sample(
+        self, neighbors: np.ndarray, fanout: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, int, int]:
+        """Sample ``fanout`` of ``neighbors``.
+
+        Returns ``(samples, cycles, storage_entries)``; storage counts
+        only the K output registers (the stream itself is not buffered).
+        """
+        neighbors = np.asarray(neighbors)
+        if fanout <= 0:
+            raise ConfigurationError(f"fanout must be positive, got {fanout}")
+        if neighbors.size == 0:
+            raise ConfigurationError("cannot sample from an empty neighbor list")
+        samples = select_streaming(neighbors, fanout, rng)
+        cycles = max(neighbors.size, fanout)  # one cycle per streamed element
+        storage = int(fanout)
+        return samples, cycles, storage
+
+    def cycles(self, num_candidates: int, fanout: int) -> int:
+        """Cycle count without sampling (for timing-only callers)."""
+        if num_candidates <= 0 or fanout <= 0:
+            raise ConfigurationError("num_candidates and fanout must be positive")
+        return max(num_candidates, fanout)
+
+    def storage_entries(self, num_candidates: int) -> int:
+        return 0  # stream is consumed in place
+
+
+def sampling_speedup(num_candidates: int, fanout: int) -> float:
+    """Cycle-count advantage of streaming over the conventional design."""
+    conventional = ReservoirSampler().cycles(num_candidates, fanout)
+    streaming = StreamingSampler().cycles(num_candidates, fanout)
+    return conventional / streaming

@@ -1,0 +1,75 @@
+"""Ordering scoreboards for the OoO load unit (Tech-3).
+
+AxE issues memory requests out of order but must deliver results in
+order at two points (Figure 6): root order (required by the training
+loss computation) and neighbor order within a root (so neighbors from
+different roots stay synchronized). A scoreboard tracks completion of
+out-of-order responses and releases entries strictly in allocation
+order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.errors import CapacityError, SimulationError
+
+
+class OrderingScoreboard:
+    """Fixed-capacity, in-order-release completion tracker."""
+
+    def __init__(self, capacity: int, name: str = "scoreboard") -> None:
+        if capacity <= 0:
+            raise CapacityError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        # entry id -> (done flag, payload); insertion order = release order
+        self._entries: "OrderedDict[int, List]" = OrderedDict()
+        self._next_id = 0
+        self.max_occupancy = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def allocate(self) -> int:
+        """Reserve the next in-order slot; returns its entry ID."""
+        if self.full:
+            raise CapacityError(f"{self.name} is full ({self.capacity} entries)")
+        entry_id = self._next_id
+        self._next_id += 1
+        self._entries[entry_id] = [False, None]
+        self.max_occupancy = max(self.max_occupancy, len(self._entries))
+        return entry_id
+
+    def complete(self, entry_id: int, payload: Optional[object] = None) -> None:
+        """Mark an entry's out-of-order response as arrived."""
+        entry = self._entries.get(entry_id)
+        if entry is None:
+            raise SimulationError(
+                f"{self.name}: completing unknown or already-released "
+                f"entry {entry_id}"
+            )
+        if entry[0]:
+            raise SimulationError(
+                f"{self.name}: entry {entry_id} completed twice"
+            )
+        entry[0] = True
+        entry[1] = payload
+
+    def release_ready(self) -> List[object]:
+        """Pop the longest completed prefix, preserving allocation order."""
+        released: List[object] = []
+        while self._entries:
+            first_id = next(iter(self._entries))
+            done, payload = self._entries[first_id]
+            if not done:
+                break
+            del self._entries[first_id]
+            released.append(payload)
+        return released

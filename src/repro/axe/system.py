@@ -1,0 +1,227 @@
+"""Multi-card system simulation: the full 4-card PoC in one event loop.
+
+:class:`~repro.axe.engine.AxeEngine` models one FPGA with a flat
+"remote" channel; this module instantiates *all* cards of the PoC in a
+shared simulation, with per-card local DDR channels, per-link fabric
+channels from a :class:`~repro.mof.topology.FabricTopology`, and chained
+request paths (fabric hop(s) + the owner card's DRAM). Every card both
+samples its own batch shard and serves the other cards' remote reads —
+the symmetric traffic the FaaS model assumes, now measured rather than
+asserted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.axe.core import AxeCore, CoreConfig
+from repro.axe.events import Simulator
+from repro.axe.loadunit import MemoryChannel
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import HashPartitioner
+from repro.memstore.links import LinkModel, get_link
+from repro.mof.topology import FabricTopology, full_mesh
+
+
+class PathChannel:
+    """A chained request path: traverse each leg in order.
+
+    Used for remote reads: the request crosses the fabric link(s), then
+    the owner card's DRAM channel, each leg paying its own serialization
+    and latency.
+    """
+
+    def __init__(self, legs: List[MemoryChannel], name: str = "path") -> None:
+        if not legs:
+            raise ConfigurationError("a path needs at least one leg")
+        self.legs = legs
+        self.name = name
+
+    def request(self, nbytes: int, callback: Callable[[], None]) -> None:
+        """Issue through every leg sequentially."""
+
+        def advance(index: int) -> None:
+            if index == len(self.legs):
+                callback()
+                return
+            self.legs[index].request(nbytes, lambda: advance(index + 1))
+
+        advance(0)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A multi-card deployment."""
+
+    num_cards: int = 4
+    cores_per_card: int = 2
+    core: CoreConfig = dataclasses.field(default_factory=CoreConfig)
+    local_link: LinkModel = dataclasses.field(
+        default_factory=lambda: get_link("local_dram")
+    )
+    local_channels_per_card: int = 4
+    output_link: Optional[LinkModel] = dataclasses.field(
+        default_factory=lambda: get_link("pcie_host_dram")
+    )
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_cards <= 0 or self.cores_per_card <= 0:
+            raise ConfigurationError("cards and cores must be positive")
+        if self.local_channels_per_card <= 0:
+            raise ConfigurationError("local_channels_per_card must be positive")
+
+
+@dataclass
+class SystemStats:
+    """Results of one system-wide batch."""
+
+    elapsed_s: float
+    roots: int
+    per_card_roots: List[int]
+    fabric_bytes: Dict[Tuple[int, int], int]
+    remote_requests: int
+    local_requests: int
+
+    @property
+    def roots_per_second(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.roots / self.elapsed_s
+
+    @property
+    def remote_fraction(self) -> float:
+        total = self.remote_requests + self.local_requests
+        return self.remote_requests / total if total else 0.0
+
+
+class MultiCardSystem:
+    """All cards of the PoC in one discrete-event simulation."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        config: SystemConfig = None,
+        topology: Optional[FabricTopology] = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config or SystemConfig()
+        self.topology = topology or full_mesh(max(2, self.config.num_cards))
+        if self.config.num_cards > 1 and (
+            self.topology.num_nodes != self.config.num_cards
+        ):
+            raise ConfigurationError(
+                f"topology has {self.topology.num_nodes} nodes, system has "
+                f"{self.config.num_cards} cards"
+            )
+        self.partitioner = HashPartitioner(self.config.num_cards)
+
+    def run_batch(self, roots: np.ndarray) -> SystemStats:
+        """Sample a batch spread over all cards; returns system stats.
+
+        Each root is processed by the card owning it (data-local
+        dispatch); hop expansions and attribute fetches then go local
+        or over the fabric according to node ownership.
+        """
+        roots = np.asarray(roots, dtype=np.int64)
+        if roots.size == 0:
+            raise ConfigurationError("cannot run an empty batch")
+        config = self.config
+        sim = Simulator()
+
+        local_channels: List[List[MemoryChannel]] = [
+            [
+                MemoryChannel(sim, config.local_link, name=f"card{c}.local{i}")
+                for i in range(config.local_channels_per_card)
+            ]
+            for c in range(config.num_cards)
+        ]
+        output_channels: List[Optional[MemoryChannel]] = [
+            MemoryChannel(sim, config.output_link, name=f"card{c}.out")
+            if config.output_link is not None
+            else None
+            for c in range(config.num_cards)
+        ]
+        fabric_link = LinkModel(
+            "fabric",
+            self.topology.hop_latency_s,
+            self.topology.link_bandwidth,
+            packet_overhead_bytes=8,  # amortized MoF framing (Table 5)
+        )
+        fabric_channels: Dict[Tuple[int, int], MemoryChannel] = {
+            link: MemoryChannel(sim, fabric_link, name=f"fab{link}")
+            for link in self.topology.links
+        }
+        remote_counter = [0]
+        local_counter = [0]
+
+        def make_router(card: int):
+            def router(node: int):
+                owner = int(self.partitioner.partition_of([node])[0])
+                dram = local_channels[owner][node % config.local_channels_per_card]
+                if owner == card:
+                    local_counter[0] += 1
+                    return dram
+                remote_counter[0] += 1
+                path = self.topology.shortest_path(card, owner)
+                legs: List[MemoryChannel] = []
+                for a, b in zip(path, path[1:]):
+                    key = (a, b) if (a, b) in fabric_channels else (b, a)
+                    legs.append(fabric_channels[key])
+                legs.append(dram)
+                return PathChannel(legs, name=f"card{card}->card{owner}")
+
+            return router
+
+        owners = self.partitioner.partition_of(roots)
+        done = [0]
+        active = 0
+        per_card_roots = [0] * config.num_cards
+        for card in range(config.num_cards):
+            shard = roots[owners == card]
+            per_card_roots[card] = int(shard.size)
+            if shard.size == 0:
+                continue
+            active += 1
+            cores = [
+                AxeCore(
+                    sim,
+                    config.core,
+                    self.graph,
+                    make_router(card),
+                    output_channel=output_channels[card],
+                    seed=config.seed + 31 * card + core_index,
+                    core_id=card * 100 + core_index,
+                )
+                for core_index in range(config.cores_per_card)
+            ]
+            sub_shards = [shard[i :: len(cores)] for i in range(len(cores))]
+            live = [core for core, sub in zip(cores, sub_shards) if sub.size]
+
+            def on_core_done(counter=[len(live)]):
+                counter[0] -= 1
+                if counter[0] == 0:
+                    done[0] += 1
+
+            for core, sub in zip(cores, sub_shards):
+                if sub.size:
+                    core.submit(sub, on_core_done)
+        sim.run()
+        if done[0] != active:
+            raise ConfigurationError("system batch did not complete")
+        return SystemStats(
+            elapsed_s=sim.now,
+            roots=int(roots.size),
+            per_card_roots=per_card_roots,
+            fabric_bytes={
+                link: channel.stats.payload_bytes
+                for link, channel in fabric_channels.items()
+            },
+            remote_requests=remote_counter[0],
+            local_requests=local_counter[0],
+        )

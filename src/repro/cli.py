@@ -1,0 +1,205 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro footprint          # Figure 2(a)
+    python -m repro scaling            # Figure 2(b)
+    python -m repro access-mix         # Figure 2(c)
+    python -m repro e2e                # Figure 3
+    python -m repro poc                # Figure 14
+    python -m repro validate           # Figure 15
+    python -m repro cost               # Figure 16
+    python -m repro dse                # Figures 17-21
+    python -m repro sampler            # Tech-2 cycle/resource numbers
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.units import format_bytes
+
+
+def _cmd_footprint(_args) -> None:
+    from repro.graph.datasets import DATASET_ORDER, get_dataset
+    from repro.memstore.layout import FootprintModel
+
+    model = FootprintModel()
+    print("dataset  footprint     min_servers")
+    for name in DATASET_ORDER:
+        row = model.report(get_dataset(name))
+        print(f"{name:<8} {format_bytes(row.total_bytes):<12} {row.min_servers}")
+
+
+def _cmd_scaling(_args) -> None:
+    from repro.framework.cluster import ClusterModel
+    from repro.framework.cpu_model import CpuSamplingModel, WorkloadShape
+    from repro.graph.datasets import DATASET_ORDER, get_dataset
+
+    shapes = [WorkloadShape.from_spec(get_dataset(n)) for n in DATASET_ORDER]
+    cluster = ClusterModel(CpuSamplingModel())
+    print("servers  speedup  efficiency")
+    for point in cluster.average_scaling_curve(shapes, (1, 5, 15)):
+        print(f"{point.num_servers:>7}  {point.speedup_vs_one:>7.2f}"
+              f"  {point.efficiency:>10.2f}")
+
+
+def _cmd_access_mix(args) -> None:
+    from repro.framework.tracing import characterize_access_mix
+    from repro.graph.datasets import DATASET_ORDER, instantiate_dataset
+
+    print("dataset  structure%(count)  structure%(bytes)")
+    for name in DATASET_ORDER:
+        graph = instantiate_dataset(name, max_nodes=args.max_nodes, seed=0)
+        mix = characterize_access_mix(graph, name, batch_size=32, num_batches=2)
+        print(f"{name:<8} {100 * mix.structure_count_fraction:>16.1f}"
+              f" {100 * mix.structure_bytes_fraction:>18.1f}")
+
+
+def _cmd_e2e(_args) -> None:
+    from repro.gnn.e2e import EndToEndModel
+
+    model = EndToEndModel()
+    for phase, training in (("training", True), ("inference", False)):
+        breakdown = model.breakdown(training)
+        print(f"{phase:<10} sampling {100 * breakdown.sampling_fraction:5.1f}%"
+              f"  total {1e3 * breakdown.total_s:6.2f} ms/batch")
+    print(f"storage ratio: {model.storage_ratio():.1e}")
+
+
+def _cmd_poc(args) -> None:
+    from repro.perfmodel.poc import geomean_equivalence, poc_vcpu_equivalence
+
+    rows = poc_vcpu_equivalence(max_nodes=args.max_nodes, batch_size=96)
+    print("dataset  FPGA(roots/s)  vCPU-equivalence")
+    for row in rows:
+        print(f"{row.dataset:<8} {row.fpga_roots_per_s:>12.0f}"
+              f"  {row.vcpu_equivalence:>15.0f}")
+    print(f"geomean: {geomean_equivalence(rows):.0f} (paper: 894)")
+
+
+def _cmd_validate(args) -> None:
+    from repro.graph.datasets import instantiate_dataset
+    from repro.perfmodel.poc import POC_SWEEP, validate_model
+
+    graph = instantiate_dataset("ls", max_nodes=args.max_nodes, seed=0)
+    rows = validate_model(graph, POC_SWEEP, batch_size=48)
+    print("config           measured     modeled      err%")
+    for row in rows:
+        print(f"{row.point.label:<16} {row.measured_roots_per_s:>10.0f}"
+              f"  {row.modeled_roots_per_s:>10.0f}  {100 * row.error:>6.1f}")
+    mean_error = sum(r.error for r in rows) / len(rows)
+    print(f"mean error: {100 * mean_error:.1f}%")
+
+
+def _cmd_cost(_args) -> None:
+    from repro.cost.regression import validate_cost_model
+
+    print("instance    listed   predicted  error%")
+    for row in validate_cost_model():
+        print(f"{row.product_id:<11} {row.listed:>7.3f}  {row.predicted:>9.3f}"
+              f"  {100 * row.error:>6.2f}")
+
+
+def _cmd_dse(args) -> None:
+    from repro.faas.dse import FaasDse
+    from repro.faas.report import (
+        arch_geomeans,
+        format_perf_per_dollar_table,
+        format_perf_table,
+    )
+
+    dse = FaasDse(gpus_per_12gbps=args.gpus_per_12gbps)
+    results = dse.evaluate_all()
+    cpu_results = dse.cpu_baseline_all()
+    print(format_perf_table(results))
+    print()
+    print(format_perf_per_dollar_table(results, cpu_results))
+    print("\ngeomean normalized perf/$:")
+    for arch, value in sorted(arch_geomeans(results, cpu_results).items()):
+        print(f"  {arch:<15} {value:6.2f}x")
+
+
+def _cmd_system(args) -> None:
+    import numpy as np
+
+    from repro.axe.system import MultiCardSystem, SystemConfig
+    from repro.graph.datasets import instantiate_dataset
+
+    graph = instantiate_dataset("ls", max_nodes=args.max_nodes, seed=0)
+    roots = np.arange(96)
+    print("cards  roots/s     remote%")
+    for cards in (1, 2, 4):
+        stats = MultiCardSystem(
+            graph, SystemConfig(num_cards=cards, output_link=None)
+        ).run_batch(roots)
+        print(f"{cards:>5}  {stats.roots_per_second:>10.0f}"
+              f"  {100 * stats.remote_fraction:>6.1f}")
+
+
+def _cmd_service(_args) -> None:
+    from repro.framework.service import ServiceConfig, run_service
+
+    quiet = run_service(ServiceConfig(num_workers=1, batches_per_worker=6))
+    loaded = run_service(ServiceConfig(num_workers=32, batches_per_worker=3))
+    print("load    p50(ms)  p99(ms)")
+    print(f"quiet   {1e3 * quiet.p50:>7.2f}  {1e3 * quiet.p99:>7.2f}")
+    print(f"loaded  {1e3 * loaded.p50:>7.2f}  {1e3 * loaded.p99:>7.2f}")
+    deadline = quiet.p99 * 1.2
+    print(f"deadline misses at 1.2x quiet p99: "
+          f"{100 * loaded.deadline_miss_rate(deadline):.0f}%")
+
+
+def _cmd_sampler(_args) -> None:
+    from repro.axe.resources import sampler_savings
+    from repro.axe.sampling import sampling_speedup
+
+    savings = sampler_savings()
+    print(f"cycle advantage (N=100, K=10): "
+          f"{sampling_speedup(100, 10):.2f}x (N+K -> N)")
+    print(f"LUT saving: {100 * savings['lut_saving']:.1f}% (paper: 91.9%)")
+    print(f"register saving: {100 * savings['reg_saving']:.1f}% (paper: 23%)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LSD-GNN FaaS reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("footprint", help="Figure 2(a)").set_defaults(fn=_cmd_footprint)
+    sub.add_parser("scaling", help="Figure 2(b)").set_defaults(fn=_cmd_scaling)
+    mix = sub.add_parser("access-mix", help="Figure 2(c)")
+    mix.add_argument("--max-nodes", type=int, default=4000)
+    mix.set_defaults(fn=_cmd_access_mix)
+    sub.add_parser("e2e", help="Figure 3").set_defaults(fn=_cmd_e2e)
+    poc = sub.add_parser("poc", help="Figure 14")
+    poc.add_argument("--max-nodes", type=int, default=8000)
+    poc.set_defaults(fn=_cmd_poc)
+    val = sub.add_parser("validate", help="Figure 15")
+    val.add_argument("--max-nodes", type=int, default=8000)
+    val.set_defaults(fn=_cmd_validate)
+    sub.add_parser("cost", help="Figure 16").set_defaults(fn=_cmd_cost)
+    dse = sub.add_parser("dse", help="Figures 17-21")
+    dse.add_argument("--gpus-per-12gbps", type=float, default=1.0)
+    dse.set_defaults(fn=_cmd_dse)
+    sub.add_parser("sampler", help="Tech-2 numbers").set_defaults(fn=_cmd_sampler)
+    system = sub.add_parser("system", help="multi-card scaling")
+    system.add_argument("--max-nodes", type=int, default=6000)
+    system.set_defaults(fn=_cmd_system)
+    sub.add_parser("service", help="Challenge-1 latency").set_defaults(fn=_cmd_service)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

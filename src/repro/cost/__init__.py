@@ -1,0 +1,23 @@
+"""Cloud instance cost model: synthetic price table + linear regression."""
+
+from repro.cost.pricing import PRICE_CATALOG, PricedInstance, catalog_price
+from repro.cost.regression import CostModel, fit_cost_model, validate_cost_model
+from repro.cost.instances import (
+    FAAS_CONFIGS,
+    FaasInstanceConfig,
+    GPU_RULE_GBPS_PER_V100,
+    gpu_cost_for_throughput,
+)
+
+__all__ = [
+    "PRICE_CATALOG",
+    "PricedInstance",
+    "catalog_price",
+    "CostModel",
+    "fit_cost_model",
+    "validate_cost_model",
+    "FAAS_CONFIGS",
+    "FaasInstanceConfig",
+    "GPU_RULE_GBPS_PER_V100",
+    "gpu_cost_for_throughput",
+]

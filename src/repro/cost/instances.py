@@ -1,0 +1,100 @@
+"""FaaS instance configurations (Table 12) and the GPU provisioning rule.
+
+Each FaaS architecture is evaluated on three instance sizes. NIC and
+MoF figures are per-instance network quotas; the MoF quota applies only
+to architectures that carry the dedicated fabric (comm-opt, mem-opt).
+
+The GPU rule is the paper's Limitation-2 simplification: the end
+application requires one V100 for every 12 GB/s of sampling output
+throughput (75% of a V100's PCIe bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.cost.regression import CostModel
+from repro.units import GB, gbps_to_bytes_per_s
+
+
+@dataclass(frozen=True)
+class FaasInstanceConfig:
+    """One Table 12 row."""
+
+    name: str
+    vcpus: int
+    mem_bytes: int
+    fpga_chips: int
+    nic_bandwidth: float  # bytes/s
+    mof_bandwidth: float  # bytes/s, used only when the arch carries MoF
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0 or self.fpga_chips <= 0:
+            raise ConfigurationError("vcpus and fpga_chips must be positive")
+        if self.mem_bytes <= 0:
+            raise ConfigurationError("mem_bytes must be positive")
+        if self.nic_bandwidth <= 0 or self.mof_bandwidth <= 0:
+            raise ConfigurationError("bandwidth quotas must be positive")
+
+
+#: Table 12: small / medium / large FaaS instances.
+FAAS_CONFIGS: Dict[str, FaasInstanceConfig] = {
+    "small": FaasInstanceConfig(
+        "small",
+        vcpus=2,
+        mem_bytes=8 * GB,
+        fpga_chips=1,
+        nic_bandwidth=gbps_to_bytes_per_s(10),
+        mof_bandwidth=gbps_to_bytes_per_s(100),
+    ),
+    "medium": FaasInstanceConfig(
+        "medium",
+        vcpus=2,
+        mem_bytes=384 * GB,
+        fpga_chips=1,
+        nic_bandwidth=gbps_to_bytes_per_s(20),
+        mof_bandwidth=gbps_to_bytes_per_s(200),
+    ),
+    "large": FaasInstanceConfig(
+        "large",
+        vcpus=2,
+        mem_bytes=512 * GB,
+        fpga_chips=2,
+        nic_bandwidth=gbps_to_bytes_per_s(50),
+        mof_bandwidth=gbps_to_bytes_per_s(800),
+    ),
+}
+
+#: One V100 per 12 GB/s of sampling output throughput.
+GPU_RULE_GBPS_PER_V100 = 12.0
+
+#: A V100 GPU instance's resource shape (for pricing the NN side).
+GPU_INSTANCE = {"vcpus": 12, "mem_gb": 92.0, "fpgas": 0, "gpus": 1}
+
+
+def gpu_cost_for_throughput(
+    cost_model: CostModel,
+    output_bytes_per_second: float,
+    gpus_per_12gbps: float = 1.0,
+) -> float:
+    """$/hour of GPU capacity the sampling throughput requires.
+
+    GPU capacity is pooled across the fleet, so fractional GPUs are
+    priced proportionally. ``gpus_per_12gbps`` scales the rule for the
+    Limitation-2 sensitivity check (deep NN models needing 10x GPUs).
+    """
+    if output_bytes_per_second < 0:
+        raise ConfigurationError("throughput must be non-negative")
+    if gpus_per_12gbps <= 0:
+        raise ConfigurationError(
+            f"gpus_per_12gbps must be positive, got {gpus_per_12gbps}"
+        )
+    gpus = output_bytes_per_second / (GPU_RULE_GBPS_PER_V100 * GB) * gpus_per_12gbps
+    return gpus * cost_model.price(
+        GPU_INSTANCE["vcpus"],
+        GPU_INSTANCE["mem_gb"],
+        GPU_INSTANCE["fpgas"],
+        GPU_INSTANCE["gpus"],
+    )

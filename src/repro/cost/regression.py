@@ -1,0 +1,99 @@
+"""Linear instance-cost regression (Figure 16).
+
+Fits ``price ~ a*vCPU + b*mem + c*FPGA + d*GPU + e`` by least squares
+over the price catalog, then validates per-instance error. The large
+memory instance (``ecs-re-x``) is under-estimated, reproducing the
+paper's noted outlier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.cost.pricing import PRICE_CATALOG, PricedInstance
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Fitted linear instance-cost model."""
+
+    per_vcpu: float
+    per_mem_gb: float
+    per_fpga: float
+    per_gpu: float
+    base: float
+
+    def price(
+        self, vcpus: float, mem_gb: float, fpgas: float = 0, gpus: float = 0
+    ) -> float:
+        """Predicted $/hour for an instance configuration."""
+        if min(vcpus, mem_gb, fpgas, gpus) < 0:
+            raise ConfigurationError("instance resources must be non-negative")
+        return (
+            self.base
+            + self.per_vcpu * vcpus
+            + self.per_mem_gb * mem_gb
+            + self.per_fpga * fpgas
+            + self.per_gpu * gpus
+        )
+
+
+def fit_cost_model(
+    catalog: Iterable[PricedInstance] = None,
+) -> CostModel:
+    """Least-squares fit over the catalog."""
+    rows = list(catalog) if catalog is not None else list(PRICE_CATALOG.values())
+    if len(rows) < 5:
+        raise ConfigurationError(
+            f"need at least 5 catalog rows to fit 5 coefficients, got {len(rows)}"
+        )
+    features = np.array(
+        [list(row.features()) + [1.0] for row in rows], dtype=np.float64
+    )
+    prices = np.array([row.price_per_hour for row in rows], dtype=np.float64)
+    # Minimize *relative* error (Figure 16 reports percentage error), so
+    # the one expensive large-memory instance cannot dominate the fit.
+    weights = 1.0 / prices
+    coef, _residuals, _rank, _sv = np.linalg.lstsq(
+        features * weights[:, None], prices * weights, rcond=None
+    )
+    return CostModel(
+        per_vcpu=float(coef[0]),
+        per_mem_gb=float(coef[1]),
+        per_fpga=float(coef[2]),
+        per_gpu=float(coef[3]),
+        base=float(coef[4]),
+    )
+
+
+@dataclass(frozen=True)
+class CostValidationRow:
+    """One Figure 16 point: listed vs predicted price."""
+
+    product_id: str
+    listed: float
+    predicted: float
+
+    @property
+    def error(self) -> float:
+        return abs(self.predicted - self.listed) / self.listed
+
+
+def validate_cost_model(
+    model: CostModel = None,
+    catalog: Dict[str, PricedInstance] = None,
+) -> List[CostValidationRow]:
+    """Figure 16: per-instance prediction error of the linear model."""
+    catalog = catalog or PRICE_CATALOG
+    model = model or fit_cost_model(catalog.values())
+    rows = []
+    for product_id, instance in catalog.items():
+        predicted = model.price(*instance.features())
+        rows.append(
+            CostValidationRow(product_id, instance.price_per_hour, round(predicted, 4))
+        )
+    return rows

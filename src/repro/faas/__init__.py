@@ -1,0 +1,27 @@
+"""FaaS design-space exploration: the eight Table 8 architectures."""
+
+from repro.faas.arch import (
+    EIGHT_ARCHITECTURES,
+    FaasArchitecture,
+    get_architecture,
+)
+from repro.faas.dse import CpuBaselineResult, FaasDse, FaasResult
+from repro.faas.report import (
+    format_perf_table,
+    format_perf_per_dollar_table,
+    format_min_cost_table,
+    geomean,
+)
+
+__all__ = [
+    "EIGHT_ARCHITECTURES",
+    "FaasArchitecture",
+    "get_architecture",
+    "CpuBaselineResult",
+    "FaasDse",
+    "FaasResult",
+    "format_perf_table",
+    "format_perf_per_dollar_table",
+    "format_min_cost_table",
+    "geomean",
+]

@@ -1,0 +1,33 @@
+"""AliGraph-style sampling framework substrate: servers, workers, sampler."""
+
+from repro.framework.requests import NegativeSampleRequest, SampleRequest, SampleResult
+from repro.framework.sampler import MultiHopSampler
+from repro.framework.cache import HotNodeCache
+from repro.framework.cpu_model import CpuSamplingModel, WorkloadShape
+from repro.framework.cluster import ClusterModel, ScalingPoint
+from repro.framework.tracing import characterize_access_mix
+from repro.framework.selectors import get_selector, select_streaming, select_uniform
+from repro.framework.service import ServiceConfig, ServiceReport, run_service
+from repro.framework.export import batch_nbytes, load_batch, save_batch
+
+__all__ = [
+    "NegativeSampleRequest",
+    "SampleRequest",
+    "SampleResult",
+    "MultiHopSampler",
+    "HotNodeCache",
+    "CpuSamplingModel",
+    "WorkloadShape",
+    "ClusterModel",
+    "ScalingPoint",
+    "characterize_access_mix",
+    "get_selector",
+    "select_streaming",
+    "select_uniform",
+    "ServiceConfig",
+    "ServiceReport",
+    "run_service",
+    "batch_nbytes",
+    "load_batch",
+    "save_batch",
+]

@@ -1,0 +1,85 @@
+"""System-level hot-node cache (AliGraph-style).
+
+AliGraph caches the most frequently accessed nodes at the framework
+level. The paper leans on this to argue that *hardware* temporal caching
+is not worthwhile (Tech-4): what reuse exists is already captured here,
+and the 512-over-10-billion batch/graph ratio leaves almost nothing for
+the FPGA to catch. This LRU implementation lets tests and ablations
+quantify exactly that.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class HotNodeCache:
+    """LRU cache over neighbor lists and attribute rows.
+
+    Capacity is expressed in *nodes* (each cached node may hold its
+    neighbor list, its attribute row, or both).
+    """
+
+    def __init__(self, capacity_nodes: int) -> None:
+        if capacity_nodes <= 0:
+            raise ConfigurationError(
+                f"capacity_nodes must be positive, got {capacity_nodes}"
+            )
+        self.capacity_nodes = capacity_nodes
+        self._neighbors: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._attributes: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------ neighbors
+    def get_neighbors(self, node: int) -> Optional[np.ndarray]:
+        """Cached neighbor list of ``node``, or ``None`` on a miss."""
+        cached = self._neighbors.get(node)
+        if cached is None:
+            self.misses += 1
+            return None
+        self._neighbors.move_to_end(node)
+        self.hits += 1
+        return cached
+
+    def put_neighbors(self, node: int, neighbors: np.ndarray) -> None:
+        """Insert a neighbor list, evicting the LRU entry when full."""
+        self._neighbors[node] = np.asarray(neighbors, dtype=np.int64)
+        self._neighbors.move_to_end(node)
+        while len(self._neighbors) > self.capacity_nodes:
+            self._neighbors.popitem(last=False)
+
+    # ----------------------------------------------------------- attributes
+    def get_attributes(self, node: int) -> Optional[np.ndarray]:
+        """Cached attribute row of ``node``, or ``None`` on a miss."""
+        cached = self._attributes.get(node)
+        if cached is None:
+            self.misses += 1
+            return None
+        self._attributes.move_to_end(node)
+        self.hits += 1
+        return cached
+
+    def put_attributes(self, node: int, row: np.ndarray) -> None:
+        """Insert an attribute row, evicting the LRU entry when full."""
+        self._attributes[node] = np.asarray(row, dtype=np.float32)
+        self._attributes.move_to_end(node)
+        while len(self._attributes) > self.capacity_nodes:
+            self._attributes.popitem(last=False)
+
+    # ------------------------------------------------------------- metrics
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction over all lookups so far."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (contents are kept)."""
+        self.hits = 0
+        self.misses = 0

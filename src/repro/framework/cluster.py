@@ -1,0 +1,98 @@
+"""Server/worker cluster model — throughput scaling (Figure 2b).
+
+AliGraph assigns *servers* (attribute fetching) and *workers* (graph
+traversal + NN) as logical processes over vCPU pools. Adding servers
+increases aggregate capacity but also raises the remote fraction of
+every access under hash partitioning, so throughput scales sublinearly
+— the paper's Observation-2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.framework.cpu_model import CpuSamplingModel, WorkloadShape
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Cluster throughput at one server count."""
+
+    num_servers: int
+    total_roots_per_second: float
+    speedup_vs_one: float
+    efficiency: float  # speedup / num_servers
+
+
+class ClusterModel:
+    """Aggregate sampling throughput of an AliGraph cluster.
+
+    Parameters
+    ----------
+    cpu_model:
+        Per-vCPU cost model.
+    vcpus_per_server:
+        vCPUs dedicated to sampling per logical server.
+    """
+
+    def __init__(
+        self, cpu_model: CpuSamplingModel, vcpus_per_server: int = 32
+    ) -> None:
+        if vcpus_per_server <= 0:
+            raise ConfigurationError(
+                f"vcpus_per_server must be positive, got {vcpus_per_server}"
+            )
+        self.cpu_model = cpu_model
+        self.vcpus_per_server = vcpus_per_server
+
+    def throughput(self, shape: WorkloadShape, num_servers: int) -> float:
+        """Cluster-wide root samples per second with ``num_servers``."""
+        per_vcpu = self.cpu_model.roots_per_second(shape, num_servers)
+        return per_vcpu * self.vcpus_per_server * num_servers
+
+    def scaling_curve(
+        self, shape: WorkloadShape, server_counts: Sequence[int] = (1, 5, 15)
+    ) -> List[ScalingPoint]:
+        """Figure 2(b): throughput and efficiency at each server count."""
+        if not server_counts:
+            raise ConfigurationError("server_counts must not be empty")
+        base = self.throughput(shape, server_counts[0]) / server_counts[0]
+        points = []
+        for count in server_counts:
+            total = self.throughput(shape, count)
+            speedup = total / base
+            points.append(
+                ScalingPoint(count, total, speedup, speedup / count)
+            )
+        return points
+
+    def average_scaling_curve(
+        self,
+        shapes: Iterable[WorkloadShape],
+        server_counts: Sequence[int] = (1, 5, 15),
+    ) -> List[ScalingPoint]:
+        """Geometric-mean scaling curve across datasets (Figure 2b
+        averages across all benchmarks)."""
+        shapes = list(shapes)
+        if not shapes:
+            raise ConfigurationError("shapes must not be empty")
+        per_shape = [self.scaling_curve(shape, server_counts) for shape in shapes]
+        points: List[ScalingPoint] = []
+        for idx, count in enumerate(server_counts):
+            throughputs = [curve[idx].total_roots_per_second for curve in per_shape]
+            speedups = [curve[idx].speedup_vs_one for curve in per_shape]
+            geo_tp = _geomean(throughputs)
+            geo_sp = _geomean(speedups)
+            points.append(ScalingPoint(count, geo_tp, geo_sp, geo_sp / count))
+        return points
+
+
+def _geomean(values: Sequence[float]) -> float:
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ConfigurationError("geomean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,195 @@
+"""vCPU sampling cost model (the CPU baseline of Figures 14 and 17-21).
+
+The baseline is AliGraph's software sampling path: worker threads issue
+synchronous-ish RPCs to graph servers, with a small number of requests
+in flight per vCPU, paying per-node software cost (hash lookups,
+serialization, protocol handling) plus remote wait time.
+
+The model is analytical; its two calibration constants
+(``per_node_software_s`` and ``outstanding_per_vcpu``) are chosen so the
+PoC-vs-vCPU ratio lands at the paper's 894x geomean (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graph.datasets import SAMPLING_CONFIG, DatasetSpec
+from repro.memstore.links import LinkModel, get_link
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """Per-root-sample traffic shape of a sampling workload.
+
+    All byte counts are *per root node* of a mini-batch. Derived from a
+    dataset spec plus the Table 2 sampling configuration (2-hop, fanout
+    10/10, negative rate 10).
+    """
+
+    name: str
+    #: GetNeighbor operations per root (1 for the root + fanout for hop 2).
+    neighbor_ops: int
+    #: Nodes whose attributes are fetched per root (incl. negatives).
+    attr_nodes: int
+    #: Structure bytes per root (index + offsets + neighbor IDs).
+    structure_bytes: float
+    #: Attribute bytes per root.
+    attribute_bytes: float
+    #: Bytes shipped to the NN stage per root (the sampled subgraph).
+    output_bytes: float
+    #: Count-weighted access mix {request_bytes: probability}.
+    access_mix: Dict[int, float]
+
+    @property
+    def fetch_bytes(self) -> float:
+        """Total bytes read from the store per root."""
+        return self.structure_bytes + self.attribute_bytes
+
+    @property
+    def mean_request_bytes(self) -> float:
+        total_p = sum(self.access_mix.values())
+        return sum(s * p for s, p in self.access_mix.items()) / total_p
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: DatasetSpec,
+        fanouts: Tuple[int, ...] = SAMPLING_CONFIG["fanouts"],
+        negative_rate: int = SAMPLING_CONFIG["negative_rate"],
+        index_entry_bytes: int = 16,
+        offset_entry_bytes: int = 16,
+        id_bytes: int = 8,
+    ) -> "WorkloadShape":
+        """Derive the traffic shape for one Table 2 dataset."""
+        if not fanouts:
+            raise ConfigurationError("fanouts must contain at least one hop")
+        # Nodes expanded (GetNeighbor issued) per root: the root itself,
+        # then each sampled frontier except the last hop.
+        neighbor_ops = 1
+        width = 1
+        total_sampled = 0
+        for fanout in fanouts[:-1]:
+            width *= fanout
+            neighbor_ops += width
+            total_sampled += width
+        width *= fanouts[-1]
+        total_sampled += width
+        attr_nodes = 1 + total_sampled + negative_rate
+
+        avg_ids = spec.avg_degree * id_bytes
+        structure_bytes = (
+            neighbor_ops * (index_entry_bytes + offset_entry_bytes + avg_ids)
+            + attr_nodes * index_entry_bytes
+        )
+        attr_row = spec.attr_len * 4
+        attribute_bytes = float(attr_nodes * attr_row)
+        output_bytes = float(attr_nodes * attr_row)
+
+        # Count-weighted access mix: per root there are `neighbor_ops`
+        # offset reads, `neighbor_ops` ID-block reads, `attr_nodes +
+        # neighbor_ops` index lookups, and `attr_nodes` attribute rows.
+        id_block = max(id_bytes, int(round(avg_ids)))
+        mix: Dict[int, float] = {}
+        total_ops = neighbor_ops * 2 + attr_nodes + neighbor_ops + attr_nodes
+        for size, count in (
+            (index_entry_bytes, attr_nodes + neighbor_ops),
+            (offset_entry_bytes, neighbor_ops),
+            (id_block, neighbor_ops),
+            (attr_row, attr_nodes),
+        ):
+            mix[size] = mix.get(size, 0.0) + count / total_ops
+        return cls(
+            name=spec.name,
+            neighbor_ops=neighbor_ops,
+            attr_nodes=attr_nodes,
+            structure_bytes=structure_bytes,
+            attribute_bytes=attribute_bytes,
+            output_bytes=output_bytes,
+            access_mix=mix,
+        )
+
+
+class CpuSamplingModel:
+    """Sampling throughput of one vCPU running the software stack.
+
+    Parameters
+    ----------
+    per_node_software_s:
+        CPU time per touched node: hash lookup, bounds checks,
+        serialization, RPC bookkeeping.
+    outstanding_per_vcpu:
+        Remote requests a vCPU's thread pool keeps in flight.
+    rpc_request_bytes:
+        Mean wire size of one software RPC. AliGraph coalesces a few
+        keys per request, so this exceeds the single-access mean.
+    remote_link:
+        Link model for server-to-server access (software RDMA path).
+    """
+
+    def __init__(
+        self,
+        per_node_software_s: float = 14.5 * US,
+        outstanding_per_vcpu: int = 1,
+        rpc_request_bytes: int = 512,
+        remote_link: Optional[LinkModel] = None,
+    ) -> None:
+        if per_node_software_s <= 0:
+            raise ConfigurationError(
+                f"per_node_software_s must be positive, got {per_node_software_s}"
+            )
+        if outstanding_per_vcpu <= 0:
+            raise ConfigurationError(
+                f"outstanding_per_vcpu must be positive, got {outstanding_per_vcpu}"
+            )
+        if rpc_request_bytes <= 0:
+            raise ConfigurationError(
+                f"rpc_request_bytes must be positive, got {rpc_request_bytes}"
+            )
+        self.per_node_software_s = per_node_software_s
+        self.outstanding_per_vcpu = outstanding_per_vcpu
+        self.rpc_request_bytes = rpc_request_bytes
+        self.remote_link = remote_link or get_link("sw_remote_dram")
+
+    def remote_fraction(self, num_servers: int) -> float:
+        """Fraction of fetched bytes that cross servers (hash partition)."""
+        if num_servers <= 0:
+            raise ConfigurationError(
+                f"num_servers must be positive, got {num_servers}"
+            )
+        return 1.0 - 1.0 / num_servers
+
+    def effective_remote_bandwidth(self, shape: WorkloadShape) -> float:
+        """Per-vCPU remote bandwidth with the thread pool's concurrency.
+
+        The wire request is the coalesced RPC, not a single access, but
+        never smaller than the workload's own mean access size.
+        """
+        mean = max(
+            self.rpc_request_bytes, int(round(shape.mean_request_bytes))
+        )
+        return self.remote_link.effective_bandwidth(mean, self.outstanding_per_vcpu)
+
+    def seconds_per_root(self, shape: WorkloadShape, num_servers: int) -> float:
+        """Wall time one vCPU spends per root sample."""
+        touched = shape.neighbor_ops + shape.attr_nodes
+        software = touched * self.per_node_software_s
+        remote_bytes = shape.fetch_bytes * self.remote_fraction(num_servers)
+        remote_wait = remote_bytes / self.effective_remote_bandwidth(shape)
+        return software + remote_wait
+
+    def roots_per_second(self, shape: WorkloadShape, num_servers: int) -> float:
+        """Sampling throughput of one vCPU, in root samples per second."""
+        return 1.0 / self.seconds_per_root(shape, num_servers)
+
+    def batches_per_second(
+        self, shape: WorkloadShape, num_servers: int, batch_size: int = 512
+    ) -> float:
+        """Sampling throughput of one vCPU, in mini-batches per second."""
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        return self.roots_per_second(shape, num_servers) / batch_size

@@ -1,0 +1,65 @@
+"""Export/import sampled mini-batches.
+
+The decoupled 2-step workflow hands sampled subgraphs from the sampling
+tier to the NN tier; in deployments those cross process/machine
+boundaries. This module serializes :class:`SampleResult` batches to
+``.npz`` (and back), so sampling output can feed external trainers or
+be archived for replay.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.framework.requests import SampleResult
+
+
+def save_batch(result: SampleResult, path: Union[str, Path]) -> None:
+    """Serialize one sampled batch to an ``.npz`` file."""
+    if not result.layers:
+        raise ConfigurationError("cannot export an empty SampleResult")
+    arrays = {"num_layers": np.asarray(len(result.layers))}
+    for index, layer in enumerate(result.layers):
+        arrays[f"layer_{index}"] = layer
+    arrays["has_attributes"] = np.asarray(result.attributes is not None)
+    if result.attributes is not None:
+        if len(result.attributes) != len(result.layers):
+            raise ConfigurationError(
+                "attributes must align with layers for export"
+            )
+        for index, attr in enumerate(result.attributes):
+            arrays[f"attr_{index}"] = attr
+    np.savez_compressed(str(path), **arrays)
+
+
+def load_batch(path: Union[str, Path]) -> SampleResult:
+    """Inverse of :func:`save_batch`."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no such batch file: {path}")
+    with np.load(str(path)) as data:
+        num_layers = int(data["num_layers"])
+        layers: List[np.ndarray] = [
+            data[f"layer_{index}"] for index in range(num_layers)
+        ]
+        attributes = None
+        if bool(data["has_attributes"]):
+            attributes = [data[f"attr_{index}"] for index in range(num_layers)]
+    return SampleResult(layers=layers, attributes=attributes)
+
+
+def batch_nbytes(result: SampleResult) -> int:
+    """In-memory bytes of one sampled batch (IDs + attributes).
+
+    This is the per-batch volume the output IO channel carries — the
+    quantity the PoC's PCIe bottleneck and the Table 12 GPU rule are
+    denominated in.
+    """
+    total = sum(layer.nbytes for layer in result.layers)
+    if result.attributes is not None:
+        total += sum(attr.nbytes for attr in result.attributes)
+    return int(total)

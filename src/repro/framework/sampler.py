@@ -1,0 +1,173 @@
+"""Reference multi-hop random sampler (the CPU software path).
+
+Implements the AliGraph programming model from Section 2.1: given a
+root node ``v``, sample a subset ``S(v)`` of the neighbor set ``N(v)``,
+fetch attributes of sampled nodes, and iterate for multiple hops. Also
+implements negative sampling (used by link-prediction losses).
+
+This is the functional ground truth the AxE hardware model is checked
+against, and the workload generator for the characterization figures.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GraphError
+from repro.framework.cache import HotNodeCache
+from repro.framework.requests import (
+    NegativeSampleRequest,
+    SampleRequest,
+    SampleResult,
+)
+from repro.framework.selectors import select_uniform
+from repro.memstore.store import PartitionedStore
+
+
+class MultiHopSampler:
+    """Random multi-hop sampler over a partitioned store.
+
+    Parameters
+    ----------
+    store:
+        The graph store; every structure/attribute access is accounted
+        there.
+    seed:
+        RNG seed for reproducible sampling.
+    cache:
+        Optional hot-node cache; hits are served without touching the
+        store (AliGraph's system-level caching of frequent nodes).
+    worker_partition:
+        The partition the requesting worker is co-located with; used to
+        attribute accesses as local or remote. ``None`` treats all
+        accesses as local.
+    selector:
+        Neighbor-selection strategy ``f(neighbors, fanout, rng)``;
+        defaults to uniform-with-replacement. Pass
+        :func:`~repro.framework.selectors.select_streaming` to sample
+        the way the AxE hardware does.
+    """
+
+    def __init__(
+        self,
+        store: PartitionedStore,
+        seed: int = 0,
+        cache: Optional[HotNodeCache] = None,
+        worker_partition: Optional[int] = None,
+        selector=select_uniform,
+    ) -> None:
+        self.store = store
+        self.rng = np.random.default_rng(seed)
+        self.cache = cache
+        self.worker_partition = worker_partition
+        self.selector = selector
+        # Weighted selectors take an extra ``weights`` argument, fed
+        # from the graph's per-edge attributes when present.
+        self._selector_takes_weights = (
+            "weights" in inspect.signature(selector).parameters
+        )
+
+    # ------------------------------------------------------------- sampling
+    def _neighbors(self, node: int) -> np.ndarray:
+        if self.cache is not None:
+            hit = self.cache.get_neighbors(node)
+            if hit is not None:
+                return hit
+        neighbors = self.store.get_neighbors(node, self.worker_partition)
+        if self.cache is not None:
+            self.cache.put_neighbors(node, neighbors)
+        return neighbors
+
+    def _sample_neighbors(self, node: int, fanout: int) -> np.ndarray:
+        """Uniformly sample ``fanout`` neighbors of ``node`` with replacement.
+
+        Zero-degree nodes sample themselves (AliGraph's self-loop
+        fallback), so layer shapes stay dense.
+        """
+        neighbors = self._neighbors(node)
+        if neighbors.size == 0:
+            return np.full(fanout, node, dtype=np.int64)
+        if self._selector_takes_weights and self.store.graph.edge_attr is not None:
+            start = int(self.store.graph.indptr[node])
+            weights = self.store.graph.edge_attr[start : start + neighbors.size]
+            return np.asarray(
+                self.selector(neighbors, fanout, self.rng, weights=weights),
+                dtype=np.int64,
+            )
+        return np.asarray(
+            self.selector(neighbors, fanout, self.rng), dtype=np.int64
+        )
+
+    def sample(self, request: SampleRequest) -> SampleResult:
+        """Execute a multi-hop sampling request."""
+        result = SampleResult()
+        roots = request.roots
+        if roots.max(initial=-1) >= self.store.graph.num_nodes or roots.min(initial=0) < 0:
+            raise GraphError("request roots outside [0, num_nodes)")
+        result.layers.append(roots.copy())
+        frontier = roots
+        width = 1
+        for fanout in request.fanouts:
+            width *= fanout
+            sampled = np.empty((roots.size, width), dtype=np.int64)
+            flat = frontier.reshape(roots.size, -1)
+            for batch_index in range(roots.size):
+                row = [
+                    self._sample_neighbors(int(node), fanout)
+                    for node in flat[batch_index]
+                ]
+                sampled[batch_index] = np.concatenate(row)
+            result.layers.append(sampled)
+            frontier = sampled
+        if request.with_attributes:
+            result.attributes = [
+                self._fetch_attributes(layer) for layer in result.layers
+            ]
+        return result
+
+    def _fetch_attributes(self, layer: np.ndarray) -> np.ndarray:
+        flat = layer.reshape(-1)
+        served = np.zeros(flat.size, dtype=bool)
+        rows = np.empty((flat.size, self.store.graph.attr_len), dtype=np.float32)
+        if self.cache is not None:
+            for i, node in enumerate(flat):
+                hit = self.cache.get_attributes(int(node))
+                if hit is not None:
+                    rows[i] = hit
+                    served[i] = True
+        missing = np.flatnonzero(~served)
+        if missing.size:
+            fetched = self.store.get_attributes(flat[missing], self.worker_partition)
+            rows[missing] = fetched
+            if self.cache is not None:
+                for i, node in zip(missing, flat[missing]):
+                    self.cache.put_attributes(int(node), rows[i])
+        return rows.reshape(layer.shape + (self.store.graph.attr_len,))
+
+    # ------------------------------------------------------ negative sample
+    def negative_sample(self, request: NegativeSampleRequest) -> np.ndarray:
+        """Sample ``rate`` negatives per pair, rejecting true neighbors.
+
+        Returns an ``(n_pairs, rate)`` array of node IDs that are not
+        out-neighbors of the pair's source.
+        """
+        num_nodes = self.store.graph.num_nodes
+        if num_nodes < 2:
+            raise ConfigurationError(
+                "negative sampling needs at least 2 nodes in the graph"
+            )
+        out = np.empty((request.pairs.shape[0], request.rate), dtype=np.int64)
+        for row, (src, _dst) in enumerate(request.pairs):
+            forbidden = set(int(x) for x in self._neighbors(int(src)))
+            forbidden.add(int(src))
+            filled = 0
+            while filled < request.rate:
+                draw = int(self.rng.integers(0, num_nodes))
+                if draw in forbidden and len(forbidden) < num_nodes:
+                    continue
+                out[row, filled] = draw
+                filled += 1
+        return out

@@ -1,0 +1,160 @@
+"""Neighbor-selection strategies shared by software and hardware samplers.
+
+Two strategies matter to the paper:
+
+* :func:`select_uniform` — the conventional method: sample K of N
+  uniformly with replacement (the software baseline; in hardware this
+  needs N candidate storage and N+K cycles).
+* :func:`select_streaming` — the paper's Tech-2 step-based approximate
+  random sampling: split the incoming stream of N candidates into K
+  contiguous groups and pick one uniform element per group. Needs no
+  candidate storage, completes in N cycles, and is statistically close
+  enough to uniform that model accuracy is unaffected (0.548 vs 0.549
+  on PPI in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def select_uniform(
+    neighbors: np.ndarray, fanout: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniformly sample ``fanout`` entries of ``neighbors`` with replacement."""
+    neighbors = np.asarray(neighbors)
+    if fanout <= 0:
+        raise ConfigurationError(f"fanout must be positive, got {fanout}")
+    if neighbors.size == 0:
+        raise ConfigurationError("cannot sample from an empty neighbor list")
+    picks = rng.integers(0, neighbors.size, size=fanout)
+    return neighbors[picks]
+
+
+def select_streaming(
+    neighbors: np.ndarray, fanout: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Step-based streaming sampling (Tech-2).
+
+    The N candidates are divided into ``fanout`` groups *in arrival
+    order*; one uniformly random element is selected from each group.
+    When N < fanout, the stream wraps (each pass contributes its
+    elements again), matching the hardware's with-replacement padding.
+    """
+    neighbors = np.asarray(neighbors)
+    if fanout <= 0:
+        raise ConfigurationError(f"fanout must be positive, got {fanout}")
+    n = neighbors.size
+    if n == 0:
+        raise ConfigurationError("cannot sample from an empty neighbor list")
+    out = np.empty(fanout, dtype=neighbors.dtype)
+    # Group boundaries: group g covers [g*n//fanout, (g+1)*n//fanout) for
+    # n >= fanout; degenerate groups (when n < fanout) pick uniformly
+    # from the whole list, which is what the wrapped stream converges to.
+    for group in range(fanout):
+        start = group * n // fanout
+        stop = (group + 1) * n // fanout
+        if stop <= start:
+            pick = int(rng.integers(0, n))
+        else:
+            pick = int(rng.integers(start, stop))
+        out[group] = neighbors[pick]
+    return out
+
+
+def select_weighted(
+    neighbors: np.ndarray,
+    fanout: int,
+    rng: np.random.Generator,
+    weights: np.ndarray = None,
+) -> np.ndarray:
+    """Weighted sampling with replacement (edge-weight / degree-based).
+
+    ``weights`` defaults to uniform; degree-based sampling passes each
+    neighbor's degree. This is the software reference the streaming
+    variant approximates.
+    """
+    neighbors = np.asarray(neighbors)
+    if fanout <= 0:
+        raise ConfigurationError(f"fanout must be positive, got {fanout}")
+    if neighbors.size == 0:
+        raise ConfigurationError("cannot sample from an empty neighbor list")
+    if weights is None:
+        return select_uniform(neighbors, fanout, rng)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != neighbors.shape:
+        raise ConfigurationError(
+            f"weights shape {weights.shape} != neighbors shape {neighbors.shape}"
+        )
+    if (weights < 0).any() or weights.sum() <= 0:
+        raise ConfigurationError("weights must be non-negative with positive sum")
+    probabilities = weights / weights.sum()
+    picks = rng.choice(neighbors.size, size=fanout, replace=True, p=probabilities)
+    return neighbors[picks]
+
+
+def select_streaming_weighted(
+    neighbors: np.ndarray,
+    fanout: int,
+    rng: np.random.Generator,
+    weights: np.ndarray = None,
+) -> np.ndarray:
+    """Streaming weighted sampling: one weighted pick per group.
+
+    The hardware extension of Tech-2 the paper alludes to ("[random
+    sampling] is the base for many other sampling methods, such as
+    degree-based sampling"): each contiguous group keeps a running
+    weighted reservoir of size 1 (A-ES style), so it still needs no
+    candidate storage and completes in N cycles.
+    """
+    neighbors = np.asarray(neighbors)
+    if fanout <= 0:
+        raise ConfigurationError(f"fanout must be positive, got {fanout}")
+    n = neighbors.size
+    if n == 0:
+        raise ConfigurationError("cannot sample from an empty neighbor list")
+    if weights is None:
+        return select_streaming(neighbors, fanout, rng)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != neighbors.shape:
+        raise ConfigurationError(
+            f"weights shape {weights.shape} != neighbors shape {neighbors.shape}"
+        )
+    if (weights < 0).any() or weights.sum() <= 0:
+        raise ConfigurationError("weights must be non-negative with positive sum")
+    out = np.empty(fanout, dtype=neighbors.dtype)
+    for group in range(fanout):
+        start = group * n // fanout
+        stop = (group + 1) * n // fanout
+        if stop <= start:
+            start, stop = 0, n
+        group_weights = weights[start:stop]
+        total = group_weights.sum()
+        if total <= 0:
+            pick = int(rng.integers(start, stop))
+        else:
+            pick = start + int(
+                rng.choice(stop - start, p=group_weights / total)
+            )
+        out[group] = neighbors[pick]
+    return out
+
+
+SELECTORS = {
+    "uniform": select_uniform,
+    "streaming": select_streaming,
+    "weighted": select_weighted,
+    "streaming_weighted": select_streaming_weighted,
+}
+
+
+def get_selector(name: str):
+    """Look up a neighbor-selection strategy by name."""
+    try:
+        return SELECTORS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown selector {name!r}; expected one of {sorted(SELECTORS)}"
+        ) from None

@@ -1,0 +1,197 @@
+"""Event-driven server/worker service simulation.
+
+The analytical vCPU model (:mod:`repro.framework.cpu_model`) captures
+average throughput; this module captures what averages hide — queueing.
+Workers issue per-hop batched RPCs to hash-partitioned graph servers;
+servers process with bounded vCPU concurrency; the simulation records
+per-batch latency distributions. This substantiates Challenge-1's
+latency claim: "the long latency could result in ... the failure of
+meeting real-time deadline in some inference scenarios".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.axe.events import Simulator
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Deployment and workload parameters."""
+
+    num_servers: int = 4
+    num_workers: int = 8
+    vcpus_per_server: int = 8
+    #: Server-side software time per requested key.
+    per_key_service_s: float = 3.0 * US
+    #: Fixed RPC round-trip network latency (excluding queueing).
+    rpc_latency_s: float = 25.0 * US
+    #: Per-server NIC bandwidth for responses.
+    network_bandwidth: float = 1.5e9
+    batch_size: int = 64
+    fanouts: Tuple[int, ...] = (10, 10)
+    attr_bytes: int = 512
+    #: Batches each worker runs (closed loop).
+    batches_per_worker: int = 4
+
+    def __post_init__(self) -> None:
+        if min(self.num_servers, self.num_workers, self.vcpus_per_server) <= 0:
+            raise ConfigurationError("servers, workers, vcpus must be positive")
+        if min(self.per_key_service_s, self.rpc_latency_s) <= 0:
+            raise ConfigurationError("latencies must be positive")
+        if self.network_bandwidth <= 0 or self.attr_bytes <= 0:
+            raise ConfigurationError("bandwidth and attr_bytes must be positive")
+        if self.batch_size <= 0 or not self.fanouts:
+            raise ConfigurationError("batch_size and fanouts must be set")
+        if self.batches_per_worker <= 0:
+            raise ConfigurationError("batches_per_worker must be positive")
+
+
+class _ServerSim:
+    """One graph server: a vCPU pool draining a request queue."""
+
+    def __init__(self, sim: Simulator, config: ServiceConfig, index: int) -> None:
+        self.sim = sim
+        self.config = config
+        self.index = index
+        self._queue: Deque[Tuple[int, Callable[[], None]]] = deque()
+        self._idle_vcpus = config.vcpus_per_server
+        self._nic_free_at = 0.0
+        self.keys_served = 0
+        self.max_queue_depth = 0
+
+    def request(self, num_keys: int, reply: Callable[[], None]) -> None:
+        """Handle a batched key-fetch RPC; ``reply`` fires at the
+        client once service + response transfer complete."""
+        self._queue.append((num_keys, reply))
+        self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._idle_vcpus > 0 and self._queue:
+            num_keys, reply = self._queue.popleft()
+            self._idle_vcpus -= 1
+            service = num_keys * self.config.per_key_service_s
+            self.keys_served += num_keys
+
+            def done(n=num_keys, cb=reply) -> None:
+                self._idle_vcpus += 1
+                # Response serializes on this server's NIC.
+                response_bytes = n * self.config.attr_bytes
+                transfer = response_bytes / self.config.network_bandwidth
+                start = max(self.sim.now, self._nic_free_at)
+                self._nic_free_at = start + transfer
+                self.sim.at(
+                    self._nic_free_at + self.config.rpc_latency_s / 2, cb
+                )
+                self._dispatch()
+
+            self.sim.after(service, done)
+
+
+@dataclass
+class ServiceReport:
+    """Latency/throughput results of one service simulation."""
+
+    batch_latencies_s: List[float]
+    total_time_s: float
+    total_batches: int
+    server_max_queue: int
+
+    @property
+    def throughput_batches_per_s(self) -> float:
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.total_batches / self.total_time_s
+
+    def percentile(self, q: float) -> float:
+        if not self.batch_latencies_s:
+            raise ConfigurationError("no batches completed")
+        return float(np.percentile(self.batch_latencies_s, q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def deadline_miss_rate(self, deadline_s: float) -> float:
+        """Fraction of batches exceeding an inference deadline."""
+        if deadline_s <= 0:
+            raise ConfigurationError(f"deadline must be positive, got {deadline_s}")
+        if not self.batch_latencies_s:
+            return 0.0
+        misses = sum(1 for lat in self.batch_latencies_s if lat > deadline_s)
+        return misses / len(self.batch_latencies_s)
+
+
+def run_service(config: ServiceConfig = None, seed: int = 0) -> ServiceReport:
+    """Run the closed-loop service simulation; returns latency stats."""
+    config = config or ServiceConfig()
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    servers = [_ServerSim(sim, config, i) for i in range(config.num_servers)]
+    latencies: List[float] = []
+
+    def start_batch(worker: int, remaining: int) -> None:
+        start_time = sim.now
+        hop_keys = [config.batch_size]
+        width = config.batch_size
+        for fanout in config.fanouts:
+            width *= fanout
+            hop_keys.append(width)
+
+        def run_hop(index: int) -> None:
+            if index == len(hop_keys):
+                latencies.append(sim.now - start_time)
+                if remaining > 1:
+                    start_batch(worker, remaining - 1)
+                return
+            keys = hop_keys[index]
+            # Split keys across servers (hash partitioning): roughly
+            # equal shards with multinomial jitter.
+            shares = rng.multinomial(
+                keys, np.full(config.num_servers, 1.0 / config.num_servers)
+            )
+            pending = [int(np.count_nonzero(shares))]
+            if pending[0] == 0:
+                sim.after(0.0, lambda: run_hop(index + 1))
+                return
+
+            def one_reply() -> None:
+                pending[0] -= 1
+                if pending[0] == 0:
+                    run_hop(index + 1)
+
+            for server_index, share in enumerate(shares):
+                if share == 0:
+                    continue
+                # Request travels half the RTT before hitting the server.
+                sim.after(
+                    config.rpc_latency_s / 2,
+                    lambda s=server_index, k=int(share): servers[s].request(
+                        k, one_reply
+                    ),
+                )
+
+        run_hop(0)
+
+    for worker in range(config.num_workers):
+        # Stagger worker starts to avoid an artificial convoy.
+        sim.at(worker * 1e-6, lambda w=worker: start_batch(w, config.batches_per_worker))
+    sim.run()
+    return ServiceReport(
+        batch_latencies_s=latencies,
+        total_time_s=sim.now,
+        total_batches=len(latencies),
+        server_max_queue=max(s.max_queue_depth for s in servers),
+    )

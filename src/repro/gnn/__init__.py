@@ -1,0 +1,32 @@
+"""Mini-batch GNN compute: layers, models, training, end-to-end model."""
+
+from repro.gnn.layers import Dense, MaxPoolAggregator, MeanAggregator, SageLayer
+from repro.gnn.models import DSSM, GraphSageEncoder
+from repro.gnn.gcn import GcnEncoder, GcnLayer
+from repro.gnn.embedding import EmbeddingTable
+from repro.gnn.train import (
+    Trainer,
+    link_prediction_loss,
+    multilabel_loss,
+)
+from repro.gnn.metrics import micro_f1, accuracy
+from repro.gnn.e2e import EndToEndModel, StageBreakdown
+
+__all__ = [
+    "Dense",
+    "MaxPoolAggregator",
+    "MeanAggregator",
+    "SageLayer",
+    "DSSM",
+    "GraphSageEncoder",
+    "GcnEncoder",
+    "GcnLayer",
+    "EmbeddingTable",
+    "Trainer",
+    "link_prediction_loss",
+    "multilabel_loss",
+    "micro_f1",
+    "accuracy",
+    "EndToEndModel",
+    "StageBreakdown",
+]

@@ -1,0 +1,74 @@
+"""Trainable embedding table (the optional CPU embedding stage).
+
+LSD-GNN pipelines often learn an embedding per node ID alongside (or
+instead of) raw attributes; the paper keeps this stage on CPU. The
+table supports sparse gather/scatter-grad SGD, which is all the
+mini-batch workflow needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class EmbeddingTable:
+    """Dense embedding matrix with sparse mini-batch updates."""
+
+    def __init__(self, num_nodes: int, dim: int, seed: int = 0) -> None:
+        if num_nodes <= 0 or dim <= 0:
+            raise ConfigurationError("num_nodes and dim must be positive")
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(dim)
+        self.table = rng.uniform(-scale, scale, size=(num_nodes, dim)).astype(
+            np.float32
+        )
+        self._pending: Dict[int, np.ndarray] = {}
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.table.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.table.shape[1])
+
+    def lookup(self, nodes: np.ndarray) -> np.ndarray:
+        """Gather embeddings; works for any integer-shaped index tensor."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.num_nodes):
+            raise ConfigurationError("embedding lookup outside [0, num_nodes)")
+        return self.table[nodes]
+
+    def accumulate_grad(self, nodes: np.ndarray, grads: np.ndarray) -> None:
+        """Accumulate gradients for the looked-up rows.
+
+        Duplicate node IDs within a batch sum their gradients, matching
+        dense autograd semantics.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
+        grads = np.asarray(grads, dtype=np.float32).reshape(-1, self.dim)
+        if nodes.size != grads.shape[0]:
+            raise ConfigurationError(
+                f"{nodes.size} indices but {grads.shape[0]} gradient rows"
+            )
+        for node, grad in zip(nodes, grads):
+            key = int(node)
+            if key in self._pending:
+                self._pending[key] = self._pending[key] + grad
+            else:
+                self._pending[key] = grad.copy()
+
+    def step(self, lr: float) -> None:
+        """Apply pending sparse SGD updates."""
+        for node, grad in self._pending.items():
+            self.table[node] -= lr * grad
+        self._pending.clear()
+
+    @property
+    def pending_rows(self) -> int:
+        """Number of rows with accumulated (unapplied) gradients."""
+        return len(self._pending)

@@ -1,0 +1,150 @@
+"""GCN layer over sampled neighborhoods.
+
+The paper names GCN as the model whose aggregation should run on-FPGA
+("the FPGA compute units are preferable for reductions in the sampling
+stages ... such as the case for GCN"). Unlike graphSAGE's max-pool,
+GCN's aggregation is a *linear* mean over the closed neighborhood —
+exactly the reduction :class:`~repro.axe.vpu.VectorUnit` performs — so
+shipping aggregated rows off-FPGA is lossless for this model.
+
+Mini-batch formulation over a sampled neighborhood:
+
+    h_v' = act( W @ mean(h_u : u in S(v) + v) )
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gnn.layers import Dense
+
+
+class GcnLayer:
+    """One mean-aggregate GCN layer (sampled mini-batch form)."""
+
+    def __init__(
+        self, in_dim: int, out_dim: int, activation: str = "relu", seed: int = 0
+    ) -> None:
+        self.linear = Dense(in_dim, out_dim, activation=activation, seed=seed)
+
+    def forward(self, self_feats: np.ndarray, neighbor_feats: np.ndarray) -> np.ndarray:
+        """``self_feats``: (batch, groups, d); ``neighbor_feats``:
+        (batch, groups, fanout, d). Returns (batch, groups, out)."""
+        if self_feats.shape[:2] != neighbor_feats.shape[:2]:
+            raise ConfigurationError(
+                f"shape mismatch: {self_feats.shape} vs {neighbor_feats.shape}"
+            )
+        fanout = neighbor_feats.shape[2]
+        self._fanout = fanout
+        # Closed-neighborhood mean: the node plus its sampled neighbors.
+        total = neighbor_feats.sum(axis=2) + self_feats
+        self._mean = total / (fanout + 1)
+        return self.linear.forward(self._mean)
+
+    def backward(self, grad_out: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Returns (grad_self, grad_neighbors)."""
+        grad_mean = self.linear.backward(grad_out) / (self._fanout + 1)
+        grad_self = grad_mean
+        grad_neighbors = np.repeat(
+            grad_mean[:, :, None, :], self._fanout, axis=2
+        )
+        return grad_self, grad_neighbors
+
+    def step(self, lr: float) -> None:
+        self.linear.step(lr)
+
+
+class GcnEncoder:
+    """Multi-hop GCN encoder over sampled features (same feature layout
+    as :class:`~repro.gnn.models.GraphSageEncoder`)."""
+
+    def __init__(
+        self,
+        attr_len: int,
+        hidden_dim: int,
+        fanouts: Sequence[int],
+        seed: int = 0,
+    ) -> None:
+        if attr_len <= 0 or hidden_dim <= 0:
+            raise ConfigurationError("attr_len and hidden_dim must be positive")
+        if not fanouts:
+            raise ConfigurationError("fanouts must contain at least one hop")
+        self.fanouts = tuple(int(f) for f in fanouts)
+        self.layers: List[GcnLayer] = []
+        in_dim = attr_len
+        for hop in range(len(self.fanouts)):
+            activation = "relu" if hop < len(self.fanouts) - 1 else "linear"
+            self.layers.append(
+                GcnLayer(in_dim, hidden_dim, activation=activation, seed=seed + hop)
+            )
+            in_dim = hidden_dim
+
+    def _normalize(self, features: Sequence[np.ndarray]) -> List[np.ndarray]:
+        if len(features) != len(self.fanouts) + 1:
+            raise ConfigurationError(
+                f"expected {len(self.fanouts) + 1} feature tensors, got "
+                f"{len(features)}"
+            )
+        out = []
+        width = 1
+        for level, tensor in enumerate(features):
+            tensor = np.asarray(tensor, dtype=np.float32)
+            if tensor.ndim == 2:
+                tensor = tensor[:, None, :]
+            if tensor.shape[1] != width:
+                raise ConfigurationError(
+                    f"feature level {level} has width {tensor.shape[1]}, "
+                    f"expected {width}"
+                )
+            out.append(tensor)
+            if level < len(self.fanouts):
+                width *= self.fanouts[level]
+        return out
+
+    def forward(self, features: Sequence[np.ndarray]) -> np.ndarray:
+        """Encode roots; returns (batch, hidden_dim)."""
+        levels = self._normalize(features)
+        for layer in self.layers:
+            next_levels = []
+            for index in range(len(levels) - 1):
+                self_feats = levels[index]
+                fanout = self.fanouts[index]
+                batch = self_feats.shape[0]
+                width = self_feats.shape[1]
+                dim = levels[index + 1].shape[2]
+                neighbors = levels[index + 1].reshape(batch, width, fanout, dim)
+                next_levels.append(layer.forward(self_feats, neighbors))
+            levels = next_levels
+        return levels[0][:, 0, :]
+
+    def forward_from_reduced(
+        self, reduced: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Encode from *pre-reduced* neighborhoods (the on-FPGA path).
+
+        The VPU ships ``mean(h_u : u in S(v) + v)`` per group, so the
+        host only applies the linear transforms. ``reduced[k]`` has
+        shape ``(batch, width_k, d)``: the hop-k closed-neighborhood
+        means. Only valid for single-hop encoders (multi-hop GCN needs
+        intermediate activations the reduction discards).
+        """
+        if len(self.layers) != 1:
+            raise ConfigurationError(
+                "forward_from_reduced supports single-hop encoders"
+            )
+        if len(reduced) != 1:
+            raise ConfigurationError("expected exactly one reduced tensor")
+        tensor = np.asarray(reduced[0], dtype=np.float32)
+        if tensor.ndim == 2:
+            tensor = tensor[:, None, :]
+        layer = self.layers[0]
+        layer._fanout = self.fanouts[0]
+        layer._mean = tensor
+        return layer.linear.forward(tensor)[:, 0, :]
+
+    def step(self, lr: float) -> None:
+        for layer in self.layers:
+            layer.step(lr)

@@ -1,0 +1,194 @@
+"""Neural-network layers for mini-batch GNN compute (NumPy).
+
+Implements the Aggregate/Combine formulation of Section 2.1:
+
+    a_v^k = Aggregate(h_u^{k-1} : u in S(v) + v)
+    h_v^k = Combine(a_v^k)
+
+with the graphSAGE family of aggregators. Forward and backward passes
+are hand-written; parameters update with SGD. Shapes follow the sampled
+mini-batch layout: hop-``k`` activations have shape
+``(batch, width_k, dim)`` where ``width_k`` is the product of fanouts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise rectifier."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of :func:`relu` evaluated at pre-activation ``x``."""
+    return (x > 0.0).astype(x.dtype)
+
+
+class Dense:
+    """Fully connected layer ``y = act(x @ W + b)``."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: str = "relu",
+        seed: int = 0,
+    ) -> None:
+        if in_dim <= 0 or out_dim <= 0:
+            raise ConfigurationError("layer dimensions must be positive")
+        if activation not in ("relu", "linear"):
+            raise ConfigurationError(f"unsupported activation {activation!r}")
+        rng = np.random.default_rng(seed)
+        limit = np.sqrt(6.0 / (in_dim + out_dim))
+        self.weight = rng.uniform(-limit, limit, size=(in_dim, out_dim)).astype(
+            np.float32
+        )
+        self.bias = np.zeros(out_dim, dtype=np.float32)
+        self.activation = activation
+        self._x: np.ndarray = np.empty(0, dtype=np.float32)
+        self._pre: np.ndarray = np.empty(0, dtype=np.float32)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+
+    @property
+    def in_dim(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def out_dim(self) -> int:
+        return self.weight.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; caches activations for backward."""
+        self._x = x
+        self._pre = x @ self.weight + self.bias
+        if self.activation == "relu":
+            return relu(self._pre)
+        return self._pre
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backward pass; accumulates parameter grads, returns grad wrt x."""
+        if self.activation == "relu":
+            grad_out = grad_out * relu_grad(self._pre)
+        flat_x = self._x.reshape(-1, self.in_dim)
+        flat_g = grad_out.reshape(-1, self.out_dim)
+        self.grad_weight += flat_x.T @ flat_g
+        self.grad_bias += flat_g.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    def step(self, lr: float) -> None:
+        """SGD update and gradient reset."""
+        self.weight -= lr * self.grad_weight
+        self.bias -= lr * self.grad_bias
+        self.zero_grad()
+
+    def zero_grad(self) -> None:
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+
+class MeanAggregator:
+    """Mean over the neighbor axis."""
+
+    def forward(self, neighbors: np.ndarray) -> np.ndarray:
+        """``neighbors``: (batch, groups, fanout, dim) -> (batch, groups, dim)."""
+        self._fanout = neighbors.shape[-2]
+        return neighbors.mean(axis=-2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        expanded = np.expand_dims(grad_out / self._fanout, axis=-2)
+        return np.broadcast_to(
+            expanded, grad_out.shape[:-1] + (self._fanout, grad_out.shape[-1])
+        ).copy()
+
+
+class MaxPoolAggregator:
+    """Elementwise max over the neighbor axis (graphSAGE-max)."""
+
+    def forward(self, neighbors: np.ndarray) -> np.ndarray:
+        self._input = neighbors
+        self._out = neighbors.max(axis=-2)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        # Route gradient to the (first) argmax along the neighbor axis.
+        is_max = self._input == np.expand_dims(self._out, axis=-2)
+        first_max = np.cumsum(is_max, axis=-2) == 1
+        mask = (is_max & first_max).astype(grad_out.dtype)
+        return mask * np.expand_dims(grad_out, axis=-2)
+
+
+_AGGREGATORS = {"mean": MeanAggregator, "max": MaxPoolAggregator}
+
+
+class SageLayer:
+    """One graphSAGE layer: transform neighbors, aggregate, combine.
+
+    ``h_v' = relu(W_combine @ concat(h_v, Agg(relu(W_pool @ h_u))))``
+    followed by L2 normalization (as in the original graphSAGE).
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        aggregator: str = "max",
+        normalize: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if aggregator not in _AGGREGATORS:
+            raise ConfigurationError(
+                f"unknown aggregator {aggregator!r}; expected one of "
+                f"{sorted(_AGGREGATORS)}"
+            )
+        self.pool = Dense(in_dim, out_dim, activation="relu", seed=seed)
+        self.combine = Dense(in_dim + out_dim, out_dim, activation="relu", seed=seed + 1)
+        self.aggregator = _AGGREGATORS[aggregator]()
+        self.normalize = normalize
+
+    def forward(self, self_feats: np.ndarray, neighbor_feats: np.ndarray) -> np.ndarray:
+        """Forward one hop.
+
+        ``self_feats``: (batch, groups, dim_in)
+        ``neighbor_feats``: (batch, groups, fanout, dim_in)
+        Returns (batch, groups, dim_out).
+        """
+        pooled = self.pool.forward(neighbor_feats)
+        aggregated = self.aggregator.forward(pooled)
+        self._concat = np.concatenate([self_feats, aggregated], axis=-1)
+        out = self.combine.forward(self._concat)
+        if self.normalize:
+            self._norm = np.linalg.norm(out, axis=-1, keepdims=True) + 1e-12
+            self._normed = out / self._norm
+            return self._normed
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Backward one hop; returns (grad_self, grad_neighbors)."""
+        if self.normalize:
+            # d(x/||x||) = (I - nn^T)/||x|| applied to grad
+            dot = np.sum(grad_out * self._normed, axis=-1, keepdims=True)
+            grad_out = (grad_out - self._normed * dot) / self._norm
+        grad_concat = self.combine.backward(grad_out)
+        split = self._concat.shape[-1] - self.pool.out_dim
+        grad_self = grad_concat[..., :split]
+        grad_agg = grad_concat[..., split:]
+        grad_pooled = self.aggregator.backward(grad_agg)
+        grad_neighbors = self.pool.backward(grad_pooled)
+        return grad_self, grad_neighbors
+
+    def step(self, lr: float) -> None:
+        self.pool.step(lr)
+        self.combine.step(lr)
+
+    def layers(self) -> List[Dense]:
+        return [self.pool, self.combine]

@@ -1,0 +1,53 @@
+"""Evaluation metrics for GNN tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def micro_f1(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Micro-averaged F1 for multi-label predictions (PPI-style).
+
+    Both inputs are binary {0,1} arrays of shape (n, num_labels).
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ConfigurationError(
+            f"shape mismatch: {predictions.shape} vs {labels.shape}"
+        )
+    tp = float(np.sum((predictions == 1) & (labels == 1)))
+    fp = float(np.sum((predictions == 1) & (labels == 0)))
+    fn = float(np.sum((predictions == 0) & (labels == 1)))
+    denom = 2 * tp + fp + fn
+    if denom == 0:
+        return 0.0
+    return 2 * tp / denom
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Plain accuracy for single-label predictions."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ConfigurationError(
+            f"shape mismatch: {predictions.shape} vs {labels.shape}"
+        )
+    if predictions.size == 0:
+        return 0.0
+    return float(np.mean(predictions == labels))
+
+
+def hits_at_k(scores: np.ndarray, k: int = 1) -> float:
+    """Link-prediction Hits@K: column 0 holds the positive's score,
+    remaining columns hold negatives. Counts how often the positive
+    ranks in the top K."""
+    scores = np.asarray(scores)
+    if scores.ndim != 2 or scores.shape[1] < 2:
+        raise ConfigurationError("scores must be (batch, 1 + num_negatives)")
+    if not 1 <= k <= scores.shape[1]:
+        raise ConfigurationError(f"k must be in [1, {scores.shape[1]}], got {k}")
+    ranks = (scores > scores[:, :1]).sum(axis=1)  # negatives strictly better
+    return float(np.mean(ranks < k))

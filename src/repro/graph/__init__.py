@@ -1,0 +1,45 @@
+"""Graph substrate: CSR storage, synthetic generators, datasets, partitioning."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    power_law_graph,
+    scaled_synthesis,
+)
+from repro.graph.datasets import (
+    DATASETS,
+    DatasetSpec,
+    get_dataset,
+    instantiate_dataset,
+)
+from repro.graph.hetero import HeteroGraph, make_ecommerce_graph
+from repro.graph.dynamic import DynamicGraph, simulate_growth
+from repro.graph.partition import (
+    HashPartitioner,
+    LdgPartitioner,
+    Partitioner,
+    RangePartitioner,
+    edge_cut_fraction,
+    locality_fraction,
+)
+
+__all__ = [
+    "CSRGraph",
+    "erdos_renyi_graph",
+    "power_law_graph",
+    "scaled_synthesis",
+    "DATASETS",
+    "DatasetSpec",
+    "get_dataset",
+    "instantiate_dataset",
+    "HeteroGraph",
+    "make_ecommerce_graph",
+    "DynamicGraph",
+    "simulate_growth",
+    "HashPartitioner",
+    "LdgPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "edge_cut_fraction",
+    "locality_fraction",
+]

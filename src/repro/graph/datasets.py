@@ -1,0 +1,108 @@
+"""Table 2 dataset registry.
+
+The paper's six benchmark graphs are Alibaba-internal; we register their
+published *specifications* (node count, edge count, attribute length) and
+instantiate scaled-down synthetic graphs with the same shape for
+execution. Full-scale numbers feed the analytical models (footprint,
+throughput projection); the scaled instances feed everything that
+actually samples a graph.
+
+Dataset names follow the paper: first letter is node-count scale, second
+is attribute-length scale (e.g. ``ml`` = medium nodes, large attributes).
+``syn`` is the extra-large synthesized graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import power_law_graph, scaled_synthesis
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Full-scale specification of one Table 2 graph."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    attr_len: int
+    #: True for the paper's ``syn`` graph, built by scaling a smaller
+    #: adjacency structure (we reproduce that construction).
+    synthesized: bool = False
+
+    @property
+    def avg_degree(self) -> float:
+        """Average out-degree of the full-scale graph."""
+        return self.num_edges / self.num_nodes
+
+
+_MILLION = 1_000_000
+_BILLION = 1_000_000_000
+
+#: Published Table 2 configurations.
+DATASETS: Dict[str, DatasetSpec] = {
+    "ss": DatasetSpec("ss", int(65.2 * _MILLION), int(592 * _MILLION), 72),
+    "ls": DatasetSpec("ls", int(1.9 * _BILLION), int(5.2 * _BILLION), 84),
+    "sl": DatasetSpec("sl", int(67.3 * _MILLION), int(601 * _MILLION), 128),
+    "ml": DatasetSpec("ml", int(207 * _MILLION), int(5.7 * _BILLION), 136),
+    "ll": DatasetSpec("ll", int(702 * _MILLION), int(12.3 * _BILLION), 152),
+    "syn": DatasetSpec(
+        "syn", int(5.9 * _BILLION), int(105 * _BILLION), 152, synthesized=True
+    ),
+}
+
+#: Order used by every figure in the paper.
+DATASET_ORDER: Tuple[str, ...] = ("ss", "ls", "sl", "ml", "ll", "syn")
+
+#: Sampling application setup shared by all Table 2 rows (Table 2, "model"
+#: column): 2-hop random sampling, fanout 10 per hop, batch of 512 roots,
+#: negative sample rate 10, hidden/embedding size 128.
+SAMPLING_CONFIG = {
+    "batch_size": 512,
+    "num_hops": 2,
+    "fanouts": (10, 10),
+    "negative_rate": 10,
+    "hidden_size": 128,
+}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a Table 2 dataset spec by name."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; expected one of {sorted(DATASETS)}"
+        ) from None
+
+
+def instantiate_dataset(
+    name: str,
+    max_nodes: int = 100_000,
+    seed: int = 0,
+) -> CSRGraph:
+    """Instantiate a scaled-down executable graph for a Table 2 dataset.
+
+    The instance preserves the full-scale average degree and attribute
+    length; node count is scaled to at most ``max_nodes``. The ``syn``
+    dataset is built the way the paper builds it: synthesize a smaller
+    base graph, then scale its adjacency structure up 4x.
+    """
+    if max_nodes <= 0:
+        raise ConfigurationError(f"max_nodes must be positive, got {max_nodes}")
+    spec = get_dataset(name)
+    num_nodes = min(spec.num_nodes, max_nodes)
+    if spec.synthesized:
+        scale = 4
+        base_nodes = max(1, num_nodes // scale)
+        base = power_law_graph(
+            base_nodes, spec.avg_degree, attr_len=0, seed=seed
+        )
+        return scaled_synthesis(base, scale, attr_len=spec.attr_len, seed=seed)
+    return power_law_graph(
+        num_nodes, spec.avg_degree, attr_len=spec.attr_len, seed=seed
+    )

@@ -1,0 +1,169 @@
+"""Dynamic graph support: streaming edge updates with snapshotting.
+
+E-commerce graphs grow continuously ("the data size keeps expanding",
+§3.1); AliGraph supports dynamic graphs. :class:`DynamicGraph` keeps a
+compact CSR base plus an append-friendly delta, answers neighbor
+queries over the union, and periodically *compacts* the delta into a
+fresh CSR — the standard LSM-like recipe for in-memory graph services.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GraphError
+from repro.graph.csr import CSRGraph
+
+
+class DynamicGraph:
+    """CSR base + delta adjacency with explicit compaction.
+
+    Parameters
+    ----------
+    base:
+        Initial snapshot (may be empty).
+    compact_threshold:
+        Automatic compaction once the delta holds this many edges.
+    """
+
+    def __init__(self, base: CSRGraph, compact_threshold: int = 100_000) -> None:
+        if compact_threshold <= 0:
+            raise ConfigurationError(
+                f"compact_threshold must be positive, got {compact_threshold}"
+            )
+        self._base = base
+        self._delta: Dict[int, List[int]] = defaultdict(list)
+        self._delta_edges = 0
+        self._num_nodes = base.num_nodes
+        self.compact_threshold = compact_threshold
+        self.compactions = 0
+        self.version = 0
+
+    # ------------------------------------------------------------ queries
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self._base.num_edges + self._delta_edges
+
+    @property
+    def delta_edges(self) -> int:
+        """Edges not yet compacted into the CSR base."""
+        return self._delta_edges
+
+    def degree(self, node: int) -> int:
+        self._check_node(node)
+        base_degree = (
+            self._base.degree(node) if node < self._base.num_nodes else 0
+        )
+        return base_degree + len(self._delta.get(node, ()))
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Union of base and delta adjacency (delta edges last)."""
+        self._check_node(node)
+        parts = []
+        if node < self._base.num_nodes:
+            base = self._base.neighbors(node)
+            if base.size:
+                parts.append(base)
+        delta = self._delta.get(node)
+        if delta:
+            parts.append(np.asarray(delta, dtype=np.int64))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._num_nodes:
+            raise GraphError(f"node {node} outside [0, {self._num_nodes})")
+
+    # ------------------------------------------------------------ updates
+    def add_node(self) -> int:
+        """Append a new node; returns its ID."""
+        node = self._num_nodes
+        self._num_nodes += 1
+        return node
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Append a directed edge (src and dst must exist)."""
+        self._check_node(src)
+        self._check_node(dst)
+        self._delta[src].append(dst)
+        self._delta_edges += 1
+        if self._delta_edges >= self.compact_threshold:
+            self.compact()
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> None:
+        for src, dst in edges:
+            self.add_edge(int(src), int(dst))
+
+    # --------------------------------------------------------- compaction
+    def compact(self) -> None:
+        """Merge the delta into a fresh CSR base (a new snapshot)."""
+        if self._delta_edges == 0 and self._base.num_nodes == self._num_nodes:
+            return
+        counts = np.zeros(self._num_nodes, dtype=np.int64)
+        old_n = self._base.num_nodes
+        counts[:old_n] = self._base.degrees()
+        for node, extra in self._delta.items():
+            counts[node] += len(extra)
+        indptr = np.zeros(self._num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        cursor = indptr[:-1].copy()
+        for node in range(old_n):
+            base = self._base.neighbors(node)
+            if base.size:
+                indices[cursor[node] : cursor[node] + base.size] = base
+                cursor[node] += base.size
+        for node, extra in self._delta.items():
+            block = np.asarray(extra, dtype=np.int64)
+            indices[cursor[node] : cursor[node] + block.size] = block
+            cursor[node] += block.size
+        self._base = CSRGraph(indptr, indices)
+        self._delta.clear()
+        self._delta_edges = 0
+        self.compactions += 1
+        self.version += 1
+
+    def snapshot(self) -> CSRGraph:
+        """An immutable CSR of the current state (forces compaction)."""
+        self.compact()
+        return self._base
+
+
+def simulate_growth(
+    graph: DynamicGraph,
+    num_events: int,
+    new_node_probability: float = 0.05,
+    seed: int = 0,
+) -> DynamicGraph:
+    """Replay a preferential-attachment growth trace onto ``graph``.
+
+    Each event either adds a node (with one edge to an existing node)
+    or adds an edge between existing nodes, destinations biased toward
+    low IDs (early nodes are popular, as in real e-commerce graphs).
+    """
+    if not 0.0 <= new_node_probability <= 1.0:
+        raise ConfigurationError(
+            f"new_node_probability must be in [0, 1], got {new_node_probability}"
+        )
+    if graph.num_nodes == 0:
+        raise ConfigurationError("seed graph must have at least one node")
+    rng = np.random.default_rng(seed)
+    for _ in range(num_events):
+        if rng.random() < new_node_probability:
+            new = graph.add_node()
+            target = int(rng.integers(0, new))
+            graph.add_edge(new, target)
+        else:
+            src = int(rng.integers(0, graph.num_nodes))
+            # Zipf-biased destination: early IDs attract more edges.
+            dst = int(rng.zipf(1.8)) % graph.num_nodes
+            graph.add_edge(src, dst)
+    return graph

@@ -1,0 +1,249 @@
+"""Heterogeneous graph support.
+
+AliGraph "supports a large variety of GNN models, including
+heterogeneous graph and dynamic graph" (§2.4); e-commerce graphs mix
+node types (user, item, shop) and edge types (click, buy, ...). A
+:class:`HeteroGraph` stores one CSR relation per (src_type, edge_type,
+dst_type) triple with per-type attribute tables, and supports typed
+neighbor sampling via metapaths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GraphError
+from repro.graph.csr import CSRGraph
+
+
+#: A relation key: (source node type, edge type, destination node type).
+Relation = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class NodeTypeInfo:
+    """Per-node-type metadata."""
+
+    name: str
+    num_nodes: int
+    attr_len: int
+
+
+class HeteroGraph:
+    """Typed multi-relation graph.
+
+    Parameters
+    ----------
+    node_types:
+        ``{type_name: (num_nodes, attr_len)}``.
+    relations:
+        ``{(src_type, edge_type, dst_type): CSRGraph}`` where each
+        relation's CSR is indexed by the source type's node IDs and its
+        ``indices`` contain destination-type node IDs.
+    seed:
+        Seed for generated attribute tables.
+    """
+
+    def __init__(
+        self,
+        node_types: Mapping[str, Tuple[int, int]],
+        relations: Mapping[Relation, CSRGraph],
+        seed: int = 0,
+    ) -> None:
+        if not node_types:
+            raise ConfigurationError("at least one node type is required")
+        rng = np.random.default_rng(seed)
+        self.node_types: Dict[str, NodeTypeInfo] = {}
+        self._attrs: Dict[str, Optional[np.ndarray]] = {}
+        for name, (num_nodes, attr_len) in node_types.items():
+            if num_nodes <= 0 or attr_len < 0:
+                raise ConfigurationError(
+                    f"node type {name!r}: num_nodes must be positive and "
+                    f"attr_len non-negative"
+                )
+            self.node_types[name] = NodeTypeInfo(name, num_nodes, attr_len)
+            self._attrs[name] = (
+                rng.standard_normal((num_nodes, attr_len)).astype(np.float32)
+                if attr_len
+                else None
+            )
+        self.relations: Dict[Relation, CSRGraph] = {}
+        for key, csr in relations.items():
+            self._validate_relation(key, csr)
+            self.relations[key] = csr
+
+    def _validate_relation(self, key: Relation, csr: CSRGraph) -> None:
+        if len(key) != 3:
+            raise ConfigurationError(f"relation key must be a 3-tuple, got {key}")
+        src_type, _edge_type, dst_type = key
+        if src_type not in self.node_types:
+            raise ConfigurationError(f"unknown source node type {src_type!r}")
+        if dst_type not in self.node_types:
+            raise ConfigurationError(f"unknown destination node type {dst_type!r}")
+        if csr.num_nodes != self.node_types[src_type].num_nodes:
+            raise GraphError(
+                f"relation {key}: CSR has {csr.num_nodes} sources, node "
+                f"type {src_type!r} has {self.node_types[src_type].num_nodes}"
+            )
+        if csr.num_edges and csr.indices.max() >= self.node_types[dst_type].num_nodes:
+            raise GraphError(
+                f"relation {key}: destination IDs exceed node type "
+                f"{dst_type!r}'s {self.node_types[dst_type].num_nodes} nodes"
+            )
+
+    # ------------------------------------------------------------- access
+    def relation(self, key: Relation) -> CSRGraph:
+        """The CSR for one relation."""
+        try:
+            return self.relations[key]
+        except KeyError:
+            raise GraphError(
+                f"unknown relation {key}; have {sorted(self.relations)}"
+            ) from None
+
+    def neighbors(self, key: Relation, node: int) -> np.ndarray:
+        """Typed adjacency: destinations of ``node`` under ``key``."""
+        return self.relation(key).neighbors(node)
+
+    def attributes(self, node_type: str, nodes: Sequence[int]) -> np.ndarray:
+        """Attribute rows for nodes of one type."""
+        table = self._attrs.get(node_type)
+        if table is None:
+            raise GraphError(f"node type {node_type!r} carries no attributes")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size and (
+            nodes.min() < 0 or nodes.max() >= self.node_types[node_type].num_nodes
+        ):
+            raise GraphError(f"node IDs outside type {node_type!r}'s range")
+        return table[nodes]
+
+    def relations_from(self, src_type: str) -> List[Relation]:
+        """All relations whose source is ``src_type``."""
+        return [key for key in self.relations if key[0] == src_type]
+
+    # ----------------------------------------------------------- sampling
+    def sample_metapath(
+        self,
+        roots: np.ndarray,
+        metapath: Sequence[Relation],
+        fanouts: Sequence[int],
+        rng: np.random.Generator,
+        selector=None,
+    ) -> List[np.ndarray]:
+        """Sample along a metapath (e.g. user-click-item, item-by-shop).
+
+        Returns one layer per metapath step; layer ``k`` has shape
+        ``(batch, prod(fanouts[:k]))`` of destination-type node IDs.
+        Consecutive relations must type-chain (dst of step k == src of
+        step k+1). Zero-degree nodes self-loop (the destination falls
+        back to the source only if types match; otherwise a uniform
+        random destination-type node is drawn, modeling AliGraph's
+        fallback negative fill).
+        """
+        from repro.framework.selectors import select_uniform
+
+        if len(metapath) != len(fanouts):
+            raise ConfigurationError("metapath and fanouts lengths differ")
+        if not metapath:
+            raise ConfigurationError("metapath must not be empty")
+        for earlier, later in zip(metapath, metapath[1:]):
+            if earlier[2] != later[0]:
+                raise ConfigurationError(
+                    f"metapath does not chain: {earlier} -> {later}"
+                )
+        selector = selector or select_uniform
+        roots = np.asarray(roots, dtype=np.int64)
+        layers: List[np.ndarray] = [roots.copy()]
+        frontier = roots.reshape(roots.size, 1)
+        for key, fanout in zip(metapath, fanouts):
+            csr = self.relation(key)
+            dst_nodes = self.node_types[key[2]].num_nodes
+            same_type = key[0] == key[2]
+            out = np.empty((roots.size, frontier.shape[1] * fanout), dtype=np.int64)
+            for row in range(roots.size):
+                groups = []
+                for node in frontier[row]:
+                    neighbors = csr.neighbors(int(node))
+                    if neighbors.size == 0:
+                        if same_type:
+                            groups.append(np.full(fanout, node, dtype=np.int64))
+                        else:
+                            groups.append(
+                                rng.integers(0, dst_nodes, size=fanout)
+                            )
+                    else:
+                        groups.append(
+                            np.asarray(
+                                selector(neighbors, fanout, rng), dtype=np.int64
+                            )
+                        )
+                out[row] = np.concatenate(groups)
+            layers.append(out)
+            frontier = out
+        return layers
+
+
+def make_ecommerce_graph(
+    num_users: int = 1000,
+    num_items: int = 2000,
+    num_shops: int = 50,
+    clicks_per_user: float = 8.0,
+    buys_per_user: float = 2.0,
+    user_attr_len: int = 16,
+    item_attr_len: int = 32,
+    shop_attr_len: int = 8,
+    seed: int = 0,
+) -> HeteroGraph:
+    """A synthetic e-commerce heterogeneous graph (user/item/shop).
+
+    Relations: user -click-> item, user -buy-> item, item -in-> shop,
+    shop -sells-> item. Popular items attract most clicks (Zipf-like),
+    matching the skew the paper's workloads exhibit.
+    """
+    if min(num_users, num_items, num_shops) <= 0:
+        raise ConfigurationError("all node counts must be positive")
+    rng = np.random.default_rng(seed)
+
+    def zipf_targets(count, total):
+        weights = 1.0 / np.arange(1, total + 1)
+        weights /= weights.sum()
+        return rng.choice(total, size=count, replace=True, p=weights)
+
+    def behavior_relation(rate):
+        degrees = rng.poisson(rate, size=num_users)
+        indptr = np.zeros(num_users + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = zipf_targets(int(degrees.sum()), num_items).astype(np.int64)
+        return CSRGraph(indptr, indices, num_dst_nodes=num_items)
+
+    item_shop = rng.integers(0, num_shops, size=num_items)
+    item_in_shop = CSRGraph(
+        np.arange(num_items + 1, dtype=np.int64),
+        item_shop.astype(np.int64),
+        num_dst_nodes=num_shops,
+    )
+    order = np.argsort(item_shop, kind="stable")
+    counts = np.bincount(item_shop, minlength=num_shops)
+    shop_indptr = np.zeros(num_shops + 1, dtype=np.int64)
+    np.cumsum(counts, out=shop_indptr[1:])
+    shop_sells = CSRGraph(
+        shop_indptr, order.astype(np.int64), num_dst_nodes=num_items
+    )
+
+    return HeteroGraph(
+        node_types={
+            "user": (num_users, user_attr_len),
+            "item": (num_items, item_attr_len),
+            "shop": (num_shops, shop_attr_len),
+        },
+        relations={
+            ("user", "click", "item"): behavior_relation(clicks_per_user),
+            ("user", "buy", "item"): behavior_relation(buys_per_user),
+            ("item", "in", "shop"): item_in_shop,
+            ("shop", "sells", "item"): shop_sells,
+        },
+        seed=seed,
+    )

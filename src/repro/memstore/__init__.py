@@ -1,0 +1,26 @@
+"""Distributed in-memory storage substrate and its performance models."""
+
+from repro.memstore.layout import FootprintModel, FootprintReport
+from repro.memstore.links import LINK_PRESETS, LinkModel, get_link
+from repro.memstore.outstanding import (
+    outstanding_requests_needed,
+    outstanding_table,
+    achieved_bandwidth,
+)
+from repro.memstore.index import ExternalIdIndex
+from repro.memstore.store import AccessKind, AccessRecord, PartitionedStore
+
+__all__ = [
+    "FootprintModel",
+    "FootprintReport",
+    "LINK_PRESETS",
+    "LinkModel",
+    "get_link",
+    "outstanding_requests_needed",
+    "outstanding_table",
+    "achieved_bandwidth",
+    "ExternalIdIndex",
+    "AccessKind",
+    "AccessRecord",
+    "PartitionedStore",
+]

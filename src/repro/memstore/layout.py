@@ -1,0 +1,141 @@
+"""Memory footprint model for the distributed graph store (Figure 2a).
+
+Full-scale footprints are computed analytically from the Table 2 specs.
+The model accounts for what an in-memory graph service actually stores:
+
+* graph structure: one 8-byte offset per node plus one 8-byte neighbor ID
+  per edge;
+* a per-node index entry (hash bucket + pointers) so arbitrary 64-bit
+  external IDs resolve to storage offsets;
+* node attributes as float32 rows, inflated by a serialization/alignment
+  multiplier (AliGraph stores attributes with framing and type tags, and
+  keeps slack for in-place updates).
+
+The same model yields the "minimal number of servers" bars in Figure 2(a)
+given a per-server usable memory capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.graph.datasets import DatasetSpec
+from repro.units import GB, format_bytes
+
+
+@dataclass(frozen=True)
+class FootprintReport:
+    """Footprint breakdown for one dataset at full scale."""
+
+    name: str
+    structure_bytes: int
+    index_bytes: int
+    attribute_bytes: int
+    min_servers: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Total in-memory footprint."""
+        return self.structure_bytes + self.index_bytes + self.attribute_bytes
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: total={format_bytes(self.total_bytes)} "
+            f"(structure={format_bytes(self.structure_bytes)}, "
+            f"index={format_bytes(self.index_bytes)}, "
+            f"attributes={format_bytes(self.attribute_bytes)}), "
+            f"min_servers={self.min_servers}"
+        )
+
+
+class FootprintModel:
+    """Analytical footprint model.
+
+    Parameters
+    ----------
+    bytes_per_offset:
+        CSR offset entry size per node.
+    bytes_per_edge:
+        Neighbor ID size per edge.
+    index_bytes_per_node:
+        Hash-index overhead per node (bucket entry, external ID, pointer).
+    attr_value_bytes:
+        Bytes per attribute element (float32).
+    attr_overhead:
+        Multiplier on raw attribute bytes for serialization/alignment.
+    server_capacity_bytes:
+        Usable DRAM per server for graph data.
+    """
+
+    def __init__(
+        self,
+        bytes_per_offset: int = 8,
+        bytes_per_edge: int = 8,
+        index_bytes_per_node: int = 64,
+        attr_value_bytes: int = 4,
+        attr_overhead: float = 2.0,
+        server_capacity_bytes: int = 640 * GB,
+    ) -> None:
+        if min(bytes_per_offset, bytes_per_edge, index_bytes_per_node) < 0:
+            raise ConfigurationError("per-item byte sizes must be non-negative")
+        if attr_value_bytes <= 0:
+            raise ConfigurationError(
+                f"attr_value_bytes must be positive, got {attr_value_bytes}"
+            )
+        if attr_overhead < 1.0:
+            raise ConfigurationError(
+                f"attr_overhead must be >= 1.0, got {attr_overhead}"
+            )
+        if server_capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"server_capacity_bytes must be positive, got {server_capacity_bytes}"
+            )
+        self.bytes_per_offset = bytes_per_offset
+        self.bytes_per_edge = bytes_per_edge
+        self.index_bytes_per_node = index_bytes_per_node
+        self.attr_value_bytes = attr_value_bytes
+        self.attr_overhead = attr_overhead
+        self.server_capacity_bytes = server_capacity_bytes
+
+    def structure_bytes(self, spec: DatasetSpec) -> int:
+        """Bytes for CSR offsets and neighbor IDs."""
+        return (
+            spec.num_nodes * self.bytes_per_offset
+            + spec.num_edges * self.bytes_per_edge
+        )
+
+    def index_bytes(self, spec: DatasetSpec) -> int:
+        """Bytes for the node-ID hash index."""
+        return spec.num_nodes * self.index_bytes_per_node
+
+    def attribute_bytes(self, spec: DatasetSpec) -> int:
+        """Bytes for node attributes including serialization overhead."""
+        raw = spec.num_nodes * spec.attr_len * self.attr_value_bytes
+        return int(raw * self.attr_overhead)
+
+    def report(self, spec: DatasetSpec) -> FootprintReport:
+        """Full footprint breakdown plus minimal server count."""
+        structure = self.structure_bytes(spec)
+        index = self.index_bytes(spec)
+        attrs = self.attribute_bytes(spec)
+        total = structure + index + attrs
+        min_servers = -(-total // self.server_capacity_bytes)  # ceil division
+        return FootprintReport(spec.name, structure, index, attrs, int(min_servers))
+
+    def min_servers(self, spec: DatasetSpec) -> int:
+        """Minimal number of servers to hold the dataset in memory."""
+        return self.report(spec).min_servers
+
+    def min_instances(self, spec: DatasetSpec, instance_memory_bytes: int) -> int:
+        """Minimal number of cloud instances with the given DRAM quota.
+
+        Figure 20 counts instances (whose memory quota is far below a
+        physical server's) rather than physical servers.
+        """
+        if instance_memory_bytes <= 0:
+            raise ConfigurationError(
+                f"instance_memory_bytes must be positive, got {instance_memory_bytes}"
+            )
+        total = self.report(spec).total_bytes
+        return int(-(-total // instance_memory_bytes))

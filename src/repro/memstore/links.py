@@ -1,0 +1,125 @@
+"""Interconnect latency/bandwidth models (Figure 2d).
+
+A :class:`LinkModel` captures one memory path (direct DRAM, PCIe host
+DRAM, RDMA remote DRAM, the custom MoF fabric, ...) with a fixed base
+round-trip latency, a peak bandwidth, and a per-request packet overhead.
+From those three numbers it derives:
+
+* round-trip latency as a function of request size,
+* effective bandwidth at a given concurrency (outstanding requests),
+* the synchronous (concurrency 1) bandwidth that makes fine-grained
+  remote access look 100x worse than peak, as the paper measures.
+
+Preset link parameters are calibrated to the published points in
+Figure 2(d) / Table 8 and to common MVAPICH-style microbenchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.units import GB, NS, US
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """One memory/interconnect path.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    base_latency_s:
+        Zero-byte round-trip latency in seconds.
+    peak_bandwidth:
+        Peak data bandwidth in bytes/second.
+    packet_overhead_bytes:
+        Per-request header/DLLP-style overhead that consumes link
+        bandwidth but carries no payload.
+    """
+
+    name: str
+    base_latency_s: float
+    peak_bandwidth: float
+    packet_overhead_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_latency_s <= 0:
+            raise ConfigurationError(
+                f"base_latency_s must be positive, got {self.base_latency_s}"
+            )
+        if self.peak_bandwidth <= 0:
+            raise ConfigurationError(
+                f"peak_bandwidth must be positive, got {self.peak_bandwidth}"
+            )
+        if self.packet_overhead_bytes < 0:
+            raise ConfigurationError(
+                f"packet_overhead_bytes must be non-negative, "
+                f"got {self.packet_overhead_bytes}"
+            )
+
+    def latency(self, request_bytes: int) -> float:
+        """Round-trip latency for one request of ``request_bytes``."""
+        if request_bytes < 0:
+            raise ConfigurationError(
+                f"request_bytes must be non-negative, got {request_bytes}"
+            )
+        wire_bytes = request_bytes + self.packet_overhead_bytes
+        return self.base_latency_s + wire_bytes / self.peak_bandwidth
+
+    def effective_bandwidth(self, request_bytes: int, outstanding: int = 1) -> float:
+        """Payload bandwidth with ``outstanding`` concurrent requests.
+
+        Little's law bounds the request rate at
+        ``outstanding / latency``; the wire bounds it at
+        ``peak / (payload + overhead)``. Payload bandwidth is the minimum
+        of the two times the payload size.
+        """
+        if request_bytes <= 0:
+            raise ConfigurationError(
+                f"request_bytes must be positive, got {request_bytes}"
+            )
+        if outstanding <= 0:
+            raise ConfigurationError(
+                f"outstanding must be positive, got {outstanding}"
+            )
+        latency_bound = outstanding / self.latency(request_bytes)
+        wire_bytes = request_bytes + self.packet_overhead_bytes
+        wire_bound = self.peak_bandwidth / wire_bytes
+        return min(latency_bound, wire_bound) * request_bytes
+
+    def utilization(self, request_bytes: int, outstanding: int = 1) -> float:
+        """Fraction of peak bandwidth achieved (payload only)."""
+        return self.effective_bandwidth(request_bytes, outstanding) / self.peak_bandwidth
+
+
+#: Calibrated presets. Latencies follow the Figure 2(d) ordering:
+#: direct DRAM << PCIe host DRAM << RDMA remote DRAM, with the custom
+#: MoF fabric between PCIe and RDMA but with far higher bandwidth.
+LINK_PRESETS: Dict[str, LinkModel] = {
+    # One DDR4-1600 channel as seen by an on-chip master.
+    "local_dram": LinkModel("local_dram", 90 * NS, 12.8 * GB, 0),
+    # Four-channel FPGA-local DDR4 (Table 8 mem-opt: 102.4 GB/s).
+    "fpga_local_dram": LinkModel("fpga_local_dram", 150 * NS, 102.4 * GB, 0),
+    # Host DRAM reached over PCIe Gen3 x16 (Table 8: 16 GB/s).
+    "pcie_host_dram": LinkModel("pcie_host_dram", 900 * NS, 16 * GB, 24),
+    # Remote DRAM over a kernel-bypass RDMA NIC (100GbE class).
+    "rdma_remote_dram": LinkModel("rdma_remote_dram", 3 * US, 12.5 * GB, 64),
+    # Remote DRAM over the NIC *with* host software on the path (the
+    # AliGraph baseline's gRPC-style stack).
+    "sw_remote_dram": LinkModel("sw_remote_dram", 25 * US, 12.5 * GB, 96),
+    # The customized Memory-over-Fabric link (Table 8: 100 GB/s).
+    "mof_fabric": LinkModel("mof_fabric", 1.2 * US, 100 * GB, 8),
+}
+
+
+def get_link(name: str) -> LinkModel:
+    """Look up a preset link model by name."""
+    try:
+        return LINK_PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown link {name!r}; expected one of {sorted(LINK_PRESETS)}"
+        ) from None

@@ -1,0 +1,96 @@
+"""Outstanding-request demand model (Equation 3, Figure 2e).
+
+The paper sizes the number of AxE cores from the number of in-flight
+requests needed to keep a link busy:
+
+    O_i = B_i / (sum_k C_k * P_k) * L_i
+
+where ``B_i`` is the link's effective bandwidth, ``L_i`` its round-trip
+latency, and ``sum_k C_k * P_k`` the mean request size over the access
+mix. This is Little's law with the request rate expressed as
+bandwidth / mean request size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.memstore.links import LinkModel
+
+
+def mean_request_bytes(access_mix: Mapping[int, float]) -> float:
+    """Mean request size of an access mix ``{size_bytes: probability}``."""
+    if not access_mix:
+        raise ConfigurationError("access mix must not be empty")
+    total_p = 0.0
+    mean = 0.0
+    for size, probability in access_mix.items():
+        if size <= 0:
+            raise ConfigurationError(f"request size must be positive, got {size}")
+        if probability < 0:
+            raise ConfigurationError(
+                f"probability must be non-negative, got {probability}"
+            )
+        total_p += probability
+        mean += size * probability
+    if total_p <= 0:
+        raise ConfigurationError("access mix probabilities sum to zero")
+    return mean / total_p
+
+
+def outstanding_requests_needed(
+    bandwidth: float,
+    latency_s: float,
+    access_mix: Mapping[int, float],
+) -> float:
+    """Equation 3: in-flight requests needed to sustain ``bandwidth``."""
+    if bandwidth <= 0:
+        raise ConfigurationError(f"bandwidth must be positive, got {bandwidth}")
+    if latency_s <= 0:
+        raise ConfigurationError(f"latency must be positive, got {latency_s}")
+    return bandwidth / mean_request_bytes(access_mix) * latency_s
+
+
+def outstanding_for_link(
+    link: LinkModel,
+    access_mix: Mapping[int, float],
+    target_bandwidth: float = 0.0,
+) -> float:
+    """Outstanding requests to fill ``link`` (or ``target_bandwidth``)."""
+    bandwidth = target_bandwidth if target_bandwidth > 0 else link.peak_bandwidth
+    mean = mean_request_bytes(access_mix)
+    return outstanding_requests_needed(
+        bandwidth, link.latency(int(round(mean))), access_mix
+    )
+
+
+def achieved_bandwidth(
+    link: LinkModel,
+    access_mix: Mapping[int, float],
+    outstanding: int,
+) -> float:
+    """Payload bandwidth achieved with a fixed concurrency budget."""
+    mean = max(1, int(round(mean_request_bytes(access_mix))))
+    return link.effective_bandwidth(mean, outstanding)
+
+
+def outstanding_table(
+    links: Sequence[LinkModel],
+    bandwidth_targets: Sequence[float],
+    access_mix: Mapping[int, float],
+) -> Dict[str, Dict[float, float]]:
+    """Figure 2(e): required outstanding requests per (link, target BW).
+
+    Returns ``{link_name: {target_bandwidth: outstanding}}``.
+    """
+    table: Dict[str, Dict[float, float]] = {}
+    mean = int(round(mean_request_bytes(access_mix)))
+    for link in links:
+        row: Dict[float, float] = {}
+        for target in bandwidth_targets:
+            row[target] = outstanding_requests_needed(
+                target, link.latency(mean), access_mix
+            )
+        table[link.name] = row
+    return table

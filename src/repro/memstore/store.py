@@ -1,0 +1,205 @@
+"""Partitioned in-memory graph store.
+
+This is the execution substrate standing in for AliGraph's distributed
+graph service: the graph physically lives in one process here, but every
+access is attributed to the partition that owns the data, and recorded
+as either a fine-grained *structure* access (index lookup, CSR offsets,
+neighbor IDs) or a bulk *attribute* access. The resulting trace drives
+the Figure 2(c) access-mix characterization and the performance models.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import Partitioner
+
+
+class AccessKind(enum.Enum):
+    """What a memory access fetched."""
+
+    #: Index lookups, CSR offsets, neighbor-ID reads: 8-64B indirect.
+    STRUCTURE = "structure"
+    #: Node attribute rows: attr_len * 4 bytes each.
+    ATTRIBUTE = "attribute"
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One logical memory access issued by the sampler."""
+
+    kind: AccessKind
+    nbytes: int
+    local: bool
+
+
+@dataclass
+class AccessSummary:
+    """Aggregated access statistics."""
+
+    structure_count: int = 0
+    structure_bytes: int = 0
+    attribute_count: int = 0
+    attribute_bytes: int = 0
+    remote_count: int = 0
+    remote_bytes: int = 0
+
+    @property
+    def total_count(self) -> int:
+        return self.structure_count + self.attribute_count
+
+    @property
+    def total_bytes(self) -> int:
+        return self.structure_bytes + self.attribute_bytes
+
+    @property
+    def structure_count_fraction(self) -> float:
+        """Fraction of accesses that are fine-grained structure accesses
+        (the ~48% average of Figure 2c)."""
+        if self.total_count == 0:
+            return 0.0
+        return self.structure_count / self.total_count
+
+    @property
+    def remote_count_fraction(self) -> float:
+        if self.total_count == 0:
+            return 0.0
+        return self.remote_count / self.total_count
+
+    @property
+    def remote_bytes_fraction(self) -> float:
+        if self.total_bytes == 0:
+            return 0.0
+        return self.remote_bytes / self.total_bytes
+
+
+class PartitionedStore:
+    """Graph storage sharded across ``partitioner.num_partitions`` servers.
+
+    Parameters
+    ----------
+    graph:
+        The (scaled) dataset instance.
+    partitioner:
+        Node-to-server ownership map.
+    index_entry_bytes:
+        Size of one node-index lookup (hash bucket entry).
+    offset_entry_bytes:
+        Size of one CSR offset-pair read.
+    id_bytes:
+        Size of one neighbor ID on the wire.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        partitioner: Partitioner,
+        index_entry_bytes: int = 16,
+        offset_entry_bytes: int = 16,
+        id_bytes: int = 8,
+    ) -> None:
+        self.graph = graph
+        self.partitioner = partitioner
+        self.index_entry_bytes = index_entry_bytes
+        self.offset_entry_bytes = offset_entry_bytes
+        self.id_bytes = id_bytes
+        self._trace: List[AccessRecord] = []
+        self._summary = AccessSummary()
+        self.tracing = False
+
+    @property
+    def num_partitions(self) -> int:
+        return self.partitioner.num_partitions
+
+    # ---------------------------------------------------------------- trace
+    def reset_trace(self) -> None:
+        """Clear the recorded trace and summary."""
+        self._trace.clear()
+        self._summary = AccessSummary()
+
+    @property
+    def trace(self) -> Tuple[AccessRecord, ...]:
+        """Recorded per-access trace (only populated when ``tracing``)."""
+        return tuple(self._trace)
+
+    @property
+    def summary(self) -> AccessSummary:
+        """Aggregated access statistics since the last reset."""
+        return self._summary
+
+    def _record(self, kind: AccessKind, nbytes: int, local: bool) -> None:
+        if kind is AccessKind.STRUCTURE:
+            self._summary.structure_count += 1
+            self._summary.structure_bytes += nbytes
+        else:
+            self._summary.attribute_count += 1
+            self._summary.attribute_bytes += nbytes
+        if not local:
+            self._summary.remote_count += 1
+            self._summary.remote_bytes += nbytes
+        if self.tracing:
+            self._trace.append(AccessRecord(kind, nbytes, local))
+
+    def _locality(self, nodes: np.ndarray, from_partition: Optional[int]) -> np.ndarray:
+        if from_partition is None:
+            return np.ones(nodes.shape, dtype=bool)
+        return self.partitioner.owned_mask(nodes, from_partition)
+
+    # --------------------------------------------------------------- access
+    def get_neighbors(
+        self, node: int, from_partition: Optional[int] = None
+    ) -> np.ndarray:
+        """Adjacency list of ``node``.
+
+        Issues one index lookup, one offset-pair read, and one ID-block
+        read, each attributed local or remote relative to
+        ``from_partition`` (``None`` means measure everything as local,
+        e.g. a single-server deployment).
+        """
+        local = bool(
+            self._locality(np.asarray([node], dtype=np.int64), from_partition)[0]
+        )
+        neighbors = self.graph.neighbors(node)
+        self._record(AccessKind.STRUCTURE, self.index_entry_bytes, local)
+        self._record(AccessKind.STRUCTURE, self.offset_entry_bytes, local)
+        if neighbors.size:
+            self._record(AccessKind.STRUCTURE, int(neighbors.size) * self.id_bytes, local)
+        return neighbors
+
+    def get_neighbors_batch(
+        self, nodes: Sequence[int], from_partition: Optional[int] = None
+    ) -> List[np.ndarray]:
+        """Adjacency lists for a batch of nodes."""
+        return [self.get_neighbors(int(v), from_partition) for v in nodes]
+
+    def get_attributes(
+        self, nodes: Sequence[int], from_partition: Optional[int] = None
+    ) -> np.ndarray:
+        """Attribute rows for ``nodes``.
+
+        Each node costs one index lookup (structure) plus one attribute
+        row transfer.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        locality = self._locality(nodes, from_partition)
+        row_bytes = self.graph.attr_len * 4
+        for local in locality:
+            self._record(AccessKind.STRUCTURE, self.index_entry_bytes, bool(local))
+            self._record(AccessKind.ATTRIBUTE, row_bytes, bool(local))
+        return self.graph.attributes(nodes)
+
+    def partition_sizes(self) -> np.ndarray:
+        """Number of nodes owned by each partition."""
+        owners = self.partitioner.partition_of(
+            np.arange(self.graph.num_nodes, dtype=np.int64)
+        )
+        counts = np.bincount(owners, minlength=self.num_partitions)
+        if counts.size > self.num_partitions:
+            raise PartitionError("partitioner produced out-of-range partition IDs")
+        return counts

@@ -1,0 +1,165 @@
+"""Base-Delta-Immediate (BDI) compression (Tech-2 of the MoF design).
+
+Fine-grained remote reads spend comparable wire bytes on 64-bit
+addresses as on data, so MoF compresses both with BDI: each block is
+encoded as one base value plus narrow deltas when all elements are
+close to the base. This is a faithful, lossless implementation: blocks
+compress to a header byte + base + deltas, or fall back to raw bytes.
+
+Encodings tried per block, best (smallest) wins:
+  zeros        - all-zero block, 1 byte
+  repeat8      - one repeated 8-byte value
+  base8-delta{1,2,4} - 8-byte base, per-element narrow deltas
+  base4-delta{1,2}   - 4-byte base over 4-byte elements
+  raw          - uncompressed fallback
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProtocolError
+
+_BLOCK_BYTES = 64
+
+# encoding id -> (element_bytes, delta_bytes); raw/zeros/repeat special.
+_ENCODINGS = {
+    2: (8, 1),
+    3: (8, 2),
+    4: (8, 4),
+    5: (4, 1),
+    6: (4, 2),
+}
+_ZEROS, _REPEAT, _RAW = 0, 1, 7
+
+
+def _pad_block(block: bytes) -> bytes:
+    if len(block) < _BLOCK_BYTES:
+        return block + b"\x00" * (_BLOCK_BYTES - len(block))
+    return block
+
+
+def _try_fixed(block: bytes) -> Tuple[int, bytes]:
+    """Try the zeros/repeat encodings; return (encoding, payload) or raw."""
+    if block == b"\x00" * _BLOCK_BYTES:
+        return _ZEROS, b""
+    first = block[:8]
+    if block == first * (_BLOCK_BYTES // 8):
+        return _REPEAT, first
+    return _RAW, block
+
+
+def _try_base_delta(block: bytes, element_bytes: int, delta_bytes: int) -> bytes:
+    """Return the encoded payload, or ``None`` if deltas do not fit."""
+    count = _BLOCK_BYTES // element_bytes
+    fmt = {4: "<%di" % count, 8: "<%dq" % count}[element_bytes]
+    # Interpret elements as unsigned for the base, signed deltas.
+    raw_fmt = {4: "<%dI" % count, 8: "<%dQ" % count}[element_bytes]
+    values = struct.unpack(raw_fmt, block)
+    base = values[0]
+    limit = 1 << (8 * delta_bytes - 1)
+    deltas = []
+    for value in values:
+        delta = value - base
+        # Wrap into signed range of the element width first.
+        mod = 1 << (8 * element_bytes)
+        delta = (delta + mod // 2) % mod - mod // 2
+        if not -limit <= delta < limit:
+            return None
+        deltas.append(delta)
+    base_bytes = base.to_bytes(element_bytes, "little")
+    delta_fmt = {1: "<%db" % count, 2: "<%dh" % count, 4: "<%di" % count}[delta_bytes]
+    return base_bytes + struct.pack(delta_fmt, *deltas)
+
+
+def compress_block(block: bytes) -> bytes:
+    """Compress one 64B block; returns header byte + payload."""
+    if len(block) > _BLOCK_BYTES:
+        raise ConfigurationError(
+            f"block must be at most {_BLOCK_BYTES} bytes, got {len(block)}"
+        )
+    block = _pad_block(bytes(block))
+    best_encoding, best_payload = _try_fixed(block)
+    if best_encoding == _RAW:
+        for encoding, (element_bytes, delta_bytes) in _ENCODINGS.items():
+            payload = _try_base_delta(block, element_bytes, delta_bytes)
+            if payload is not None and (
+                best_encoding == _RAW or len(payload) < len(best_payload)
+            ):
+                best_encoding, best_payload = encoding, payload
+    return bytes([best_encoding]) + best_payload
+
+
+def decompress_block(encoded: bytes) -> bytes:
+    """Invert :func:`compress_block`; always returns 64 bytes."""
+    if not encoded:
+        raise ProtocolError("empty encoded block")
+    encoding, payload = encoded[0], encoded[1:]
+    if encoding == _ZEROS:
+        return b"\x00" * _BLOCK_BYTES
+    if encoding == _REPEAT:
+        if len(payload) != 8:
+            raise ProtocolError("repeat encoding needs an 8-byte payload")
+        return payload * (_BLOCK_BYTES // 8)
+    if encoding == _RAW:
+        if len(payload) != _BLOCK_BYTES:
+            raise ProtocolError("raw encoding needs a 64-byte payload")
+        return payload
+    if encoding not in _ENCODINGS:
+        raise ProtocolError(f"unknown BDI encoding {encoding}")
+    element_bytes, delta_bytes = _ENCODINGS[encoding]
+    count = _BLOCK_BYTES // element_bytes
+    expected = element_bytes + count * delta_bytes
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"encoding {encoding} expects {expected} payload bytes, "
+            f"got {len(payload)}"
+        )
+    base = int.from_bytes(payload[:element_bytes], "little")
+    delta_fmt = {1: "<%db" % count, 2: "<%dh" % count, 4: "<%di" % count}[delta_bytes]
+    deltas = struct.unpack(delta_fmt, payload[element_bytes:])
+    mod = 1 << (8 * element_bytes)
+    values = [(base + delta) % mod for delta in deltas]
+    raw_fmt = {4: "<%dI" % count, 8: "<%dQ" % count}[element_bytes]
+    return struct.pack(raw_fmt, *values)
+
+
+def bdi_compress(data: bytes) -> List[bytes]:
+    """Compress arbitrary data as a list of encoded 64B blocks."""
+    data = bytes(data)
+    if not data:
+        raise ConfigurationError("cannot compress empty data")
+    return [
+        compress_block(data[offset : offset + _BLOCK_BYTES])
+        for offset in range(0, len(data), _BLOCK_BYTES)
+    ]
+
+
+def bdi_decompress(blocks: List[bytes], original_length: int) -> bytes:
+    """Invert :func:`bdi_compress` (original length trims the padding)."""
+    if original_length < 0:
+        raise ConfigurationError("original_length must be non-negative")
+    out = b"".join(decompress_block(block) for block in blocks)
+    if original_length > len(out):
+        raise ProtocolError(
+            f"original_length {original_length} exceeds decoded size {len(out)}"
+        )
+    return out[:original_length]
+
+
+def compressed_size(data: bytes) -> int:
+    """Total encoded bytes for ``data`` under BDI."""
+    return sum(len(block) for block in bdi_compress(data))
+
+
+def compress_addresses(addresses: np.ndarray) -> int:
+    """Compressed byte size of a 64-bit address vector (Tech-2).
+
+    Sampling requests target a handful of memory regions, so addresses
+    cluster tightly around per-region bases — exactly BDI's sweet spot.
+    """
+    addresses = np.ascontiguousarray(np.asarray(addresses, dtype=np.uint64))
+    return compressed_size(addresses.tobytes())

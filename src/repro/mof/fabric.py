@@ -1,0 +1,66 @@
+"""MoF fabric link model: QSFP-DD channels carrying MoF frames.
+
+The PoC connects 4 FPGA cards point-to-point over Direct Attach Copper
+with 3x QSFP-DD cages per card (200Gb/s each). This module converts the
+frame-level accounting of :mod:`repro.mof.frames` into an effective
+payload bandwidth and a :class:`~repro.memstore.links.LinkModel` the
+rest of the system can plug in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.mof.frames import MOF, FrameFormat, batch_breakdown
+from repro.memstore.links import LinkModel
+from repro.units import US, gbps_to_bytes_per_s
+
+
+@dataclass(frozen=True)
+class MofFabric:
+    """One card's MoF fabric attachment."""
+
+    num_qsfp: int = 3
+    gbps_per_qsfp: float = 200.0
+    base_latency_s: float = 1.2 * US
+    frame_format: FrameFormat = MOF
+
+    def __post_init__(self) -> None:
+        if self.num_qsfp <= 0:
+            raise ConfigurationError(f"num_qsfp must be positive, got {self.num_qsfp}")
+        if self.gbps_per_qsfp <= 0:
+            raise ConfigurationError(
+                f"gbps_per_qsfp must be positive, got {self.gbps_per_qsfp}"
+            )
+        if self.base_latency_s <= 0:
+            raise ConfigurationError(
+                f"base_latency_s must be positive, got {self.base_latency_s}"
+            )
+
+    @property
+    def raw_bandwidth(self) -> float:
+        """Aggregate raw wire bandwidth in bytes/second."""
+        return self.num_qsfp * gbps_to_bytes_per_s(self.gbps_per_qsfp)
+
+    def effective_bandwidth(self, request_bytes: int, batch: int = 64) -> float:
+        """Payload bandwidth after framing overhead for a request size."""
+        breakdown = batch_breakdown(self.frame_format, batch, request_bytes)
+        return self.raw_bandwidth * breakdown.data_utilization
+
+    def as_link(self, request_bytes: int = 64) -> LinkModel:
+        """LinkModel view of the fabric for a typical request size.
+
+        The per-request overhead is the amortized frame header + address
+        cost at full packing.
+        """
+        breakdown = batch_breakdown(self.frame_format, 128, request_bytes)
+        per_request_overhead = (
+            breakdown.header_bytes + breakdown.addr_bytes
+        ) // breakdown.num_requests
+        return LinkModel(
+            name=f"mof_{self.num_qsfp}x{int(self.gbps_per_qsfp)}g",
+            base_latency_s=self.base_latency_s,
+            peak_bandwidth=self.raw_bandwidth,
+            packet_overhead_bytes=int(per_request_overhead),
+        )

@@ -1,0 +1,130 @@
+"""MoF frame format and the multi-request packing analysis (Table 5).
+
+GNN sampling issues fine-grained (8-64B) reads, so per-request framing
+overhead dominates the wire. Gen-Z packs up to 4 requests per package;
+the MoF frame packs 64, with small headers and 32-bit base-relative
+addresses. This module computes, for a batch of reads, the number of
+frames and the header/address/data byte split — the Table 5 numbers.
+
+Byte accounting covers the full round trip: request frames carry
+addresses, response frames carry data; both carry headers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FrameFormat:
+    """One fabric's read framing parameters."""
+
+    name: str
+    header_bytes: int
+    addr_bytes: int
+    requests_per_frame: int
+
+    def __post_init__(self) -> None:
+        if self.header_bytes < 0 or self.addr_bytes <= 0:
+            raise ConfigurationError("header must be >= 0 and addr_bytes positive")
+        if self.requests_per_frame <= 0:
+            raise ConfigurationError(
+                f"requests_per_frame must be positive, got {self.requests_per_frame}"
+            )
+
+    def frames_for(self, num_requests: int) -> int:
+        """Frames needed in one direction for ``num_requests``."""
+        if num_requests <= 0:
+            raise ConfigurationError(
+                f"num_requests must be positive, got {num_requests}"
+            )
+        return -(-num_requests // self.requests_per_frame)
+
+
+#: Gen-Z multi-read packaging: 4 requests per package, 50B of
+#: header/framing per package, full 64-bit addresses.
+GENZ = FrameFormat("genz", header_bytes=50, addr_bytes=8, requests_per_frame=4)
+
+#: The proposed MoF frame: 64 requests per frame, minimal framing, and
+#: 32-bit base-relative addresses (Tech-1).
+MOF = FrameFormat("mof", header_bytes=31, addr_bytes=4, requests_per_frame=64)
+
+
+@dataclass(frozen=True)
+class FrameBreakdown:
+    """Round-trip byte accounting for a batch of reads."""
+
+    format_name: str
+    num_requests: int
+    request_bytes: int
+    frames: int
+    header_bytes: int
+    addr_bytes: int
+    data_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.header_bytes + self.addr_bytes + self.data_bytes
+
+    @property
+    def header_fraction(self) -> float:
+        return self.header_bytes / self.total_bytes
+
+    @property
+    def addr_fraction(self) -> float:
+        return self.addr_bytes / self.total_bytes
+
+    @property
+    def data_utilization(self) -> float:
+        return self.data_bytes / self.total_bytes
+
+
+def batch_breakdown(
+    fmt: FrameFormat,
+    num_requests: int,
+    request_bytes: int,
+    compressed_data_bytes: int = None,
+    compressed_addr_bytes: int = None,
+) -> FrameBreakdown:
+    """Table 5/6 accounting for reading ``num_requests`` x ``request_bytes``.
+
+    ``compressed_data_bytes`` / ``compressed_addr_bytes`` override the
+    raw payload sizes when BDI compression is applied (Table 6 rows).
+    """
+    if request_bytes <= 0:
+        raise ConfigurationError(
+            f"request_bytes must be positive, got {request_bytes}"
+        )
+    one_way_frames = fmt.frames_for(num_requests)
+    frames = one_way_frames * 2  # request + response directions
+    header = frames * fmt.header_bytes
+    addr = (
+        compressed_addr_bytes
+        if compressed_addr_bytes is not None
+        else num_requests * fmt.addr_bytes
+    )
+    data = (
+        compressed_data_bytes
+        if compressed_data_bytes is not None
+        else num_requests * request_bytes
+    )
+    if addr < 0 or data < 0:
+        raise ConfigurationError("compressed sizes must be non-negative")
+    return FrameBreakdown(
+        format_name=fmt.name,
+        num_requests=num_requests,
+        request_bytes=request_bytes,
+        frames=frames,
+        header_bytes=header,
+        addr_bytes=addr,
+        data_bytes=data,
+    )
+
+
+def packing_gain(num_requests: int, request_bytes: int) -> float:
+    """Data-utilization gain of MoF packing over Gen-Z for one batch."""
+    genz = batch_breakdown(GENZ, num_requests, request_bytes)
+    mof = batch_breakdown(MOF, num_requests, request_bytes)
+    return mof.data_utilization / genz.data_utilization

@@ -1,0 +1,175 @@
+"""Inter-FPGA fabric topology (the PoC's 4-card P2P mesh).
+
+The PoC connects four FPGA cards point-to-point over DAC cables, one
+QSFP-DD cage per peer (3 cages per card = full mesh of 4). This module
+models fabric topologies — full mesh, ring, and chain — with shortest-
+path routing, link-load accounting under an all-to-all sampling
+traffic pattern, and bisection bandwidth, so scaling-out decisions
+(§4.1 "MoF is designed for supporting multi-node communication") can
+be evaluated quantitatively.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.units import gbps_to_bytes_per_s
+
+
+Link = Tuple[int, int]
+
+
+def _canonical(link: Link) -> Link:
+    a, b = link
+    return (a, b) if a <= b else (b, a)
+
+
+class FabricTopology:
+    """Undirected fabric with per-link bandwidth and hop latency."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        links: Sequence[Link],
+        link_bandwidth: float = gbps_to_bytes_per_s(200),
+        hop_latency_s: float = 0.4e-6,
+    ) -> None:
+        if num_nodes <= 1:
+            raise ConfigurationError(
+                f"a fabric needs at least 2 nodes, got {num_nodes}"
+            )
+        if link_bandwidth <= 0 or hop_latency_s <= 0:
+            raise ConfigurationError("bandwidth and latency must be positive")
+        self.num_nodes = num_nodes
+        self.link_bandwidth = link_bandwidth
+        self.hop_latency_s = hop_latency_s
+        self._adjacency: Dict[int, List[int]] = {n: [] for n in range(num_nodes)}
+        self.links: List[Link] = []
+        seen = set()
+        for link in links:
+            a, b = _canonical(link)
+            if not (0 <= a < num_nodes and 0 <= b < num_nodes) or a == b:
+                raise ConfigurationError(f"invalid link {link}")
+            if (a, b) in seen:
+                raise ConfigurationError(f"duplicate link {link}")
+            seen.add((a, b))
+            self.links.append((a, b))
+            self._adjacency[a].append(b)
+            self._adjacency[b].append(a)
+        self._check_connected()
+
+    def _check_connected(self) -> None:
+        visited = {0}
+        frontier = deque([0])
+        while frontier:
+            node = frontier.popleft()
+            for peer in self._adjacency[node]:
+                if peer not in visited:
+                    visited.add(peer)
+                    frontier.append(peer)
+        if len(visited) != self.num_nodes:
+            raise ConfigurationError("fabric is not connected")
+
+    # -------------------------------------------------------------- paths
+    def shortest_path(self, src: int, dst: int) -> List[int]:
+        """BFS shortest path (node list, inclusive of both ends)."""
+        if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
+            raise ConfigurationError(f"nodes outside [0, {self.num_nodes})")
+        if src == dst:
+            return [src]
+        parents: Dict[int, int] = {src: src}
+        frontier = deque([src])
+        while frontier:
+            node = frontier.popleft()
+            for peer in self._adjacency[node]:
+                if peer not in parents:
+                    parents[peer] = node
+                    if peer == dst:
+                        path = [dst]
+                        while path[-1] != src:
+                            path.append(parents[path[-1]])
+                        return list(reversed(path))
+                    frontier.append(peer)
+        raise ConfigurationError("fabric is not connected")  # unreachable
+
+    def hops(self, src: int, dst: int) -> int:
+        return len(self.shortest_path(src, dst)) - 1
+
+    def path_latency(self, src: int, dst: int) -> float:
+        """Propagation latency along the shortest path."""
+        return self.hops(src, dst) * self.hop_latency_s
+
+    # --------------------------------------------------------------- load
+    def all_to_all_link_load(self) -> Dict[Link, float]:
+        """Relative load per link when every node sends equally to
+        every other node (hash-partitioned sampling traffic)."""
+        load: Dict[Link, float] = {link: 0.0 for link in self.links}
+        for src in range(self.num_nodes):
+            for dst in range(self.num_nodes):
+                if src == dst:
+                    continue
+                path = self.shortest_path(src, dst)
+                for a, b in zip(path, path[1:]):
+                    load[_canonical((a, b))] += 1.0
+        return load
+
+    def effective_pair_bandwidth(self) -> float:
+        """Per-(src,dst)-pair bandwidth under all-to-all traffic.
+
+        The most-loaded link bounds the whole pattern: each pair gets
+        ``link_bandwidth / max_load`` of it.
+        """
+        load = self.all_to_all_link_load()
+        worst = max(load.values())
+        return self.link_bandwidth / worst
+
+    def per_node_egress(self) -> float:
+        """Aggregate fabric bandwidth leaving one node (its cages)."""
+        degree = min(len(self._adjacency[n]) for n in range(self.num_nodes))
+        return degree * self.link_bandwidth
+
+    def bisection_bandwidth(self) -> float:
+        """Minimum bandwidth across any even node bipartition.
+
+        Exact for the small fabrics we model (exhaustive over
+        bipartitions up to 16 nodes).
+        """
+        if self.num_nodes > 16:
+            raise ConfigurationError(
+                "exhaustive bisection only supported up to 16 nodes"
+            )
+        half = self.num_nodes // 2
+        best = None
+        for mask in range(1, 1 << self.num_nodes):
+            if bin(mask).count("1") != half:
+                continue
+            crossing = sum(
+                1
+                for (a, b) in self.links
+                if ((mask >> a) & 1) != ((mask >> b) & 1)
+            )
+            if best is None or crossing < best:
+                best = crossing
+        return (best or 0) * self.link_bandwidth
+
+
+def full_mesh(num_nodes: int, **kwargs) -> FabricTopology:
+    """Every pair directly connected (the PoC's 4-card configuration)."""
+    links = [
+        (a, b) for a in range(num_nodes) for b in range(a + 1, num_nodes)
+    ]
+    return FabricTopology(num_nodes, links, **kwargs)
+
+
+def ring(num_nodes: int, **kwargs) -> FabricTopology:
+    """A ring: cheaper cabling, multi-hop forwarding."""
+    links = [(n, (n + 1) % num_nodes) for n in range(num_nodes)]
+    return FabricTopology(num_nodes, links, **kwargs)
+
+
+def chain(num_nodes: int, **kwargs) -> FabricTopology:
+    """A linear chain (worst case for bisection)."""
+    links = [(n, n + 1) for n in range(num_nodes - 1)]
+    return FabricTopology(num_nodes, links, **kwargs)

@@ -1,0 +1,19 @@
+"""RISC-V control subsystem: RV32I core, QRCH coprocessor hub, MMIO."""
+
+from repro.riscv.isa import decode, encode, Instruction
+from repro.riscv.cpu import RiscvCpu
+from repro.riscv.qrch import Qrch, QrchQueue
+from repro.riscv.mmio import MmioBus, MmioDevice
+from repro.riscv.asm import assemble
+
+__all__ = [
+    "decode",
+    "encode",
+    "Instruction",
+    "RiscvCpu",
+    "Qrch",
+    "QrchQueue",
+    "MmioBus",
+    "MmioDevice",
+    "assemble",
+]

@@ -1,0 +1,204 @@
+"""A small two-pass assembler for control programs.
+
+Supports the RV32I subset the CPU model executes plus the QRCH custom
+instructions. Syntax is conventional:
+
+    loop:
+        addi x1, x1, -1
+        qpush x0, x2, x3, 5     # queue index 5
+        qpull x4, 5
+        bne  x1, x0, loop
+        ecall
+
+Registers are ``x0``-``x31``; immediates are decimal or 0x-hex; labels
+work for branches and jumps.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.errors import DecodeError
+from repro.riscv import isa
+from repro.riscv.isa import Instruction
+
+_R_TYPE = {
+    "add": (0b000, 0b0000000),
+    "sub": (0b000, 0b0100000),
+    "sll": (0b001, 0b0000000),
+    "slt": (0b010, 0b0000000),
+    "sltu": (0b011, 0b0000000),
+    "xor": (0b100, 0b0000000),
+    "srl": (0b101, 0b0000000),
+    "sra": (0b101, 0b0100000),
+    "or": (0b110, 0b0000000),
+    "and": (0b111, 0b0000000),
+}
+
+_I_TYPE = {
+    "addi": 0b000,
+    "slti": 0b010,
+    "sltiu": 0b011,
+    "xori": 0b100,
+    "ori": 0b110,
+    "andi": 0b111,
+}
+
+_SHIFT_IMM = {"slli": (0b001, 0), "srli": (0b101, 0), "srai": (0b101, 0b0100000)}
+
+_BRANCHES = {
+    "beq": 0b000,
+    "bne": 0b001,
+    "blt": 0b100,
+    "bge": 0b101,
+    "bltu": 0b110,
+    "bgeu": 0b111,
+}
+
+
+def _reg(token: str) -> int:
+    match = re.fullmatch(r"x(\d+)", token.strip())
+    if not match or not 0 <= int(match.group(1)) < 32:
+        raise DecodeError(f"bad register {token!r}")
+    return int(match.group(1))
+
+
+def _imm(token: str) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise DecodeError(f"bad immediate {token!r}") from None
+
+
+def _parse_mem_operand(token: str) -> Tuple[int, int]:
+    """Parse ``imm(xN)`` into (imm, reg)."""
+    match = re.fullmatch(r"(-?\w+)\((x\d+)\)", token.strip())
+    if not match:
+        raise DecodeError(f"bad memory operand {token!r}")
+    return _imm(match.group(1)), _reg(match.group(2))
+
+
+def assemble(source: str, base: int = 0) -> List[int]:
+    """Assemble ``source`` into instruction words."""
+    lines = []
+    for raw in source.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            lines.append(line)
+
+    # Pass 1: label addresses.
+    labels: Dict[str, int] = {}
+    addr = base
+    body: List[str] = []
+    for line in lines:
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            labels[label.strip()] = addr
+            line = rest.strip()
+        if line:
+            body.append(line)
+            addr += 4
+
+    # Pass 2: encode.
+    words: List[int] = []
+    addr = base
+    for line in body:
+        words.append(_encode_line(line, addr, labels))
+        addr += 4
+    return words
+
+
+def _target(token: str, addr: int, labels: Dict[str, int]) -> int:
+    token = token.strip()
+    if token in labels:
+        return labels[token] - addr
+    return _imm(token)
+
+
+def _encode_line(line: str, addr: int, labels: Dict[str, int]) -> int:
+    parts = line.replace(",", " ").split()
+    mnemonic, operands = parts[0].lower(), parts[1:]
+
+    if mnemonic in _R_TYPE:
+        funct3, funct7 = _R_TYPE[mnemonic]
+        rd, rs1, rs2 = (_reg(t) for t in operands)
+        return isa.encode(
+            Instruction(isa.OPCODE_OP, rd=rd, rs1=rs1, rs2=rs2, funct3=funct3, funct7=funct7)
+        )
+    if mnemonic in _I_TYPE:
+        rd, rs1 = _reg(operands[0]), _reg(operands[1])
+        return isa.encode(
+            Instruction(
+                isa.OPCODE_OP_IMM, rd=rd, rs1=rs1, funct3=_I_TYPE[mnemonic],
+                imm=_imm(operands[2]),
+            )
+        )
+    if mnemonic in _SHIFT_IMM:
+        funct3, funct7 = _SHIFT_IMM[mnemonic]
+        rd, rs1 = _reg(operands[0]), _reg(operands[1])
+        shamt = _imm(operands[2]) & 0x1F
+        return isa.encode(
+            Instruction(
+                isa.OPCODE_OP_IMM, rd=rd, rs1=rs1, funct3=funct3,
+                imm=(funct7 << 5) | shamt,
+            )
+        )
+    if mnemonic in _BRANCHES:
+        rs1, rs2 = _reg(operands[0]), _reg(operands[1])
+        offset = _target(operands[2], addr, labels)
+        return isa.encode(
+            Instruction(
+                isa.OPCODE_BRANCH, rs1=rs1, rs2=rs2,
+                funct3=_BRANCHES[mnemonic], imm=offset,
+            )
+        )
+    if mnemonic == "lui":
+        return isa.encode(
+            Instruction(isa.OPCODE_LUI, rd=_reg(operands[0]), imm=_imm(operands[1]) << 12)
+        )
+    if mnemonic == "jal":
+        rd = _reg(operands[0]) if len(operands) == 2 else 1
+        target = operands[-1]
+        return isa.encode(
+            Instruction(isa.OPCODE_JAL, rd=rd, imm=_target(target, addr, labels))
+        )
+    if mnemonic == "jalr":
+        rd, rs1 = _reg(operands[0]), _reg(operands[1])
+        imm = _imm(operands[2]) if len(operands) > 2 else 0
+        return isa.encode(Instruction(isa.OPCODE_JALR, rd=rd, rs1=rs1, imm=imm))
+    if mnemonic == "lw":
+        rd = _reg(operands[0])
+        imm, rs1 = _parse_mem_operand(operands[1])
+        return isa.encode(
+            Instruction(isa.OPCODE_LOAD, rd=rd, rs1=rs1, funct3=0b010, imm=imm)
+        )
+    if mnemonic == "sw":
+        rs2 = _reg(operands[0])
+        imm, rs1 = _parse_mem_operand(operands[1])
+        return isa.encode(
+            Instruction(isa.OPCODE_STORE, rs1=rs1, rs2=rs2, funct3=0b010, imm=imm)
+        )
+    if mnemonic == "qpush":
+        rd, rs1, rs2 = (_reg(t) for t in operands[:3])
+        queue = _imm(operands[3])
+        return isa.encode(
+            Instruction(
+                isa.OPCODE_CUSTOM0, rd=rd, rs1=rs1, rs2=rs2,
+                funct3=isa.FUNCT3_QPUSH, funct7=queue,
+            )
+        )
+    if mnemonic == "qpull":
+        rd = _reg(operands[0])
+        queue = _imm(operands[1])
+        return isa.encode(
+            Instruction(
+                isa.OPCODE_CUSTOM0, rd=rd, funct3=isa.FUNCT3_QPULL, funct7=queue
+            )
+        )
+    if mnemonic in ("ecall", "ebreak"):
+        return isa.encode(Instruction(isa.OPCODE_SYSTEM, imm=0 if mnemonic == "ecall" else 1))
+    if mnemonic == "nop":
+        return isa.encode(Instruction(isa.OPCODE_OP_IMM, rd=0, rs1=0, funct3=0, imm=0))
+    raise DecodeError(f"unknown mnemonic {mnemonic!r} in {line!r}")

@@ -1,0 +1,212 @@
+"""RV32I interpreter with QRCH and MMIO attachment points.
+
+Models the XuanTie E906-class control core of the PoC: in-order,
+one instruction per cycle plus memory/bus penalties. The custom-0
+opcode dispatches to the QRCH hub; loads/stores above ``mmio_base``
+dispatch to the MMIO bus. ``ecall`` halts (end of control program).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.riscv import isa
+from repro.riscv.mmio import MmioBus
+from repro.riscv.qrch import Qrch
+
+
+class RiscvCpu:
+    """Single-hart RV32I interpreter."""
+
+    def __init__(
+        self,
+        memory_bytes: int = 64 * 1024,
+        qrch: Optional[Qrch] = None,
+        mmio: Optional[MmioBus] = None,
+        mmio_base: int = 0x4000_0000,
+        memory_access_cycles: int = 1,
+    ) -> None:
+        if memory_bytes <= 0 or memory_bytes % 4:
+            raise ConfigurationError(
+                f"memory_bytes must be a positive multiple of 4, got {memory_bytes}"
+            )
+        self.memory = bytearray(memory_bytes)
+        self.registers = np.zeros(32, dtype=np.uint32)
+        self.pc = 0
+        self.qrch = qrch
+        self.mmio = mmio
+        self.mmio_base = mmio_base
+        self.memory_access_cycles = memory_access_cycles
+        self.cycles = 0
+        self.instructions_retired = 0
+        self.halted = False
+
+    # ------------------------------------------------------------- helpers
+    def load_program(self, words: List[int], base: int = 0) -> None:
+        """Write instruction words into memory and reset the PC."""
+        for index, word in enumerate(words):
+            self._store_word(base + 4 * index, word, charge=False)
+        self.pc = base
+        self.halted = False
+
+    def _reg(self, index: int) -> int:
+        return int(self.registers[index])
+
+    def _set_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.registers[index] = np.uint32(value & 0xFFFFFFFF)
+
+    def _load_word(self, addr: int, charge: bool = True) -> int:
+        if self.mmio is not None and addr >= self.mmio_base:
+            value, cycles = self.mmio.read(addr)
+            self.cycles += cycles
+            return value
+        if not 0 <= addr <= len(self.memory) - 4:
+            raise SimulationError(f"load outside memory at {addr:#x}")
+        if charge:
+            self.cycles += self.memory_access_cycles
+        return int.from_bytes(self.memory[addr : addr + 4], "little")
+
+    def _store_word(self, addr: int, value: int, charge: bool = True) -> None:
+        if self.mmio is not None and addr >= self.mmio_base:
+            self.cycles += self.mmio.write(addr, value)
+            return
+        if not 0 <= addr <= len(self.memory) - 4:
+            raise SimulationError(f"store outside memory at {addr:#x}")
+        if charge:
+            self.cycles += self.memory_access_cycles
+        self.memory[addr : addr + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    @staticmethod
+    def _signed(value: int) -> int:
+        return value - (1 << 32) if value & 0x8000_0000 else value
+
+    # ---------------------------------------------------------------- step
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.halted:
+            raise SimulationError("CPU is halted")
+        word = self._load_word(self.pc, charge=False)
+        instr = isa.decode(word)
+        next_pc = self.pc + 4
+        self.cycles += 1
+        op = instr.opcode
+
+        if op == isa.OPCODE_LUI:
+            self._set_reg(instr.rd, instr.imm)
+        elif op == isa.OPCODE_AUIPC:
+            self._set_reg(instr.rd, self.pc + instr.imm)
+        elif op == isa.OPCODE_JAL:
+            self._set_reg(instr.rd, next_pc)
+            next_pc = self.pc + instr.imm
+        elif op == isa.OPCODE_JALR:
+            self._set_reg(instr.rd, next_pc)
+            next_pc = (self._reg(instr.rs1) + instr.imm) & ~1
+        elif op == isa.OPCODE_BRANCH:
+            next_pc = self._branch(instr, next_pc)
+        elif op == isa.OPCODE_LOAD:
+            if instr.funct3 != 0b010:
+                raise SimulationError("only LW is supported")
+            self._set_reg(instr.rd, self._load_word(self._reg(instr.rs1) + instr.imm))
+        elif op == isa.OPCODE_STORE:
+            if instr.funct3 != 0b010:
+                raise SimulationError("only SW is supported")
+            self._store_word(self._reg(instr.rs1) + instr.imm, self._reg(instr.rs2))
+        elif op == isa.OPCODE_OP_IMM:
+            self._set_reg(instr.rd, self._alu(instr, self._reg(instr.rs1), instr.imm, imm_mode=True))
+        elif op == isa.OPCODE_OP:
+            self._set_reg(
+                instr.rd,
+                self._alu(instr, self._reg(instr.rs1), self._reg(instr.rs2), imm_mode=False),
+            )
+        elif op == isa.OPCODE_CUSTOM0:
+            next_pc = self._custom0(instr, next_pc)
+        elif op == isa.OPCODE_SYSTEM:
+            self.halted = True  # ecall/ebreak end the control program
+        else:
+            raise SimulationError(f"unhandled opcode {op:#09b}")
+
+        self.pc = next_pc
+        self.instructions_retired += 1
+
+    def _branch(self, instr: isa.Instruction, next_pc: int) -> int:
+        lhs, rhs = self._reg(instr.rs1), self._reg(instr.rs2)
+        slhs, srhs = self._signed(lhs), self._signed(rhs)
+        taken = {
+            0b000: lhs == rhs,  # beq
+            0b001: lhs != rhs,  # bne
+            0b100: slhs < srhs,  # blt
+            0b101: slhs >= srhs,  # bge
+            0b110: lhs < rhs,  # bltu
+            0b111: lhs >= rhs,  # bgeu
+        }.get(instr.funct3)
+        if taken is None:
+            raise SimulationError(f"unknown branch funct3 {instr.funct3:#05b}")
+        return self.pc + instr.imm if taken else next_pc
+
+    def _alu(self, instr: isa.Instruction, a: int, b: int, imm_mode: bool) -> int:
+        funct3 = instr.funct3
+        if imm_mode:
+            # Shift-immediate variants keep funct7 inside the immediate.
+            sub_or_sra = bool((instr.imm >> 5) & 0b0100000)
+        else:
+            sub_or_sra = bool(instr.funct7 & 0b0100000)
+        if funct3 == 0b000:  # add/sub/addi
+            if not imm_mode and sub_or_sra:
+                return a - b
+            return a + b
+        if funct3 == 0b001:  # sll(i)
+            return a << (b & 0x1F)
+        if funct3 == 0b010:  # slt(i)
+            return 1 if self._signed(a) < self._signed(b & 0xFFFFFFFF) else 0
+        if funct3 == 0b011:  # sltu(i)
+            return 1 if (a & 0xFFFFFFFF) < (b & 0xFFFFFFFF) else 0
+        if funct3 == 0b100:  # xor(i)
+            return a ^ b
+        if funct3 == 0b101:  # srl(i)/sra(i)
+            shift = b & 0x1F
+            if sub_or_sra:
+                return self._signed(a) >> shift
+            return (a & 0xFFFFFFFF) >> shift
+        if funct3 == 0b110:  # or(i)
+            return a | b
+        if funct3 == 0b111:  # and(i)
+            return a & b
+        raise SimulationError(f"unknown ALU funct3 {funct3:#05b}")
+
+    def _custom0(self, instr: isa.Instruction, next_pc: int) -> int:
+        if self.qrch is None:
+            raise SimulationError("custom-0 instruction without a QRCH hub")
+        if instr.funct3 == isa.FUNCT3_QPUSH:
+            cycles = self.qrch.push(
+                instr.funct7, self._reg(instr.rs1), self._reg(instr.rs2)
+            )
+            self.cycles += cycles
+            self._set_reg(instr.rd, self.qrch.queue(instr.funct7).pushes)
+            return next_pc
+        if instr.funct3 == isa.FUNCT3_QPULL:
+            value, cycles = self.qrch.pull(instr.funct7)
+            self.cycles += cycles
+            if value is None:
+                # Blocking pull: spin on the same instruction.
+                return self.pc
+            self._set_reg(instr.rd, value)
+            return next_pc
+        raise SimulationError(f"unknown custom-0 funct3 {instr.funct3:#05b}")
+
+    # ----------------------------------------------------------------- run
+    def run(self, max_instructions: int = 1_000_000) -> int:
+        """Run until halt; returns cycles consumed."""
+        start_cycles = self.cycles
+        executed = 0
+        while not self.halted:
+            self.step()
+            executed += 1
+            if executed > max_instructions:
+                raise SimulationError(
+                    f"exceeded {max_instructions} instructions without halting"
+                )
+        return self.cycles - start_cycles

@@ -1,0 +1,165 @@
+"""RV32I instruction encoding/decoding plus the QRCH custom extension.
+
+Covers the RV32I subset a control program needs (ALU, loads/stores,
+branches, jumps) and two custom-0 instructions implementing the
+queue-based RISC-V coprocessor communication hub (QRCH):
+
+* ``QPUSH rd, rs1, rs2`` — push ``(rs1, rs2)`` into the accelerator
+  queue selected by the instruction's funct7 field; rd receives a
+  sequence token.
+* ``QPULL rd, rs1`` — pop the response queue selected by funct7 into
+  ``rd`` (blocking; the CPU model stalls while the queue is empty).
+
+The custom instructions live in the ``custom-0`` opcode space
+(0b0001011), the standard place for vendor extensions like the
+XuanTie E906's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DecodeError
+
+OPCODE_LUI = 0b0110111
+OPCODE_AUIPC = 0b0010111
+OPCODE_JAL = 0b1101111
+OPCODE_JALR = 0b1100111
+OPCODE_BRANCH = 0b1100011
+OPCODE_LOAD = 0b0000011
+OPCODE_STORE = 0b0100011
+OPCODE_OP_IMM = 0b0010011
+OPCODE_OP = 0b0110011
+OPCODE_SYSTEM = 0b1110011
+OPCODE_CUSTOM0 = 0b0001011  # QRCH extension
+
+FUNCT3_QPUSH = 0b000
+FUNCT3_QPULL = 0b001
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Decoded instruction fields (RISC-V naming)."""
+
+    opcode: int
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    funct3: int = 0
+    funct7: int = 0
+    imm: int = 0
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    mask = 1 << (bits - 1)
+    return (value & ((1 << bits) - 1)) - ((value & mask) << 1)
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit instruction word."""
+    if not 0 <= word < (1 << 32):
+        raise DecodeError(f"instruction word {word:#x} is not 32-bit")
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode in (OPCODE_LUI, OPCODE_AUIPC):
+        imm = _sign_extend(word >> 12, 20) << 12
+        return Instruction(opcode, rd=rd, imm=imm)
+    if opcode == OPCODE_JAL:
+        imm = (
+            (((word >> 31) & 1) << 20)
+            | (((word >> 12) & 0xFF) << 12)
+            | (((word >> 20) & 1) << 11)
+            | (((word >> 21) & 0x3FF) << 1)
+        )
+        return Instruction(opcode, rd=rd, imm=_sign_extend(imm, 21))
+    if opcode in (OPCODE_JALR, OPCODE_LOAD, OPCODE_OP_IMM, OPCODE_SYSTEM):
+        # I-type carries no funct7: shift-immediate variants encode
+        # their funct7-like bits inside the immediate field.
+        return Instruction(
+            opcode,
+            rd=rd,
+            rs1=rs1,
+            funct3=funct3,
+            imm=_sign_extend(word >> 20, 12),
+        )
+    if opcode == OPCODE_BRANCH:
+        imm = (
+            (((word >> 31) & 1) << 12)
+            | (((word >> 7) & 1) << 11)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1)
+        )
+        return Instruction(
+            opcode, rs1=rs1, rs2=rs2, funct3=funct3, imm=_sign_extend(imm, 13)
+        )
+    if opcode == OPCODE_STORE:
+        imm = (((word >> 25) & 0x7F) << 5) | ((word >> 7) & 0x1F)
+        return Instruction(
+            opcode, rs1=rs1, rs2=rs2, funct3=funct3, imm=_sign_extend(imm, 12)
+        )
+    if opcode in (OPCODE_OP, OPCODE_CUSTOM0):
+        return Instruction(
+            opcode, rd=rd, rs1=rs1, rs2=rs2, funct3=funct3, funct7=funct7
+        )
+    raise DecodeError(f"unsupported opcode {opcode:#09b} in word {word:#010x}")
+
+
+def encode(instr: Instruction) -> int:
+    """Encode an :class:`Instruction` back into a 32-bit word."""
+    opcode = instr.opcode
+    if opcode in (OPCODE_LUI, OPCODE_AUIPC):
+        return ((instr.imm >> 12) & 0xFFFFF) << 12 | (instr.rd << 7) | opcode
+    if opcode == OPCODE_JAL:
+        imm = instr.imm & 0x1FFFFF
+        word = (
+            (((imm >> 20) & 1) << 31)
+            | (((imm >> 1) & 0x3FF) << 21)
+            | (((imm >> 11) & 1) << 20)
+            | (((imm >> 12) & 0xFF) << 12)
+        )
+        return word | (instr.rd << 7) | opcode
+    if opcode in (OPCODE_JALR, OPCODE_LOAD, OPCODE_OP_IMM, OPCODE_SYSTEM):
+        return (
+            ((instr.imm & 0xFFF) << 20)
+            | (instr.rs1 << 15)
+            | (instr.funct3 << 12)
+            | (instr.rd << 7)
+            | opcode
+        )
+    if opcode == OPCODE_BRANCH:
+        imm = instr.imm & 0x1FFF
+        return (
+            (((imm >> 12) & 1) << 31)
+            | (((imm >> 5) & 0x3F) << 25)
+            | (instr.rs2 << 20)
+            | (instr.rs1 << 15)
+            | (instr.funct3 << 12)
+            | (((imm >> 1) & 0xF) << 8)
+            | (((imm >> 11) & 1) << 7)
+            | opcode
+        )
+    if opcode == OPCODE_STORE:
+        imm = instr.imm & 0xFFF
+        return (
+            (((imm >> 5) & 0x7F) << 25)
+            | (instr.rs2 << 20)
+            | (instr.rs1 << 15)
+            | (instr.funct3 << 12)
+            | ((imm & 0x1F) << 7)
+            | opcode
+        )
+    if opcode in (OPCODE_OP, OPCODE_CUSTOM0):
+        return (
+            (instr.funct7 << 25)
+            | (instr.rs2 << 20)
+            | (instr.rs1 << 15)
+            | (instr.funct3 << 12)
+            | (instr.rd << 7)
+            | opcode
+        )
+    raise DecodeError(f"unsupported opcode {opcode:#09b}")

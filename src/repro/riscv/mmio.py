@@ -1,0 +1,83 @@
+"""Memory-mapped IO bus: the loosely coupled control alternative.
+
+MMIO attaches accelerators behind the SoC bus (AXI): every control
+interaction is an uncached load/store crossing the interconnect, which
+costs ~100 cycles round trip (Table 7). Used as the baseline the QRCH
+comparison is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+class MmioDevice:
+    """One bus-attached device with word-addressed registers."""
+
+    def __init__(
+        self,
+        name: str,
+        read_handler: Callable[[int], int] = None,
+        write_handler: Callable[[int, int], None] = None,
+    ) -> None:
+        self.name = name
+        self._registers: Dict[int, int] = {}
+        self._read_handler = read_handler
+        self._write_handler = write_handler
+
+    def read(self, offset: int) -> int:
+        if self._read_handler is not None:
+            return self._read_handler(offset) & 0xFFFFFFFF
+        return self._registers.get(offset, 0)
+
+    def write(self, offset: int, value: int) -> None:
+        if self._write_handler is not None:
+            self._write_handler(offset, value & 0xFFFFFFFF)
+        else:
+            self._registers[offset] = value & 0xFFFFFFFF
+
+
+class MmioBus:
+    """Word-addressed system bus with fixed round-trip cost."""
+
+    def __init__(self, access_cycles: int = 100) -> None:
+        if access_cycles <= 0:
+            raise ConfigurationError(
+                f"access_cycles must be positive, got {access_cycles}"
+            )
+        self.access_cycles = access_cycles
+        self._ranges: Dict[Tuple[int, int], MmioDevice] = {}
+        self.interaction_cycles = 0
+
+    def attach(self, base: int, size: int, device: MmioDevice) -> None:
+        """Map ``device`` at ``[base, base + size)``."""
+        if base < 0 or size <= 0:
+            raise ConfigurationError("base must be >= 0 and size positive")
+        for (lo, hi) in self._ranges:
+            if base < hi and lo < base + size:
+                raise ConfigurationError(
+                    f"range [{base:#x}, {base + size:#x}) overlaps "
+                    f"[{lo:#x}, {hi:#x})"
+                )
+        self._ranges[(base, base + size)] = device
+
+    def _find(self, addr: int) -> Tuple[MmioDevice, int]:
+        for (lo, hi), device in self._ranges.items():
+            if lo <= addr < hi:
+                return device, addr - lo
+        raise SimulationError(f"MMIO access to unmapped address {addr:#x}")
+
+    def read(self, addr: int) -> Tuple[int, int]:
+        """Read a word; returns (value, cycles)."""
+        device, offset = self._find(addr)
+        self.interaction_cycles += self.access_cycles
+        return device.read(offset), self.access_cycles
+
+    def write(self, addr: int, value: int) -> int:
+        """Write a word; returns cycles."""
+        device, offset = self._find(addr)
+        device.write(offset, value)
+        self.interaction_cycles += self.access_cycles
+        return self.access_cycles

@@ -1,0 +1,74 @@
+"""Unit helpers used throughout the package.
+
+All internal quantities use SI base units: bytes, seconds, bytes/second,
+and hertz. These constants and helpers keep conversions explicit at the
+point where human-readable configuration values enter the system.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+US = 1e-6
+NS = 1e-9
+MS = 1e-3
+
+
+def gbps_to_bytes_per_s(gigabits_per_second: float) -> float:
+    """Convert a link rate in Gb/s (decimal) to bytes/second."""
+    return gigabits_per_second * GIGA / 8.0
+
+
+def gib_per_s(gibibytes_per_second: float) -> float:
+    """Convert GiB/s to bytes/second.
+
+    The paper quotes link bandwidths like "16GB/s" for PCIe Gen3 x16;
+    we treat those as binary gibibytes per second for consistency with
+    the DRAM channel numbers (12.8GB/s per DDR4-1600 channel).
+    """
+    return gibibytes_per_second * GB
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Time taken by ``cycles`` clock cycles at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> int:
+    """Clock cycles (rounded up) covering ``seconds`` at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    if seconds < 0:
+        raise ValueError(f"seconds must be non-negative, got {seconds}")
+    cycles = seconds * frequency_hz
+    whole = int(cycles)
+    return whole if cycles == whole else whole + 1
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count, e.g. ``format_bytes(3 * TB) == '3.00TB'``."""
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if num_bytes >= unit:
+            return f"{num_bytes / unit:.2f}{name}"
+    return f"{num_bytes:.0f}B"
+
+
+def format_rate(value: float) -> str:
+    """Human-readable rate, e.g. ``format_rate(1.5e6) == '1.50M'``."""
+    if value < 0:
+        raise ValueError(f"rate must be non-negative, got {value}")
+    for unit, name in ((GIGA, "G"), (MEGA, "M"), (KILO, "K")):
+        if value >= unit:
+            return f"{value / unit:.2f}{name}"
+    return f"{value:.2f}"

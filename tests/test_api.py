@@ -1,0 +1,99 @@
+"""Tests for repro.api (the Section 5 multi-level interface)."""
+
+import numpy as np
+import pytest
+
+from repro.api import GnnSession
+from repro.errors import ConfigurationError
+from repro.graph.generators import power_law_graph
+
+
+@pytest.fixture(scope="module")
+def session():
+    graph = power_law_graph(1500, 8.0, attr_len=8, seed=0)
+    return GnnSession(graph, num_partitions=4, seed=0)
+
+
+class TestAcceleratorLevel:
+    def test_csr_roundtrip(self, session):
+        session.set_csr(3, 1234)
+        assert session.read_csr(3) == 1234
+
+    def test_csr_independent_indices(self, session):
+        session.set_csr(4, 1)
+        session.set_csr(5, 2)
+        assert session.read_csr(4) == 1
+        assert session.read_csr(5) == 2
+
+
+class TestGnnOperatorLevel:
+    def test_software_sample(self, session):
+        result = session.sample(np.arange(8), (5, 2))
+        assert result.layers[2].shape == (8, 10)
+        assert result.attributes is not None
+
+    def test_hardware_sample(self, session):
+        results, stats = session.sample_hw(np.arange(8), (5,))
+        assert set(results) == set(range(8))
+        assert stats.roots_per_second > 0
+
+    def test_software_and_hardware_agree_on_shapes(self, session):
+        sw = session.sample(np.arange(4), (6,), with_attributes=False)
+        hw, _stats = session.sample_hw(np.arange(4), (6,))
+        for index in range(4):
+            assert sw.layers[1][index].size == hw[index][1].size
+
+    def test_read_node_attributes(self, session):
+        values = session.read_node_attributes(np.array([1, 2, 3]))
+        assert np.allclose(values, session.graph.node_attr[[1, 2, 3]])
+
+    def test_negative_sample(self, session):
+        negatives = session.negative_sample(np.array([[0, 1]]), rate=4)
+        assert negatives.shape == (1, 4)
+        forbidden = set(session.graph.neighbors(0).tolist()) | {0}
+        assert not (set(negatives[0].tolist()) & forbidden)
+
+
+class TestFixedModelLevel:
+    def test_graphsage_trains(self, session):
+        trainer = session.graphsage(hidden_dim=8, fanouts=(4,), num_labels=3)
+        rng = np.random.default_rng(0)
+        roots = rng.integers(0, session.graph.num_nodes, 32)
+        labels = rng.integers(0, 2, (32, 3))
+        first = trainer.train_step(roots, labels)
+        for _ in range(5):
+            last = trainer.train_step(roots, labels)
+        assert np.isfinite(first) and np.isfinite(last)
+
+    def test_graphsage_needs_attributes(self):
+        graph = power_law_graph(100, 3.0, attr_len=0, seed=0)
+        session = GnnSession(graph, num_partitions=2)
+        with pytest.raises(ConfigurationError):
+            session.graphsage(hidden_dim=4, fanouts=(2,), num_labels=2)
+
+
+class TestConfiguration:
+    def test_streaming_method(self):
+        graph = power_law_graph(300, 6.0, attr_len=4, seed=1)
+        session = GnnSession(graph, sampling_method="streaming", seed=1)
+        result = session.sample(np.arange(4), (5,), with_attributes=False)
+        assert result.layers[1].shape == (4, 5)
+
+    def test_unknown_method(self):
+        graph = power_law_graph(100, 3.0, seed=0)
+        with pytest.raises(ConfigurationError):
+            GnnSession(graph, sampling_method="sorted")
+
+    def test_cache_enabled(self):
+        graph = power_law_graph(300, 6.0, attr_len=4, seed=1)
+        session = GnnSession(graph, cache_nodes=500, seed=1)
+        session.sample(np.arange(32), (5,))
+        before = session.store.summary.total_count
+        session.store.reset_trace()
+        session.sample(np.arange(32), (5,))
+        assert session.store.summary.total_count < before
+
+    def test_negative_cache_rejected(self):
+        graph = power_law_graph(100, 3.0, seed=0)
+        with pytest.raises(ConfigurationError):
+            GnnSession(graph, cache_nodes=-1)

@@ -1,0 +1,84 @@
+"""Tests for repro.axe.events (the DES kernel)."""
+
+import pytest
+
+from repro.axe.events import Simulator
+from repro.errors import SimulationError
+
+
+class TestSimulator:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.at(2.0, lambda: order.append("b"))
+        sim.at(1.0, lambda: order.append("a"))
+        sim.at(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tiebreak(self):
+        sim = Simulator()
+        order = []
+        sim.at(1.0, lambda: order.append(1))
+        sim.at(1.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_after_is_relative(self):
+        sim = Simulator()
+        times = []
+        sim.at(5.0, lambda: sim.after(2.0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [7.0]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        sim.at(4.5, lambda: None)
+        final = sim.run()
+        assert final == 4.5
+        assert sim.now == 4.5
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1.0, lambda: fired.append(1))
+        sim.at(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending() == 1
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().after(-1.0, lambda: None)
+
+    def test_event_cascade(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 100:
+                sim.after(0.001, tick)
+
+        sim.after(0.0, tick)
+        sim.run()
+        assert count[0] == 100
+        assert sim.events_processed == 100
+
+    def test_livelock_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.after(0.0, forever)
+
+        sim.after(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1000)

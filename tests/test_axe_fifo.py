@@ -1,0 +1,161 @@
+"""Tests for repro.axe.fifo (Tech-1 pipelining, Figure 7)."""
+
+import pytest
+
+from repro.axe.fifo import Fifo, Pipeline, PipelineStage, split_work
+from repro.errors import CapacityError, ConfigurationError
+
+
+class TestFifo:
+    def test_push_pop_order(self):
+        fifo = Fifo(3)
+        fifo.push(1)
+        fifo.push(2)
+        assert fifo.pop() == 1
+        assert fifo.pop() == 2
+
+    def test_full_and_empty(self):
+        fifo = Fifo(1)
+        assert fifo.empty
+        fifo.push(1)
+        assert fifo.full
+        with pytest.raises(CapacityError):
+            fifo.push(2)
+
+    def test_pop_empty(self):
+        with pytest.raises(CapacityError):
+            Fifo(1).pop()
+
+    def test_len(self):
+        fifo = Fifo(4)
+        fifo.push(1)
+        fifo.push(2)
+        assert len(fifo) == 2
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ConfigurationError):
+            Fifo(0)
+
+
+class TestPipelineStage:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PipelineStage("s", initiation_interval=0)
+        with pytest.raises(ConfigurationError):
+            PipelineStage("s", initiation_interval=4, latency=2)
+
+
+class TestPipeline:
+    def test_passes_items_through(self):
+        pipeline = Pipeline([PipelineStage("a"), PipelineStage("b")])
+        result = pipeline.run([1, 2, 3])
+        assert result.outputs == [1, 2, 3]
+
+    def test_work_function_applies(self):
+        stage = PipelineStage("double", work=lambda x: 2 * x)
+        result = Pipeline([stage]).run([1, 2])
+        assert result.outputs == [2, 4]
+
+    def test_fully_pipelined_throughput(self):
+        """II=1 stages: N items drain in about N + depth cycles."""
+        stages = [PipelineStage(f"s{i}") for i in range(5)]
+        result = Pipeline(stages).run(list(range(100)))
+        assert result.cycles <= 100 + 5 * 5
+
+    def test_deep_beats_shallow(self):
+        """Figure 7: deeper (finer-grained) pipelining of the same total
+        work gives strictly better latency for a batch."""
+        work = 8
+        items = list(range(64))
+        shallow = Pipeline(split_work(work, 1)).run(items).cycles
+        medium = Pipeline(split_work(work, 4)).run(items).cycles
+        deep = Pipeline(split_work(work, 8)).run(items).cycles
+        assert shallow > medium > deep
+
+    def test_depth_speedup_is_near_linear(self):
+        work = 16
+        items = list(range(128))
+        shallow = Pipeline(split_work(work, 1)).run(items).cycles
+        deep = Pipeline(split_work(work, 16)).run(items).cycles
+        assert shallow / deep > 8
+
+    def test_throughput_metric(self):
+        result = Pipeline([PipelineStage("a")]).run([1, 2, 3, 4])
+        assert result.throughput(1e6) == pytest.approx(
+            4 / (result.cycles / 1e6)
+        )
+
+    def test_preserves_order(self):
+        stages = split_work(6, 3)
+        result = Pipeline(stages).run(list(range(50)))
+        assert result.outputs == list(range(50))
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Pipeline([])
+
+    def test_single_item(self):
+        stages = split_work(10, 2)
+        result = Pipeline(stages).run([42])
+        assert result.outputs == [42]
+        # Latency of one item = sum of stage latencies (+ FIFO hops).
+        assert result.cycles >= 10
+
+
+class TestSplitWork:
+    def test_splits_evenly(self):
+        stages = split_work(12, 3)
+        assert len(stages) == 3
+        assert all(s.initiation_interval == 4 for s in stages)
+
+    def test_rounds_up(self):
+        stages = split_work(10, 3)
+        assert all(s.initiation_interval == 4 for s in stages)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            split_work(0, 1)
+        with pytest.raises(ConfigurationError):
+            split_work(4, 0)
+
+
+class TestGetNeighborPipeline:
+    """The Figure 6 GetNeighbor sub-module pipeline."""
+
+    def test_five_substages(self):
+        from repro.axe.fifo import get_neighbor_pipeline
+
+        pipeline = get_neighbor_pipeline()
+        assert pipeline.depth == 5
+        names = [stage.name for stage in pipeline.stages]
+        assert names == [
+            "cmd_decode", "index_lookup", "offset_fetch",
+            "id_stream", "sample_handoff",
+        ]
+
+    def test_fully_pipelined_at_low_degree(self):
+        from repro.axe.fifo import get_neighbor_pipeline
+
+        pipeline = get_neighbor_pipeline(avg_degree=4.0)
+        result = pipeline.run(list(range(100)))
+        # II=1 everywhere: ~1 item/cycle after fill.
+        assert result.cycles < 100 + 40
+
+    def test_high_degree_limits_initiation(self):
+        from repro.axe.fifo import get_neighbor_pipeline
+
+        light = get_neighbor_pipeline(avg_degree=4.0).run(list(range(64))).cycles
+        heavy = get_neighbor_pipeline(avg_degree=64.0).run(list(range(64))).cycles
+        assert heavy > 3 * light  # ID streaming dominates at degree 64
+
+    def test_preserves_order(self):
+        from repro.axe.fifo import get_neighbor_pipeline
+
+        result = get_neighbor_pipeline().run(list(range(30)))
+        assert result.outputs == list(range(30))
+
+    def test_validation(self):
+        from repro.axe.fifo import get_neighbor_pipeline
+
+        with pytest.raises(ConfigurationError):
+            get_neighbor_pipeline(avg_degree=0)

@@ -1,0 +1,90 @@
+"""Tests for repro.axe.resources (Table 11 and Tech-2 savings)."""
+
+import pytest
+
+from repro.axe.resources import (
+    VU13P_TOTALS,
+    ResourceEstimate,
+    engine_resources,
+    sampler_resources,
+    sampler_savings,
+    utilization,
+)
+from repro.errors import ConfigurationError
+
+
+class TestResourceEstimate:
+    def test_add(self):
+        total = ResourceEstimate(luts=1.0) + ResourceEstimate(luts=2.0, dsp=4)
+        assert total.luts == 3.0 and total.dsp == 4
+
+    def test_scale(self):
+        assert ResourceEstimate(luts=2.0).scale(3).luts == 6.0
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ResourceEstimate().scale(-1)
+
+
+class TestSamplerResources:
+    def test_streaming_saves_luts(self):
+        """Tech-2: ~91.9% LUT saving over the conventional sampler."""
+        savings = sampler_savings()
+        assert savings["lut_saving"] == pytest.approx(0.919, abs=0.005)
+
+    def test_streaming_saves_registers(self):
+        """Tech-2: ~23% register saving."""
+        savings = sampler_savings()
+        assert savings["reg_saving"] == pytest.approx(0.23, abs=0.005)
+
+    def test_streaming_needs_no_bram(self):
+        assert sampler_resources("streaming").bram_mb == 0.0
+        assert sampler_savings()["bram_saving"] == 1.0
+
+    def test_conventional_scales_with_candidates(self):
+        small = sampler_resources("reservoir", 256)
+        large = sampler_resources("reservoir", 8192)
+        assert large.luts > small.luts
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            sampler_resources("sorting")
+
+    def test_rejects_bad_candidates(self):
+        with pytest.raises(ConfigurationError):
+            sampler_resources("streaming", 0)
+
+
+class TestEngineResources:
+    def test_poc_matches_table11(self):
+        """The 2-core, 3-QSFP PoC lands on the Table 11 utilization."""
+        usage = engine_resources(num_cores=2, num_qsfp=3)
+        util = utilization(usage)
+        assert util["clbs"] == pytest.approx(0.6053, abs=0.01)
+        assert util["luts"] == pytest.approx(0.3507, abs=0.01)
+        assert util["regs"] == pytest.approx(0.2248, abs=0.01)
+        assert util["bram"] == pytest.approx(0.3929, abs=0.015)
+        assert util["uram"] == pytest.approx(0.40, abs=0.01)
+        assert util["dsp"] == pytest.approx(0.125, abs=0.01)
+
+    def test_poc_fits_device(self):
+        util = utilization(engine_resources(2, 3))
+        assert all(value < 1.0 for value in util.values())
+
+    def test_scaling_up_cores(self):
+        """Scaling-up headroom: 4 cores still fit the VU13P."""
+        util = utilization(engine_resources(4, 3))
+        assert all(value < 1.0 for value in util.values())
+
+    def test_more_cores_more_resources(self):
+        assert engine_resources(4, 3).luts > engine_resources(2, 3).luts
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            engine_resources(0, 3)
+        with pytest.raises(ConfigurationError):
+            engine_resources(2, -1)
+
+    def test_device_totals_match_table11_header(self):
+        assert VU13P_TOTALS.luts == 1728.0
+        assert VU13P_TOTALS.dsp == 12288.0

@@ -1,0 +1,90 @@
+"""Tests for repro.axe.sampling (Tech-2)."""
+
+import numpy as np
+import pytest
+
+from repro.axe.sampling import ReservoirSampler, StreamingSampler, sampling_speedup
+from repro.errors import ConfigurationError
+
+
+class TestReservoirSampler:
+    def test_cycles_n_plus_k(self):
+        assert ReservoirSampler().cycles(100, 10) == 110
+
+    def test_storage_n(self):
+        assert ReservoirSampler().storage_entries(100) == 100
+
+    def test_sample_values(self):
+        rng = np.random.default_rng(0)
+        samples, cycles, storage = ReservoirSampler().sample(
+            np.arange(50), 10, rng
+        )
+        assert len(samples) == 10
+        assert set(samples.tolist()) <= set(range(50))
+        assert cycles == 60 and storage == 50
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ReservoirSampler().sample(np.array([]), 5, np.random.default_rng(0))
+
+
+class TestStreamingSampler:
+    def test_cycles_n_only(self):
+        """Tech-2: streaming sampling needs N cycles, not N + K."""
+        assert StreamingSampler().cycles(100, 10) == 100
+
+    def test_cycles_min_k(self):
+        assert StreamingSampler().cycles(3, 10) == 10
+
+    def test_no_candidate_storage(self):
+        assert StreamingSampler().storage_entries(100) == 0
+
+    def test_sample_values(self):
+        rng = np.random.default_rng(0)
+        samples, cycles, storage = StreamingSampler().sample(
+            np.arange(100, 150), 10, rng
+        )
+        assert len(samples) == 10
+        assert set(samples.tolist()) <= set(range(100, 150))
+        assert cycles == 50
+        assert storage == 10
+
+    def test_group_structure(self):
+        rng = np.random.default_rng(1)
+        samples, _c, _s = StreamingSampler().sample(np.arange(40), 4, rng)
+        for group, pick in enumerate(samples):
+            assert group * 10 <= pick < (group + 1) * 10
+
+    def test_validation(self):
+        sampler = StreamingSampler()
+        with pytest.raises(ConfigurationError):
+            sampler.cycles(0, 5)
+        with pytest.raises(ConfigurationError):
+            sampler.sample(np.array([1]), 0, np.random.default_rng(0))
+
+
+class TestSpeedup:
+    def test_speedup_formula(self):
+        assert sampling_speedup(100, 10) == pytest.approx(1.1)
+
+    def test_speedup_grows_with_fanout_share(self):
+        assert sampling_speedup(10, 10) > sampling_speedup(1000, 10)
+
+    def test_statistical_equivalence(self):
+        """Streaming and uniform sampling draw from (nearly) the same
+        marginal distribution — the basis of the accuracy-parity claim."""
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(1)
+        n, k, trials = 30, 6, 4000
+        count_a = np.zeros(n)
+        count_b = np.zeros(n)
+        streaming = StreamingSampler()
+        reservoir = ReservoirSampler()
+        for _ in range(trials):
+            s, _, _ = streaming.sample(np.arange(n), k, rng_a)
+            r, _, _ = reservoir.sample(np.arange(n), k, rng_b)
+            count_a[s] += 1
+            count_b[r] += 1
+        # Total variation distance between empirical marginals is small.
+        pa, pb = count_a / count_a.sum(), count_b / count_b.sum()
+        assert 0.5 * np.abs(pa - pb).sum() < 0.05

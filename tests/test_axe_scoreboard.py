@@ -1,0 +1,70 @@
+"""Tests for repro.axe.scoreboard."""
+
+import pytest
+
+from repro.axe.scoreboard import OrderingScoreboard
+from repro.errors import CapacityError, SimulationError
+
+
+class TestOrderingScoreboard:
+    def test_in_order_release(self):
+        board = OrderingScoreboard(4)
+        a = board.allocate()
+        b = board.allocate()
+        board.complete(b, "b")
+        assert board.release_ready() == []  # a still pending
+        board.complete(a, "a")
+        assert board.release_ready() == ["a", "b"]
+
+    def test_release_prefix_only(self):
+        board = OrderingScoreboard(4)
+        ids = [board.allocate() for _ in range(3)]
+        board.complete(ids[0], 0)
+        board.complete(ids[2], 2)
+        assert board.release_ready() == [0]
+        board.complete(ids[1], 1)
+        assert board.release_ready() == [1, 2]
+
+    def test_capacity_enforced(self):
+        board = OrderingScoreboard(2)
+        board.allocate()
+        board.allocate()
+        assert board.full
+        with pytest.raises(CapacityError):
+            board.allocate()
+
+    def test_slots_free_after_release(self):
+        board = OrderingScoreboard(1)
+        entry = board.allocate()
+        board.complete(entry, None)
+        board.release_ready()
+        board.allocate()  # must not raise
+
+    def test_double_complete_rejected(self):
+        board = OrderingScoreboard(2)
+        entry = board.allocate()
+        board.complete(entry, None)
+        with pytest.raises(SimulationError):
+            board.complete(entry, None)
+
+    def test_unknown_entry_rejected(self):
+        board = OrderingScoreboard(2)
+        with pytest.raises(SimulationError):
+            board.complete(99, None)
+
+    def test_max_occupancy_tracked(self):
+        board = OrderingScoreboard(8)
+        ids = [board.allocate() for _ in range(5)]
+        for entry in ids:
+            board.complete(entry, None)
+        board.release_ready()
+        assert board.max_occupancy == 5
+
+    def test_occupancy(self):
+        board = OrderingScoreboard(3)
+        board.allocate()
+        assert board.occupancy == 1
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(CapacityError):
+            OrderingScoreboard(0)

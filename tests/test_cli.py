@@ -1,0 +1,85 @@
+"""Tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_footprint(self, capsys):
+        assert main(["footprint"]) == 0
+        out = capsys.readouterr().out
+        assert "syn" in out and "min_servers" in out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_access_mix(self, capsys):
+        assert main(["access-mix", "--max-nodes", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "structure%" in out
+
+    def test_e2e(self, capsys):
+        assert main(["e2e"]) == 0
+        out = capsys.readouterr().out
+        assert "sampling" in out and "storage ratio" in out
+
+    def test_poc(self, capsys):
+        assert main(["poc", "--max-nodes", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "geomean" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--max-nodes", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "mean error" in out
+
+    def test_cost(self, capsys):
+        assert main(["cost"]) == 0
+        out = capsys.readouterr().out
+        assert "ecs-re-x" in out
+
+    def test_dse(self, capsys):
+        assert main(["dse"]) == 0
+        out = capsys.readouterr().out
+        assert "mem-opt.tc" in out
+
+    def test_sampler(self, capsys):
+        assert main(["sampler"]) == 0
+        out = capsys.readouterr().out
+        assert "LUT saving" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_parser_lists_all_commands(self):
+        parser = build_parser()
+        help_text = parser.format_help()
+        for command in (
+            "footprint", "scaling", "access-mix", "e2e", "poc",
+            "validate", "cost", "dse", "sampler",
+        ):
+            assert command in help_text
+
+
+class TestExtraCommands:
+    def test_system(self, capsys):
+        from repro.cli import main
+
+        assert main(["system", "--max-nodes", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "cards" in out and "remote" in out
+
+    def test_service(self, capsys):
+        from repro.cli import main
+
+        assert main(["service"]) == 0
+        out = capsys.readouterr().out
+        assert "deadline" in out

@@ -1,0 +1,134 @@
+"""Tests for repro.cost (pricing, regression, instances — Figure 16)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cost.instances import (
+    FAAS_CONFIGS,
+    FaasInstanceConfig,
+    GPU_RULE_GBPS_PER_V100,
+    gpu_cost_for_throughput,
+)
+from repro.cost.pricing import PRICE_CATALOG, catalog_price
+from repro.cost.regression import CostModel, fit_cost_model, validate_cost_model
+from repro.units import GB, gbps_to_bytes_per_s
+
+
+class TestPricing:
+    def test_catalog_covers_all_families(self):
+        assert len(PRICE_CATALOG) == 10
+        assert any(row.fpgas for row in PRICE_CATALOG.values())
+        assert any(row.gpus for row in PRICE_CATALOG.values())
+
+    def test_prices_positive_and_ordered(self):
+        assert catalog_price("ecs-g7-s") < catalog_price("ecs-g7-l")
+
+    def test_fpga_instances_cost_more(self):
+        assert catalog_price("faas-f3-s") > catalog_price("ecs-g7-s")
+
+    def test_gpu_instance_priciest_class(self):
+        assert catalog_price("gpu-v100") > catalog_price("ecs-g7-m")
+
+    def test_unknown_product(self):
+        with pytest.raises(ConfigurationError):
+            catalog_price("ecs-q9")
+
+    def test_large_memory_premium(self):
+        """ecs-re-x carries a super-linear premium over its resources."""
+        row = PRICE_CATALOG["ecs-re-x"]
+        linear_estimate = fit_cost_model().price(*row.features())
+        assert row.price_per_hour > linear_estimate
+
+
+class TestRegression:
+    def test_fit_recovers_true_rates(self):
+        from repro.cost.pricing import TRUE_RATES
+
+        model = fit_cost_model()
+        assert model.per_vcpu == pytest.approx(TRUE_RATES["per_vcpu"], rel=0.5)
+        assert model.per_fpga == pytest.approx(TRUE_RATES["per_fpga"], rel=0.3)
+        assert model.per_gpu == pytest.approx(TRUE_RATES["per_gpu"], rel=0.3)
+
+    def test_validation_rows_cover_catalog(self):
+        rows = validate_cost_model()
+        assert {row.product_id for row in rows} == set(PRICE_CATALOG)
+
+    def test_figure16_error_structure(self):
+        """Figure 16: the model is generally accurate, except the
+        large-memory instance which it under-estimates."""
+        rows = {row.product_id: row for row in validate_cost_model()}
+        outlier = rows.pop("ecs-re-x")
+        for row in rows.values():
+            assert row.error < 0.15
+        assert outlier.predicted < outlier.listed
+        assert outlier.error > 0.05
+
+    def test_price_monotone_in_resources(self):
+        model = fit_cost_model()
+        assert model.price(8, 32) > model.price(2, 8)
+        assert model.price(2, 8, fpgas=1) > model.price(2, 8)
+        assert model.price(2, 8, gpus=1) > model.price(2, 8, fpgas=1) - 5
+
+    def test_price_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            fit_cost_model().price(-1, 8)
+
+    def test_fit_needs_enough_rows(self):
+        with pytest.raises(ConfigurationError):
+            fit_cost_model(list(PRICE_CATALOG.values())[:3])
+
+
+class TestInstances:
+    def test_table12_shapes(self):
+        assert FAAS_CONFIGS["small"].mem_bytes == 8 * GB
+        assert FAAS_CONFIGS["medium"].mem_bytes == 384 * GB
+        assert FAAS_CONFIGS["large"].mem_bytes == 512 * GB
+        assert FAAS_CONFIGS["large"].fpga_chips == 2
+
+    def test_table12_nic_quotas(self):
+        assert FAAS_CONFIGS["small"].nic_bandwidth == pytest.approx(
+            gbps_to_bytes_per_s(10)
+        )
+        assert FAAS_CONFIGS["large"].nic_bandwidth == pytest.approx(
+            gbps_to_bytes_per_s(50)
+        )
+
+    def test_table12_mof_quotas(self):
+        assert FAAS_CONFIGS["medium"].mof_bandwidth == pytest.approx(
+            gbps_to_bytes_per_s(200)
+        )
+        assert FAAS_CONFIGS["large"].mof_bandwidth == pytest.approx(
+            gbps_to_bytes_per_s(800)
+        )
+
+    def test_instance_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaasInstanceConfig("x", 0, 1, 1, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            FaasInstanceConfig("x", 2, 8 * GB, 1, 0, 1.0)
+
+    def test_gpu_rule(self):
+        model = fit_cost_model()
+        cost_12 = gpu_cost_for_throughput(model, GPU_RULE_GBPS_PER_V100 * GB)
+        gpu_price = model.price(12, 92, gpus=1)
+        assert cost_12 == pytest.approx(gpu_price)
+
+    def test_gpu_rule_scales_fractionally(self):
+        model = fit_cost_model()
+        half = gpu_cost_for_throughput(model, 6 * GB)
+        full = gpu_cost_for_throughput(model, 12 * GB)
+        assert half == pytest.approx(full / 2)
+
+    def test_gpu_rule_sensitivity_knob(self):
+        """Limitation-2: 10 V100s per 12GB/s inflates GPU cost 10x."""
+        model = fit_cost_model()
+        base = gpu_cost_for_throughput(model, 12 * GB, gpus_per_12gbps=1)
+        deep = gpu_cost_for_throughput(model, 12 * GB, gpus_per_12gbps=10)
+        assert deep == pytest.approx(10 * base)
+
+    def test_gpu_rule_validation(self):
+        model = fit_cost_model()
+        with pytest.raises(ConfigurationError):
+            gpu_cost_for_throughput(model, -1)
+        with pytest.raises(ConfigurationError):
+            gpu_cost_for_throughput(model, 1, gpus_per_12gbps=0)

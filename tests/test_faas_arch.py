@@ -1,0 +1,119 @@
+"""Tests for repro.faas.arch (Table 8)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faas.arch import (
+    EIGHT_ARCHITECTURES,
+    FaasArchitecture,
+    OutputPath,
+    RemotePath,
+    get_architecture,
+    output_bandwidth_per_chip,
+)
+from repro.units import GB
+
+
+class TestTaxonomy:
+    def test_eight_architectures(self):
+        assert len(EIGHT_ARCHITECTURES) == 8
+        names = {arch.name for arch in EIGHT_ARCHITECTURES}
+        assert names == {
+            f"{c}.{k}"
+            for c in ("base", "cost-opt", "comm-opt", "mem-opt")
+            for k in ("tc", "decp")
+        }
+
+    def test_base_uses_nic(self):
+        assert get_architecture("base.tc").remote_path is RemotePath.NIC
+        assert get_architecture("base.decp").remote_path is RemotePath.NIC
+
+    def test_comm_opt_uses_mof(self):
+        assert get_architecture("comm-opt.tc").remote_path is RemotePath.MOF
+
+    def test_mem_opt_uses_fpga_dram(self):
+        arch = get_architecture("mem-opt.tc")
+        assert arch.graph_in_fpga_dram
+        assert arch.local_bw_per_chip == pytest.approx(102.4 * GB)
+
+    def test_others_use_pcie_host(self):
+        for name in ("base.tc", "cost-opt.decp", "comm-opt.tc"):
+            arch = get_architecture(name)
+            assert not arch.graph_in_fpga_dram
+            assert arch.local_bw_per_chip == 16 * GB
+
+    def test_decoupled_outputs_over_nic(self):
+        for arch in EIGHT_ARCHITECTURES:
+            if arch.coupling == "decp":
+                assert arch.output_path is OutputPath.NIC
+
+    def test_mem_opt_tc_fast_link(self):
+        assert get_architecture("mem-opt.tc").output_path is OutputPath.FAST_LINK
+
+    def test_other_tc_pcie_p2p(self):
+        for name in ("base.tc", "cost-opt.tc", "comm-opt.tc"):
+            assert get_architecture(name).output_path is OutputPath.PCIE_P2P
+
+    def test_core_counts_follow_section6(self):
+        assert get_architecture("base.tc").axe_cores == 3
+        assert get_architecture("cost-opt.tc").axe_cores == 2
+        assert get_architecture("comm-opt.decp").axe_cores == 2
+        assert get_architecture("mem-opt.tc").axe_cores == 10
+        assert get_architecture("mem-opt.decp").axe_cores == 2
+
+    def test_cost_opt_lower_latency_than_base(self):
+        """On-FPGA NIC bypasses PCIe, shortening the remote path."""
+        assert (
+            get_architecture("cost-opt.tc").remote_latency_s
+            < get_architecture("base.tc").remote_latency_s
+        )
+
+    def test_mof_lowest_latency(self):
+        assert (
+            get_architecture("comm-opt.tc").remote_latency_s
+            < get_architecture("cost-opt.tc").remote_latency_s
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_architecture("hyper-opt.tc")
+
+
+class TestOutputBandwidth:
+    def test_pcie_p2p(self):
+        assert output_bandwidth_per_chip(get_architecture("base.tc")) == 16 * GB
+
+    def test_fast_link(self):
+        assert output_bandwidth_per_chip(get_architecture("mem-opt.tc")) == 300 * GB
+
+    def test_nic_output_rejected(self):
+        with pytest.raises(ConfigurationError):
+            output_bandwidth_per_chip(get_architecture("base.decp"))
+
+
+class TestValidation:
+    def test_bad_coupling(self):
+        with pytest.raises(ConfigurationError):
+            FaasArchitecture(
+                constraint="base",
+                coupling="loose",
+                remote_path=RemotePath.NIC,
+                output_path=OutputPath.NIC,
+                local_bw_per_chip=1.0,
+                graph_in_fpga_dram=False,
+                remote_latency_s=1e-6,
+                axe_cores=1,
+            )
+
+    def test_bad_cores(self):
+        with pytest.raises(ConfigurationError):
+            FaasArchitecture(
+                constraint="base",
+                coupling="tc",
+                remote_path=RemotePath.NIC,
+                output_path=OutputPath.PCIE_P2P,
+                local_bw_per_chip=1.0,
+                graph_in_fpga_dram=False,
+                remote_latency_s=1e-6,
+                axe_cores=0,
+            )

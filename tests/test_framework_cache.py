@@ -1,0 +1,80 @@
+"""Tests for repro.framework.cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.framework.cache import HotNodeCache
+
+
+class TestHotNodeCache:
+    def test_miss_then_hit(self):
+        cache = HotNodeCache(4)
+        assert cache.get_neighbors(1) is None
+        cache.put_neighbors(1, np.array([2, 3]))
+        assert cache.get_neighbors(1).tolist() == [2, 3]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = HotNodeCache(2)
+        cache.put_neighbors(1, np.array([0]))
+        cache.put_neighbors(2, np.array([0]))
+        cache.get_neighbors(1)  # touch 1 so 2 is LRU
+        cache.put_neighbors(3, np.array([0]))
+        assert cache.get_neighbors(2) is None
+        assert cache.get_neighbors(1) is not None
+
+    def test_attribute_cache_independent(self):
+        cache = HotNodeCache(2)
+        cache.put_neighbors(1, np.array([5]))
+        assert cache.get_attributes(1) is None
+        cache.put_attributes(1, np.array([1.0, 2.0]))
+        assert cache.get_attributes(1).tolist() == [1.0, 2.0]
+
+    def test_attribute_eviction(self):
+        cache = HotNodeCache(1)
+        cache.put_attributes(1, np.zeros(2))
+        cache.put_attributes(2, np.zeros(2))
+        assert cache.get_attributes(1) is None
+        assert cache.get_attributes(2) is not None
+
+    def test_put_updates_existing(self):
+        cache = HotNodeCache(2)
+        cache.put_neighbors(1, np.array([9]))
+        cache.put_neighbors(1, np.array([7]))
+        assert cache.get_neighbors(1).tolist() == [7]
+
+    def test_hit_rate(self):
+        cache = HotNodeCache(4)
+        cache.put_neighbors(1, np.array([0]))
+        cache.get_neighbors(1)
+        cache.get_neighbors(2)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_empty(self):
+        assert HotNodeCache(1).hit_rate == 0.0
+
+    def test_reset_stats_keeps_contents(self):
+        cache = HotNodeCache(4)
+        cache.put_neighbors(1, np.array([0]))
+        cache.get_neighbors(1)
+        cache.reset_stats()
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.get_neighbors(1) is not None
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            HotNodeCache(0)
+
+    def test_lsd_gnn_reuse_is_low(self):
+        """Tech-4's premise: random 512-batches over a large graph have
+        almost no temporal reuse for a small cache."""
+        rng = np.random.default_rng(0)
+        cache = HotNodeCache(capacity_nodes=1024)  # "hardware-sized"
+        num_nodes = 1_000_000
+        for _ in range(20):
+            batch = rng.integers(0, num_nodes, 512)
+            for node in batch:
+                if cache.get_neighbors(int(node)) is None:
+                    cache.put_neighbors(int(node), np.empty(0, dtype=np.int64))
+        assert cache.hit_rate < 0.01

@@ -1,0 +1,69 @@
+"""Tests for repro.framework.cluster (Figure 2b)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.framework.cluster import ClusterModel, ScalingPoint, _geomean
+from repro.framework.cpu_model import CpuSamplingModel, WorkloadShape
+from repro.graph.datasets import DATASET_ORDER, get_dataset
+
+
+@pytest.fixture
+def model():
+    return ClusterModel(CpuSamplingModel(), vcpus_per_server=32)
+
+
+@pytest.fixture
+def shapes():
+    return [WorkloadShape.from_spec(get_dataset(name)) for name in DATASET_ORDER]
+
+
+class TestScaling:
+    def test_throughput_grows_with_servers(self, model, shapes):
+        assert model.throughput(shapes[0], 15) > model.throughput(shapes[0], 1)
+
+    def test_sublinear_scaling(self, model, shapes):
+        """Observation-2: speedup is clearly below linear at 15 servers."""
+        curve = model.scaling_curve(shapes[1], (1, 5, 15))
+        assert curve[1].speedup_vs_one < 5
+        assert curve[2].speedup_vs_one < 15
+
+    def test_efficiency_declines(self, model, shapes):
+        curve = model.scaling_curve(shapes[1], (1, 5, 15))
+        efficiencies = [point.efficiency for point in curve]
+        assert efficiencies[0] >= efficiencies[1] >= efficiencies[2]
+
+    def test_first_point_speedup_one(self, model, shapes):
+        curve = model.scaling_curve(shapes[0], (1, 5))
+        assert curve[0].speedup_vs_one == pytest.approx(1.0)
+
+    def test_average_curve_structure(self, model, shapes):
+        curve = model.average_scaling_curve(shapes, (1, 5, 15))
+        assert [point.num_servers for point in curve] == [1, 5, 15]
+        assert all(isinstance(point, ScalingPoint) for point in curve)
+
+    def test_average_sublinear(self, model, shapes):
+        curve = model.average_scaling_curve(shapes, (1, 5, 15))
+        assert 1.5 < curve[1].speedup_vs_one < 5.0
+        assert 3.0 < curve[2].speedup_vs_one < 15.0
+
+    def test_rejects_empty_counts(self, model, shapes):
+        with pytest.raises(ConfigurationError):
+            model.scaling_curve(shapes[0], ())
+
+    def test_rejects_empty_shapes(self, model):
+        with pytest.raises(ConfigurationError):
+            model.average_scaling_curve([], (1,))
+
+    def test_rejects_bad_vcpus(self):
+        with pytest.raises(ConfigurationError):
+            ClusterModel(CpuSamplingModel(), vcpus_per_server=0)
+
+
+class TestGeomean:
+    def test_geomean_value(self):
+        assert _geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            _geomean([1.0, 0.0])

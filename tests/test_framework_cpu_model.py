@@ -1,0 +1,100 @@
+"""Tests for repro.framework.cpu_model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.framework.cpu_model import CpuSamplingModel, WorkloadShape
+from repro.graph.datasets import DATASET_ORDER, get_dataset
+
+
+@pytest.fixture
+def shape():
+    return WorkloadShape.from_spec(get_dataset("ls"))
+
+
+class TestWorkloadShape:
+    def test_counts_for_two_hop(self, shape):
+        assert shape.neighbor_ops == 11  # root + 10 hop-1 nodes
+        assert shape.attr_nodes == 121  # 111 sampled + 10 negatives
+
+    def test_one_hop_counts(self):
+        shape = WorkloadShape.from_spec(
+            get_dataset("ss"), fanouts=(5,), negative_rate=0
+        )
+        assert shape.neighbor_ops == 1
+        assert shape.attr_nodes == 6
+
+    def test_attribute_bytes_scale_with_attr_len(self):
+        small = WorkloadShape.from_spec(get_dataset("ss"))
+        large = WorkloadShape.from_spec(get_dataset("ll"))
+        assert large.attribute_bytes > small.attribute_bytes
+
+    def test_fetch_is_structure_plus_attrs(self, shape):
+        assert shape.fetch_bytes == pytest.approx(
+            shape.structure_bytes + shape.attribute_bytes
+        )
+
+    def test_access_mix_normalized(self, shape):
+        assert sum(shape.access_mix.values()) == pytest.approx(1.0)
+
+    def test_mean_request_between_extremes(self, shape):
+        sizes = list(shape.access_mix)
+        assert min(sizes) < shape.mean_request_bytes < max(sizes)
+
+    def test_rejects_empty_fanouts(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadShape.from_spec(get_dataset("ss"), fanouts=())
+
+
+class TestCpuSamplingModel:
+    def test_remote_fraction(self):
+        model = CpuSamplingModel()
+        assert model.remote_fraction(1) == 0.0
+        assert model.remote_fraction(4) == pytest.approx(0.75)
+
+    def test_remote_fraction_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            CpuSamplingModel().remote_fraction(0)
+
+    def test_more_servers_slower_per_vcpu(self, shape):
+        model = CpuSamplingModel()
+        assert model.roots_per_second(shape, 1) > model.roots_per_second(shape, 15)
+
+    def test_software_cost_dominates_single_server(self, shape):
+        model = CpuSamplingModel()
+        touched = shape.neighbor_ops + shape.attr_nodes
+        expected = 1.0 / (touched * model.per_node_software_s)
+        assert model.roots_per_second(shape, 1) == pytest.approx(expected)
+
+    def test_rate_is_hundreds_of_roots(self, shape):
+        """Calibrated range: a vCPU samples a few hundred roots/s, which
+        puts one PoC FPGA at ~894 vCPUs (Figure 14)."""
+        model = CpuSamplingModel()
+        rate = model.roots_per_second(shape, 3)
+        assert 200 < rate < 800
+
+    def test_batches_per_second(self, shape):
+        model = CpuSamplingModel()
+        assert model.batches_per_second(shape, 3, batch_size=512) == pytest.approx(
+            model.roots_per_second(shape, 3) / 512
+        )
+
+    def test_batches_rejects_bad_batch(self, shape):
+        with pytest.raises(ConfigurationError):
+            CpuSamplingModel().batches_per_second(shape, 3, batch_size=0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CpuSamplingModel(per_node_software_s=0)
+        with pytest.raises(ConfigurationError):
+            CpuSamplingModel(outstanding_per_vcpu=0)
+
+    def test_more_outstanding_faster(self, shape):
+        slow = CpuSamplingModel(outstanding_per_vcpu=1)
+        fast = CpuSamplingModel(outstanding_per_vcpu=16)
+        assert fast.roots_per_second(shape, 8) > slow.roots_per_second(shape, 8)
+
+    @pytest.mark.parametrize("name", DATASET_ORDER)
+    def test_all_datasets_positive_rates(self, name):
+        shape = WorkloadShape.from_spec(get_dataset(name))
+        assert CpuSamplingModel().roots_per_second(shape, 5) > 0

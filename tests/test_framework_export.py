@@ -1,0 +1,78 @@
+"""Tests for repro.framework.export (batch serialization)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.framework.export import batch_nbytes, load_batch, save_batch
+from repro.framework.requests import SampleRequest, SampleResult
+from repro.framework.sampler import MultiHopSampler
+from repro.graph.generators import power_law_graph
+from repro.graph.partition import HashPartitioner
+from repro.memstore.store import PartitionedStore
+
+
+@pytest.fixture
+def sampled_batch():
+    graph = power_law_graph(500, 6.0, attr_len=8, seed=0)
+    store = PartitionedStore(graph, HashPartitioner(2))
+    sampler = MultiHopSampler(store, seed=0)
+    return sampler.sample(
+        SampleRequest(roots=np.arange(16), fanouts=(5, 3))
+    )
+
+
+class TestRoundtrip:
+    def test_layers_roundtrip(self, sampled_batch, tmp_path):
+        path = tmp_path / "batch.npz"
+        save_batch(sampled_batch, path)
+        loaded = load_batch(path)
+        assert len(loaded.layers) == len(sampled_batch.layers)
+        for original, restored in zip(sampled_batch.layers, loaded.layers):
+            assert np.array_equal(original, restored)
+
+    def test_attributes_roundtrip(self, sampled_batch, tmp_path):
+        path = tmp_path / "batch.npz"
+        save_batch(sampled_batch, path)
+        loaded = load_batch(path)
+        assert loaded.attributes is not None
+        for original, restored in zip(
+            sampled_batch.attributes, loaded.attributes
+        ):
+            assert np.allclose(original, restored)
+
+    def test_without_attributes(self, tmp_path):
+        result = SampleResult(layers=[np.arange(4), np.arange(8).reshape(4, 2)])
+        path = tmp_path / "ids.npz"
+        save_batch(result, path)
+        loaded = load_batch(path)
+        assert loaded.attributes is None
+        assert np.array_equal(loaded.layers[1], result.layers[1])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_batch(tmp_path / "nope.npz")
+
+    def test_empty_result_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_batch(SampleResult(), tmp_path / "x.npz")
+
+    def test_misaligned_attributes_rejected(self, tmp_path):
+        result = SampleResult(
+            layers=[np.arange(4), np.arange(8).reshape(4, 2)],
+            attributes=[np.zeros((4, 2))],
+        )
+        with pytest.raises(ConfigurationError):
+            save_batch(result, tmp_path / "x.npz")
+
+
+class TestBatchBytes:
+    def test_batch_nbytes_counts_everything(self, sampled_batch):
+        nbytes = batch_nbytes(sampled_batch)
+        id_bytes = sum(layer.nbytes for layer in sampled_batch.layers)
+        attr_bytes = sum(attr.nbytes for attr in sampled_batch.attributes)
+        assert nbytes == id_bytes + attr_bytes
+
+    def test_ids_only(self):
+        result = SampleResult(layers=[np.arange(4, dtype=np.int64)])
+        assert batch_nbytes(result) == 32

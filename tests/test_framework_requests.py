@@ -1,0 +1,76 @@
+"""Tests for repro.framework.requests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.framework.requests import (
+    NegativeSampleRequest,
+    SampleRequest,
+    SampleResult,
+)
+
+
+class TestSampleRequest:
+    def test_basic_fields(self):
+        request = SampleRequest(roots=np.array([1, 2, 3]), fanouts=(5, 2))
+        assert request.batch_size == 3
+        assert request.num_hops == 2
+
+    def test_nodes_per_root(self):
+        request = SampleRequest(roots=np.array([0]), fanouts=(10, 10))
+        assert request.nodes_per_root() == 111
+
+    def test_nodes_per_root_one_hop(self):
+        request = SampleRequest(roots=np.array([0]), fanouts=(7,))
+        assert request.nodes_per_root() == 8
+
+    def test_rejects_empty_roots(self):
+        with pytest.raises(ConfigurationError):
+            SampleRequest(roots=np.array([]), fanouts=(5,))
+
+    def test_rejects_empty_fanouts(self):
+        with pytest.raises(ConfigurationError):
+            SampleRequest(roots=np.array([1]), fanouts=())
+
+    def test_rejects_nonpositive_fanout(self):
+        with pytest.raises(ConfigurationError):
+            SampleRequest(roots=np.array([1]), fanouts=(5, 0))
+
+    def test_roots_coerced_to_int64(self):
+        request = SampleRequest(roots=[1, 2], fanouts=(2,))
+        assert request.roots.dtype == np.int64
+
+
+class TestNegativeSampleRequest:
+    def test_valid(self):
+        request = NegativeSampleRequest(pairs=np.array([[0, 1], [2, 3]]), rate=5)
+        assert request.pairs.shape == (2, 2)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            NegativeSampleRequest(pairs=np.array([1, 2, 3]), rate=5)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            NegativeSampleRequest(pairs=np.array([[0, 1]]), rate=0)
+
+
+class TestSampleResult:
+    def test_total_nodes(self):
+        result = SampleResult(
+            layers=[np.zeros(4, dtype=np.int64), np.zeros((4, 10), dtype=np.int64)]
+        )
+        assert result.total_nodes() == 44
+        assert result.num_hops == 1
+
+    def test_flat_nodes(self):
+        result = SampleResult(
+            layers=[np.array([1, 2]), np.array([[3, 4], [5, 6]])]
+        )
+        assert result.flat_nodes().tolist() == [1, 2, 3, 4, 5, 6]
+
+    def test_empty_result(self):
+        result = SampleResult()
+        assert result.total_nodes() == 0
+        assert result.flat_nodes().size == 0

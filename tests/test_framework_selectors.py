@@ -1,0 +1,98 @@
+"""Tests for repro.framework.selectors (uniform vs streaming, Tech-2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.framework.selectors import (
+    SELECTORS,
+    get_selector,
+    select_streaming,
+    select_uniform,
+)
+
+
+class TestUniform:
+    def test_samples_from_input(self):
+        rng = np.random.default_rng(0)
+        neighbors = np.array([5, 7, 9])
+        picks = select_uniform(neighbors, 10, rng)
+        assert len(picks) == 10
+        assert set(picks.tolist()) <= {5, 7, 9}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            select_uniform(np.array([]), 3, np.random.default_rng(0))
+
+    def test_rejects_bad_fanout(self):
+        with pytest.raises(ConfigurationError):
+            select_uniform(np.array([1]), 0, np.random.default_rng(0))
+
+
+class TestStreaming:
+    def test_samples_from_input(self):
+        rng = np.random.default_rng(0)
+        neighbors = np.arange(100, 130)
+        picks = select_streaming(neighbors, 10, rng)
+        assert len(picks) == 10
+        assert set(picks.tolist()) <= set(neighbors.tolist())
+
+    def test_one_pick_per_group(self):
+        """Each of the K picks must come from its contiguous group."""
+        rng = np.random.default_rng(1)
+        n, k = 40, 4
+        neighbors = np.arange(n)
+        picks = select_streaming(neighbors, k, rng)
+        for group, pick in enumerate(picks):
+            assert group * n // k <= pick < (group + 1) * n // k
+
+    def test_small_list_wraps(self):
+        rng = np.random.default_rng(2)
+        picks = select_streaming(np.array([3, 4]), 6, rng)
+        assert len(picks) == 6
+        assert set(picks.tolist()) <= {3, 4}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            select_streaming(np.array([]), 3, np.random.default_rng(0))
+
+    def test_near_uniform_marginals(self):
+        """The paper's accuracy-parity claim rests on step-based sampling
+        being statistically close to uniform: every element's selection
+        probability is K/N exactly when K divides N."""
+        rng = np.random.default_rng(3)
+        n, k, trials = 20, 4, 6000
+        counts = np.zeros(n)
+        for _ in range(trials):
+            picks = select_streaming(np.arange(n), k, rng)
+            counts[picks] += 1
+        expected = trials * k / n
+        # Chi-square-ish tolerance: all within 15% of expectation.
+        assert (np.abs(counts - expected) / expected < 0.15).all()
+
+    def test_streaming_covers_distinct_groups(self):
+        """Unlike uniform-with-replacement, streaming never picks twice
+        from the same group — it has provably better spread."""
+        rng = np.random.default_rng(4)
+        n, k = 100, 10
+        picks = select_streaming(np.arange(n), k, rng)
+        groups = picks // (n // k)
+        assert len(set(groups.tolist())) == k
+
+
+class TestRegistry:
+    def test_get_selector(self):
+        assert get_selector("uniform") is select_uniform
+        assert get_selector("streaming") is select_streaming
+
+    def test_registry_complete(self):
+        assert set(SELECTORS) == {
+            "uniform",
+            "streaming",
+            "weighted",
+            "streaming_weighted",
+        }
+
+    def test_unknown_selector(self):
+        with pytest.raises(ConfigurationError):
+            get_selector("sorted")

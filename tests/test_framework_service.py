@@ -1,0 +1,104 @@
+"""Tests for repro.framework.service (queueing/latency simulation)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.framework.service import ServiceConfig, ServiceReport, run_service
+
+
+class TestServiceSimulation:
+    def test_all_batches_complete(self):
+        config = ServiceConfig(num_workers=4, batches_per_worker=3)
+        report = run_service(config, seed=0)
+        assert report.total_batches == 12
+        assert all(lat > 0 for lat in report.batch_latencies_s)
+
+    def test_deterministic(self):
+        config = ServiceConfig(num_workers=2, batches_per_worker=2)
+        a = run_service(config, seed=3)
+        b = run_service(config, seed=3)
+        assert a.batch_latencies_s == b.batch_latencies_s
+
+    def test_p99_at_least_p50(self):
+        report = run_service(ServiceConfig(num_workers=8, batches_per_worker=4))
+        assert report.p99 >= report.p50 > 0
+
+    def test_contention_raises_latency(self):
+        """More workers on the same servers -> higher tail latency."""
+        quiet = run_service(
+            ServiceConfig(num_workers=1, batches_per_worker=4), seed=0
+        )
+        busy = run_service(
+            ServiceConfig(num_workers=24, batches_per_worker=4), seed=0
+        )
+        assert busy.p99 > quiet.p99
+
+    def test_more_servers_cut_latency(self):
+        few = run_service(
+            ServiceConfig(num_servers=2, num_workers=12), seed=0
+        )
+        many = run_service(
+            ServiceConfig(num_servers=8, num_workers=12), seed=0
+        )
+        assert many.p50 < few.p50
+
+    def test_throughput_grows_with_workers_then_saturates(self):
+        rates = []
+        for workers in (1, 4, 16, 64):
+            report = run_service(
+                ServiceConfig(num_workers=workers, batches_per_worker=2), seed=1
+            )
+            rates.append(report.throughput_batches_per_s)
+        assert rates[1] > rates[0]
+        # Saturation: the last doubling gains less than the first.
+        assert rates[3] / rates[2] < rates[1] / rates[0]
+
+    def test_deadline_miss_rate_monotone(self):
+        report = run_service(ServiceConfig(num_workers=16), seed=0)
+        tight = report.deadline_miss_rate(report.p50 * 0.5)
+        loose = report.deadline_miss_rate(report.p99 * 2)
+        assert tight > loose
+        assert loose == 0.0
+
+    def test_inference_deadline_story(self):
+        """Challenge-1: under load, a deadline placed at the quiet-system
+        p99 is missed by a loaded system."""
+        quiet = run_service(
+            ServiceConfig(num_workers=1, batches_per_worker=6), seed=0
+        )
+        deadline = quiet.p99 * 1.2
+        loaded = run_service(
+            ServiceConfig(num_workers=32, batches_per_worker=3), seed=0
+        )
+        assert loaded.deadline_miss_rate(deadline) > 0.3
+
+    def test_queue_depth_tracked(self):
+        report = run_service(ServiceConfig(num_workers=16), seed=0)
+        assert report.server_max_queue >= 1
+
+    def test_faster_service_cuts_latency(self):
+        slow = run_service(ServiceConfig(per_key_service_s=6e-6), seed=0)
+        fast = run_service(ServiceConfig(per_key_service_s=1e-6), seed=0)
+        assert fast.p50 < slow.p50
+
+
+class TestValidation:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(num_servers=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(per_key_service_s=0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(fanouts=())
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(batches_per_worker=0)
+
+    def test_report_validation(self):
+        report = ServiceReport([], 0.0, 0, 0)
+        with pytest.raises(ConfigurationError):
+            report.percentile(50)
+        with pytest.raises(ConfigurationError):
+            ServiceReport([1.0], 1.0, 1, 1).deadline_miss_rate(0)
+
+    def test_empty_report_miss_rate(self):
+        assert ServiceReport([], 0.0, 0, 0).deadline_miss_rate(1.0) == 0.0

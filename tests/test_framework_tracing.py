@@ -1,0 +1,49 @@
+"""Tests for repro.framework.tracing (Figure 2c)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.framework.tracing import characterize_access_mix
+from repro.graph.datasets import instantiate_dataset
+from repro.graph.generators import power_law_graph
+
+
+class TestAccessMix:
+    def test_structure_fraction_near_half(self):
+        """Observation-2: ~48% of accesses (by count) are fine-grained
+        structure accesses; our model lands in the 40-65% band."""
+        graph = instantiate_dataset("ml", max_nodes=5000, seed=0)
+        report = characterize_access_mix(graph, "ml", batch_size=32, num_batches=2)
+        assert 0.40 < report.structure_count_fraction < 0.65
+
+    def test_structure_accesses_are_fine_grained(self):
+        graph = instantiate_dataset("ss", max_nodes=4000, seed=0)
+        report = characterize_access_mix(graph, "ss", batch_size=16, num_batches=2)
+        # Paper: 8-64B indirect accesses.
+        assert report.mean_structure_bytes < 128
+        assert report.mean_attribute_bytes > report.mean_structure_bytes
+
+    def test_attribute_bytes_dominate(self):
+        graph = instantiate_dataset("ll", max_nodes=4000, seed=0)
+        report = characterize_access_mix(graph, "ll", batch_size=16, num_batches=2)
+        assert report.structure_bytes_fraction < 0.5
+
+    def test_remote_fraction_tracks_partitions(self):
+        graph = power_law_graph(3000, 6.0, attr_len=8, seed=1)
+        few = characterize_access_mix(graph, num_partitions=2, batch_size=16)
+        many = characterize_access_mix(graph, num_partitions=16, batch_size=16)
+        assert many.remote_count_fraction > few.remote_count_fraction
+
+    def test_worker_partition_none_is_local(self):
+        graph = power_law_graph(1000, 4.0, attr_len=4, seed=1)
+        report = characterize_access_mix(graph, worker_partition=None, batch_size=8)
+        assert report.remote_count_fraction == 0.0
+
+    def test_rejects_bad_batching(self):
+        graph = power_law_graph(100, 2.0, attr_len=4, seed=1)
+        with pytest.raises(ConfigurationError):
+            characterize_access_mix(graph, batch_size=0)
+
+    def test_report_name_default(self):
+        graph = power_law_graph(100, 2.0, attr_len=4, seed=1)
+        assert characterize_access_mix(graph, batch_size=4).name == "graph"

@@ -1,0 +1,112 @@
+"""Tests for repro.gnn.gcn (and the on-FPGA reduction equivalence)."""
+
+import numpy as np
+import pytest
+
+from repro.axe.vpu import VectorUnit
+from repro.errors import ConfigurationError
+from repro.gnn.gcn import GcnEncoder, GcnLayer
+
+
+def features_for(batch, fanouts, attr_len, seed=0):
+    rng = np.random.default_rng(seed)
+    out = [rng.standard_normal((batch, attr_len)).astype(np.float32)]
+    width = 1
+    for fanout in fanouts:
+        width *= fanout
+        out.append(rng.standard_normal((batch, width, attr_len)).astype(np.float32))
+    return out
+
+
+class TestGcnLayer:
+    def test_forward_shape(self):
+        layer = GcnLayer(6, 4, seed=0)
+        out = layer.forward(
+            np.zeros((2, 3, 6), dtype=np.float32),
+            np.zeros((2, 3, 5, 6), dtype=np.float32),
+        )
+        assert out.shape == (2, 3, 4)
+
+    def test_mean_includes_self(self):
+        layer = GcnLayer(2, 2, activation="linear", seed=0)
+        layer.linear.weight = np.eye(2, dtype=np.float32)
+        layer.linear.bias = np.zeros(2, dtype=np.float32)
+        self_feats = np.full((1, 1, 2), 4.0, dtype=np.float32)
+        neighbors = np.zeros((1, 1, 3, 2), dtype=np.float32)
+        out = layer.forward(self_feats, neighbors)
+        assert np.allclose(out, 1.0)  # (4 + 0 + 0 + 0) / 4
+
+    def test_backward_shapes(self):
+        layer = GcnLayer(6, 4, seed=0)
+        self_feats = np.random.default_rng(0).standard_normal((2, 3, 6)).astype(np.float32)
+        neighbors = np.random.default_rng(1).standard_normal((2, 3, 5, 6)).astype(np.float32)
+        out = layer.forward(self_feats, neighbors)
+        grad_self, grad_neighbors = layer.backward(np.ones_like(out))
+        assert grad_self.shape == self_feats.shape
+        assert grad_neighbors.shape == neighbors.shape
+
+    def test_shape_mismatch(self):
+        layer = GcnLayer(4, 4)
+        with pytest.raises(ConfigurationError):
+            layer.forward(np.zeros((1, 2, 4)), np.zeros((1, 3, 5, 4)))
+
+
+class TestGcnEncoder:
+    def test_forward_shape(self):
+        encoder = GcnEncoder(8, 16, (4, 3), seed=0)
+        out = encoder.forward(features_for(5, (4, 3), 8))
+        assert out.shape == (5, 16)
+
+    def test_trains_toward_target(self):
+        encoder = GcnEncoder(6, 8, (3,), seed=0)
+        features = features_for(8, (3,), 6, seed=1)
+        target = np.random.default_rng(2).standard_normal((8, 8)).astype(np.float32)
+        first = None
+        for _ in range(60):
+            out = encoder.forward(features)
+            diff = out - target
+            loss = float(0.5 * np.sum(diff**2))
+            if first is None:
+                first = loss
+            encoder.layers[0].backward(diff[:, None, :])
+            encoder.step(0.01)
+        assert loss < 0.5 * first
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GcnEncoder(0, 8, (3,))
+        encoder = GcnEncoder(4, 8, (3,))
+        with pytest.raises(ConfigurationError):
+            encoder.forward(features_for(2, (3, 2), 4))
+
+
+class TestReductionEquivalence:
+    def test_vpu_reduced_path_matches_full_path(self):
+        """The paper's GCN argument, end to end: aggregating on-FPGA
+        (VPU mean over the closed neighborhood) and shipping only the
+        reduced rows produces the SAME encoder output as shipping all
+        rows and aggregating on the host."""
+        batch, fanout, attr = 6, 5, 8
+        rng = np.random.default_rng(0)
+        self_feats = rng.standard_normal((batch, 1, attr)).astype(np.float32)
+        neighbors = rng.standard_normal((batch, 1, fanout, attr)).astype(np.float32)
+
+        encoder = GcnEncoder(attr, 4, (fanout,), seed=1)
+        full = encoder.forward(
+            [self_feats[:, 0, :], neighbors.reshape(batch, fanout, attr)]
+        )
+
+        # On-FPGA: the VPU computes the closed-neighborhood mean.
+        vpu = VectorUnit()
+        closed = np.concatenate(
+            [self_feats[:, :, None, :], neighbors], axis=2
+        ).reshape(batch, fanout + 1, attr)
+        reduced, _cycles = vpu.reduce_neighborhood("mean", closed)
+        off_fpga = encoder.forward_from_reduced([reduced[:, None, :]])
+
+        assert np.allclose(full, off_fpga, atol=1e-5)
+
+    def test_reduced_path_rejects_multihop(self):
+        encoder = GcnEncoder(4, 4, (3, 2))
+        with pytest.raises(ConfigurationError):
+            encoder.forward_from_reduced([np.zeros((2, 1, 4))])

@@ -1,0 +1,160 @@
+"""Tests for repro.gnn.models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gnn.models import DSSM, GraphSageEncoder
+
+
+def random_features(batch, fanouts, attr_len, seed=0):
+    rng = np.random.default_rng(seed)
+    features = [rng.standard_normal((batch, attr_len)).astype(np.float32)]
+    width = 1
+    for fanout in fanouts:
+        width *= fanout
+        features.append(
+            rng.standard_normal((batch, width, attr_len)).astype(np.float32)
+        )
+    return features
+
+
+class TestGraphSageEncoder:
+    def test_forward_shape(self):
+        encoder = GraphSageEncoder(8, 16, (4, 3), seed=0)
+        features = random_features(5, (4, 3), 8)
+        out = encoder.forward(features)
+        assert out.shape == (5, 16)
+
+    def test_one_hop(self):
+        encoder = GraphSageEncoder(6, 4, (5,), seed=0)
+        out = encoder.forward(random_features(3, (5,), 6))
+        assert out.shape == (3, 4)
+
+    def test_rejects_wrong_level_count(self):
+        encoder = GraphSageEncoder(6, 4, (5,), seed=0)
+        with pytest.raises(ConfigurationError):
+            encoder.forward(random_features(3, (5, 2), 6))
+
+    def test_rejects_wrong_width(self):
+        encoder = GraphSageEncoder(6, 4, (5,), seed=0)
+        features = random_features(3, (5,), 6)
+        features[1] = features[1][:, :4, :]  # width 4 instead of 5
+        with pytest.raises(ConfigurationError):
+            encoder.forward(features)
+
+    def test_forward_backward_returns_loss(self):
+        encoder = GraphSageEncoder(6, 8, (3, 2), seed=0)
+        features = random_features(4, (3, 2), 6)
+
+        def grad_fn(embeddings):
+            loss = float(0.5 * np.sum(embeddings**2))
+            return loss, embeddings.astype(np.float32)
+
+        embeddings, loss = encoder.forward_backward(features, grad_fn)
+        assert embeddings.shape == (4, 8)
+        assert loss > 0
+
+    def test_forward_backward_matches_forward(self):
+        encoder = GraphSageEncoder(6, 8, (3, 2), seed=0)
+        features = random_features(4, (3, 2), 6)
+        reference = encoder.forward(features)
+
+        def grad_fn(embeddings):
+            return 0.0, np.zeros_like(embeddings, dtype=np.float32)
+
+        embeddings, _loss = encoder.forward_backward(features, grad_fn)
+        assert np.allclose(reference, embeddings, atol=1e-5)
+
+    def test_training_reduces_loss(self):
+        """SGD on a fixed regression target must reduce the loss."""
+        encoder = GraphSageEncoder(6, 8, (3,), seed=0)
+        features = random_features(8, (3,), 6, seed=1)
+        rng = np.random.default_rng(2)
+        target = rng.standard_normal((8, 8)).astype(np.float32)
+        # Encoder outputs are L2-normalized; only a normalized target
+        # is reachable.
+        target /= np.linalg.norm(target, axis=1, keepdims=True)
+
+        def grad_fn(embeddings):
+            diff = embeddings - target
+            return float(0.5 * np.sum(diff**2)), diff
+
+        losses = []
+        for _ in range(60):
+            _, loss = encoder.forward_backward(features, grad_fn)
+            encoder.step(0.2)
+            losses.append(loss)
+        assert losses[-1] < 0.6 * losses[0]
+
+    def test_input_gradients_available(self):
+        encoder = GraphSageEncoder(6, 8, (3,), seed=0)
+        features = random_features(2, (3,), 6)
+
+        def grad_fn(embeddings):
+            return 0.0, np.ones_like(embeddings, dtype=np.float32)
+
+        encoder.forward_backward(features, grad_fn)
+        grads = encoder.input_gradients
+        assert len(grads) == 2
+        assert grads[0].shape == (2, 1, 6)
+        assert grads[1].shape == (2, 3, 6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GraphSageEncoder(0, 8, (3,))
+        with pytest.raises(ConfigurationError):
+            GraphSageEncoder(4, 8, ())
+
+    def test_dense_layers_enumeration(self):
+        encoder = GraphSageEncoder(6, 8, (3, 2), seed=0)
+        assert len(encoder.dense_layers()) == 4  # pool+combine per hop
+
+
+class TestDSSM:
+    def test_forward_shape(self):
+        model = DSSM(16, (8, 8), seed=0)
+        rng = np.random.default_rng(0)
+        query = rng.standard_normal((4, 16)).astype(np.float32)
+        items = rng.standard_normal((4, 11, 16)).astype(np.float32)
+        scores = model.forward(query, items)
+        assert scores.shape == (4, 11)
+
+    def test_backward_shapes(self):
+        model = DSSM(16, (8,), seed=0)
+        rng = np.random.default_rng(0)
+        query = rng.standard_normal((3, 16)).astype(np.float32)
+        items = rng.standard_normal((3, 5, 16)).astype(np.float32)
+        model.forward(query, items)
+        grad_q, grad_i = model.backward(np.ones((3, 5), dtype=np.float32))
+        assert grad_q.shape == query.shape
+        assert grad_i.shape == items.shape
+
+    def test_training_separates_positive(self):
+        """Softmax-CE training must rank the positive above negatives."""
+        from repro.gnn.train import link_prediction_loss
+
+        rng = np.random.default_rng(1)
+        model = DSSM(8, (8, 8), seed=1)
+        query = rng.standard_normal((16, 8)).astype(np.float32)
+        positive = query + 0.1 * rng.standard_normal((16, 1, 8)).astype(np.float32)
+        negatives = rng.standard_normal((16, 5, 8)).astype(np.float32)
+        items = np.concatenate([positive, negatives], axis=1).astype(np.float32)
+        first_loss = None
+        for _ in range(60):
+            scores = model.forward(query, items)
+            loss, grad = link_prediction_loss(scores)
+            if first_loss is None:
+                first_loss = loss
+            model.backward(grad)
+            model.step(0.1)
+        assert loss < first_loss
+        scores = model.forward(query, items)
+        hits = np.mean(scores.argmax(axis=1) == 0)
+        assert hits > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DSSM(0)
+        with pytest.raises(ConfigurationError):
+            DSSM(8, ())

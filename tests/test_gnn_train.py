@@ -1,0 +1,172 @@
+"""Tests for repro.gnn.train: losses and the supervised trainer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.framework.sampler import MultiHopSampler
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import power_law_graph
+from repro.graph.partition import HashPartitioner
+from repro.gnn.models import GraphSageEncoder
+from repro.gnn.train import (
+    Trainer,
+    link_prediction_loss,
+    multilabel_loss,
+    train_to_convergence,
+)
+from repro.memstore.store import PartitionedStore
+
+
+class TestMultilabelLoss:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0]])
+        labels = np.array([[1.0, 0.0]])
+        loss, grad = multilabel_loss(logits, labels)
+        assert loss < 0.01
+        assert np.abs(grad).max() < 0.01
+
+    def test_wrong_prediction_high_loss(self):
+        logits = np.array([[-10.0, 10.0]])
+        labels = np.array([[1.0, 0.0]])
+        loss, _ = multilabel_loss(logits, labels)
+        assert loss > 5
+
+    def test_gradient_direction(self):
+        logits = np.array([[0.0]])
+        labels = np.array([[1.0]])
+        _, grad = multilabel_loss(logits, labels)
+        assert grad[0, 0] < 0  # push logit up
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((3, 4))
+        labels = rng.integers(0, 2, (3, 4)).astype(float)
+        _, grad = multilabel_loss(logits, labels)
+        eps = 1e-5
+        for i in (0, 1):
+            for j in (0, 2):
+                bumped = logits.copy()
+                bumped[i, j] += eps
+                plus, _ = multilabel_loss(bumped, labels)
+                bumped[i, j] -= 2 * eps
+                minus, _ = multilabel_loss(bumped, labels)
+                assert grad[i, j] == pytest.approx(
+                    (plus - minus) / (2 * eps), abs=1e-4
+                )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            multilabel_loss(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_extreme_logits_stable(self):
+        loss, grad = multilabel_loss(
+            np.array([[1000.0, -1000.0]]), np.array([[1.0, 0.0]])
+        )
+        assert np.isfinite(loss) and np.isfinite(grad).all()
+
+
+class TestLinkPredictionLoss:
+    def test_positive_best_low_loss(self):
+        scores = np.array([[5.0, -1.0, -1.0]])
+        loss, _ = link_prediction_loss(scores)
+        assert loss < 0.01
+
+    def test_grad_sums_to_zero_per_row(self):
+        scores = np.array([[1.0, 2.0, 0.5], [0.0, 0.0, 0.0]])
+        _, grad = link_prediction_loss(scores)
+        assert np.allclose(grad.sum(axis=1), 0, atol=1e-6)
+
+    def test_positive_grad_negative(self):
+        scores = np.array([[0.0, 0.0, 0.0]])
+        _, grad = link_prediction_loss(scores)
+        assert grad[0, 0] < 0
+        assert (grad[0, 1:] > 0).all()
+
+    def test_rejects_single_column(self):
+        with pytest.raises(ConfigurationError):
+            link_prediction_loss(np.zeros((2, 1)))
+
+
+def _make_learnable_task(num_nodes=300, num_labels=4, seed=0):
+    """A label-homophilous graph: labels derive from a community id,
+    and edges stay mostly within communities, so 1-hop GraphSAGE can
+    learn the mapping."""
+    rng = np.random.default_rng(seed)
+    communities = rng.integers(0, num_labels, num_nodes)
+    # attributes carry a noisy one-hot of the community
+    attrs = np.eye(num_labels, dtype=np.float32)[communities]
+    attrs = attrs + 0.3 * rng.standard_normal(attrs.shape).astype(np.float32)
+    edges = []
+    for node in range(num_nodes):
+        same = np.flatnonzero(communities == communities[node])
+        for _ in range(5):
+            edges.append((node, int(rng.choice(same))))
+    graph = CSRGraph.from_edges(num_nodes, edges, node_attr=attrs)
+    labels = np.eye(num_labels, dtype=np.int64)[communities]
+    return graph, labels
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        graph, labels = _make_learnable_task()
+        store = PartitionedStore(graph, HashPartitioner(2))
+        sampler = MultiHopSampler(store, seed=0)
+        encoder = GraphSageEncoder(graph.attr_len, 16, (5,), seed=0)
+        trainer = Trainer(sampler, encoder, num_labels=labels.shape[1], lr=0.1)
+        roots = np.arange(graph.num_nodes)
+        first = trainer.train_step(roots[:64], labels[:64])
+        for _ in range(20):
+            last = trainer.train_step(roots[:64], labels[:64])
+        assert last < first
+
+    def test_learns_better_than_chance(self):
+        graph, labels = _make_learnable_task(seed=1)
+        store = PartitionedStore(graph, HashPartitioner(2))
+        sampler = MultiHopSampler(store, seed=1)
+        encoder = GraphSageEncoder(graph.attr_len, 16, (5,), seed=1)
+        trainer = Trainer(sampler, encoder, num_labels=labels.shape[1], lr=3.0)
+        roots = np.arange(graph.num_nodes)
+        train_to_convergence(trainer, roots[:200], labels[:200], epochs=4)
+        f1 = trainer.evaluate(roots[200:], labels[200:])
+        assert f1 > 0.8
+
+    def test_predict_shape(self):
+        graph, labels = _make_learnable_task()
+        store = PartitionedStore(graph, HashPartitioner(2))
+        trainer = Trainer(
+            MultiHopSampler(store, seed=0),
+            GraphSageEncoder(graph.attr_len, 8, (3,), seed=0),
+            num_labels=4,
+        )
+        predictions = trainer.predict(np.arange(10))
+        assert predictions.shape == (10, 4)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_validation(self):
+        graph, _ = _make_learnable_task()
+        store = PartitionedStore(graph, HashPartitioner(2))
+        sampler = MultiHopSampler(store)
+        encoder = GraphSageEncoder(graph.attr_len, 8, (3,))
+        with pytest.raises(ConfigurationError):
+            Trainer(sampler, encoder, num_labels=0)
+        with pytest.raises(ConfigurationError):
+            Trainer(sampler, encoder, num_labels=2, lr=0)
+
+    def test_epoch_callback(self):
+        graph, labels = _make_learnable_task()
+        store = PartitionedStore(graph, HashPartitioner(2))
+        trainer = Trainer(
+            MultiHopSampler(store, seed=0),
+            GraphSageEncoder(graph.attr_len, 8, (3,), seed=0),
+            num_labels=4,
+        )
+        seen = []
+        train_to_convergence(
+            trainer,
+            np.arange(64),
+            labels[:64],
+            epochs=2,
+            on_epoch=lambda epoch, loss: seen.append(epoch),
+        )
+        assert seen == [0, 1]

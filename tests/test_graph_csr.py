@@ -1,0 +1,138 @@
+"""Tests for repro.graph.csr."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+
+@pytest.fixture
+def small_graph():
+    # 0 -> 1, 2;  1 -> 2;  2 -> (none);  3 -> 0
+    return CSRGraph.from_edges(4, [(0, 1), (0, 2), (1, 2), (3, 0)])
+
+
+class TestConstruction:
+    def test_from_edges_counts(self, small_graph):
+        assert small_graph.num_nodes == 4
+        assert small_graph.num_edges == 4
+
+    def test_neighbors(self, small_graph):
+        assert sorted(small_graph.neighbors(0).tolist()) == [1, 2]
+        assert small_graph.neighbors(2).tolist() == []
+        assert small_graph.neighbors(3).tolist() == [0]
+
+    def test_degrees(self, small_graph):
+        assert small_graph.degrees().tolist() == [2, 1, 0, 1]
+
+    def test_degree_single(self, small_graph):
+        assert small_graph.degree(0) == 2
+
+    def test_from_edges_empty(self):
+        graph = CSRGraph.from_edges(3, [])
+        assert graph.num_edges == 0
+        assert graph.neighbors(1).tolist() == []
+
+    def test_from_edges_preserves_input_order_per_source(self):
+        graph = CSRGraph.from_edges(3, [(0, 2), (0, 1), (0, 0)])
+        assert graph.neighbors(0).tolist() == [2, 1, 0]
+
+    def test_edge_attr_fill(self):
+        graph = CSRGraph.from_edges(2, [(0, 1)], edge_attr_fill=2.5)
+        assert graph.edge_attr.tolist() == [2.5]
+
+    def test_repr_mentions_sizes(self, small_graph):
+        assert "num_nodes=4" in repr(small_graph)
+
+
+class TestValidation:
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+
+    def test_indptr_monotone(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 0]))
+
+    def test_indptr_tail_matches_indices(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 3]), np.array([0, 0]))
+
+    def test_indices_in_range(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+    def test_node_attr_row_count(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                np.array([0, 0, 0]),
+                np.array([], dtype=np.int64),
+                node_attr=np.zeros((1, 4)),
+            )
+
+    def test_edge_attr_row_count(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                np.array([0, 1]),
+                np.array([0]),
+                edge_attr=np.zeros(3),
+            )
+
+    def test_out_of_range_node_query(self, small_graph):
+        with pytest.raises(GraphError):
+            small_graph.neighbors(10)
+
+    def test_out_of_range_edges(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(2, [(0, 5)])
+
+    def test_malformed_edge_pairs(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(2, [(0, 1, 2)])
+
+
+class TestAttributes:
+    def test_attributes_lookup(self):
+        attrs = np.arange(12, dtype=np.float32).reshape(4, 3)
+        graph = CSRGraph.from_edges(4, [(0, 1)], node_attr=attrs)
+        rows = graph.attributes([2, 0])
+        assert rows.tolist() == [[6, 7, 8], [0, 1, 2]]
+
+    def test_attr_len(self):
+        attrs = np.zeros((3, 7), dtype=np.float32)
+        graph = CSRGraph.from_edges(3, [], node_attr=attrs)
+        assert graph.attr_len == 7
+
+    def test_attr_len_zero_without_attrs(self, small_graph):
+        assert small_graph.attr_len == 0
+
+    def test_attributes_raises_without_attrs(self, small_graph):
+        with pytest.raises(GraphError):
+            small_graph.attributes([0])
+
+    def test_attributes_out_of_range(self):
+        graph = CSRGraph.from_edges(2, [], node_attr=np.zeros((2, 2)))
+        with pytest.raises(GraphError):
+            graph.attributes([2])
+
+
+class TestSizes:
+    def test_structure_nbytes(self, small_graph):
+        # 5 indptr entries + 4 indices, all int64
+        assert small_graph.structure_nbytes() == 5 * 8 + 4 * 8
+
+    def test_attribute_nbytes(self):
+        graph = CSRGraph.from_edges(
+            2, [(0, 1)], node_attr=np.zeros((2, 4), dtype=np.float32),
+            edge_attr_fill=1.0,
+        )
+        assert graph.attribute_nbytes() == 2 * 4 * 4 + 1 * 4
+
+    def test_neighbor_slices(self, small_graph):
+        starts, stops = small_graph.neighbor_slices([0, 3])
+        assert (stops - starts).tolist() == [2, 1]
+
+    def test_neighbor_slices_out_of_range(self, small_graph):
+        with pytest.raises(GraphError):
+            small_graph.neighbor_slices([7])

@@ -1,0 +1,79 @@
+"""Tests for repro.graph.datasets (Table 2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.datasets import (
+    DATASET_ORDER,
+    DATASETS,
+    SAMPLING_CONFIG,
+    get_dataset,
+    instantiate_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_six_datasets_present(self):
+        assert set(DATASETS) == {"ss", "ls", "sl", "ml", "ll", "syn"}
+
+    def test_order_matches_paper(self):
+        assert DATASET_ORDER == ("ss", "ls", "sl", "ml", "ll", "syn")
+
+    def test_table2_node_counts(self):
+        assert DATASETS["ss"].num_nodes == 65_200_000
+        assert DATASETS["syn"].num_nodes == 5_900_000_000
+
+    def test_table2_edge_counts(self):
+        assert DATASETS["ll"].num_edges == 12_300_000_000
+        assert DATASETS["syn"].num_edges == 105_000_000_000
+
+    def test_table2_attr_lengths(self):
+        assert [DATASETS[n].attr_len for n in DATASET_ORDER] == [
+            72, 84, 128, 136, 152, 152,
+        ]
+
+    def test_only_syn_is_synthesized(self):
+        assert DATASETS["syn"].synthesized
+        assert not any(DATASETS[n].synthesized for n in DATASET_ORDER[:-1])
+
+    def test_avg_degree(self):
+        assert DATASETS["ml"].avg_degree == pytest.approx(27.5, rel=0.02)
+
+    def test_sampling_config_matches_table2(self):
+        assert SAMPLING_CONFIG["batch_size"] == 512
+        assert SAMPLING_CONFIG["fanouts"] == (10, 10)
+        assert SAMPLING_CONFIG["negative_rate"] == 10
+        assert SAMPLING_CONFIG["hidden_size"] == 128
+
+    def test_get_dataset_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_dataset("huge")
+
+
+class TestInstantiation:
+    @pytest.mark.parametrize("name", DATASET_ORDER)
+    def test_instantiates_all(self, name):
+        graph = instantiate_dataset(name, max_nodes=4000, seed=0)
+        assert 0 < graph.num_nodes <= 4000
+        assert graph.attr_len == DATASETS[name].attr_len
+
+    def test_preserves_avg_degree(self):
+        graph = instantiate_dataset("ml", max_nodes=10_000, seed=1)
+        spec = DATASETS["ml"]
+        assert graph.num_edges / graph.num_nodes == pytest.approx(
+            spec.avg_degree, rel=0.15
+        )
+
+    def test_syn_built_by_scaling(self):
+        graph = instantiate_dataset("syn", max_nodes=8000, seed=1)
+        # scaled_synthesis with factor 4: node count divisible by 4.
+        assert graph.num_nodes % 4 == 0
+
+    def test_deterministic(self):
+        a = instantiate_dataset("ss", max_nodes=2000, seed=5)
+        b = instantiate_dataset("ss", max_nodes=2000, seed=5)
+        assert (a.indices == b.indices).all()
+
+    def test_rejects_bad_max_nodes(self):
+        with pytest.raises(ConfigurationError):
+            instantiate_dataset("ss", max_nodes=0)

@@ -1,0 +1,146 @@
+"""Tests for repro.graph.dynamic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph, simulate_growth
+from repro.graph.generators import power_law_graph
+
+
+@pytest.fixture
+def graph():
+    base = CSRGraph.from_edges(4, [(0, 1), (0, 2), (1, 3)])
+    return DynamicGraph(base)
+
+
+class TestQueries:
+    def test_initial_state(self, graph):
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 3
+        assert graph.delta_edges == 0
+
+    def test_neighbors_base_only(self, graph):
+        assert sorted(graph.neighbors(0).tolist()) == [1, 2]
+
+    def test_degree_combines_base_and_delta(self, graph):
+        graph.add_edge(0, 3)
+        assert graph.degree(0) == 3
+        assert graph.neighbors(0).tolist() == [1, 2, 3]
+
+    def test_out_of_range(self, graph):
+        with pytest.raises(GraphError):
+            graph.neighbors(4)
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 9)
+
+
+class TestUpdates:
+    def test_add_node(self, graph):
+        new = graph.add_node()
+        assert new == 4
+        assert graph.num_nodes == 5
+        assert graph.neighbors(new).size == 0
+
+    def test_add_edge_to_new_node(self, graph):
+        new = graph.add_node()
+        graph.add_edge(2, new)
+        assert graph.neighbors(2).tolist() == [new]
+
+    def test_add_edges_bulk(self, graph):
+        graph.add_edges([(0, 3), (3, 0), (3, 1)])
+        assert graph.num_edges == 6
+        assert graph.degree(3) == 2
+
+    def test_delta_grows_and_compacts(self):
+        base = CSRGraph.from_edges(3, [(0, 1)])
+        graph = DynamicGraph(base, compact_threshold=5)
+        for _ in range(5):
+            graph.add_edge(1, 2)
+        assert graph.compactions == 1
+        assert graph.delta_edges == 0
+        assert graph.degree(1) == 5
+
+    def test_compaction_preserves_neighbors(self):
+        base = power_law_graph(100, 4.0, seed=0)
+        graph = DynamicGraph(base, compact_threshold=10_000)
+        rng = np.random.default_rng(1)
+        added = [(int(rng.integers(0, 100)), int(rng.integers(0, 100))) for _ in range(50)]
+        graph.add_edges(added)
+        before = {node: sorted(graph.neighbors(node).tolist()) for node in range(100)}
+        graph.compact()
+        after = {node: sorted(graph.neighbors(node).tolist()) for node in range(100)}
+        assert before == after
+
+    def test_snapshot_is_csr(self, graph):
+        graph.add_edge(0, 3)
+        snapshot = graph.snapshot()
+        assert isinstance(snapshot, CSRGraph)
+        assert snapshot.num_edges == 4
+        assert graph.delta_edges == 0
+
+    def test_snapshot_includes_new_nodes(self, graph):
+        new = graph.add_node()
+        graph.add_edge(new, 0)
+        snapshot = graph.snapshot()
+        assert snapshot.num_nodes == 5
+        assert snapshot.neighbors(new).tolist() == [0]
+
+    def test_version_increments(self, graph):
+        assert graph.version == 0
+        graph.add_edge(0, 3)
+        graph.compact()
+        assert graph.version == 1
+
+    def test_compact_noop_when_clean(self, graph):
+        graph.compact()
+        assert graph.version == 0  # nothing to do
+
+    def test_threshold_validation(self, graph):
+        with pytest.raises(ConfigurationError):
+            DynamicGraph(CSRGraph.from_edges(1, []), compact_threshold=0)
+
+
+class TestGrowthSimulation:
+    def test_growth_adds_edges_and_nodes(self):
+        graph = DynamicGraph(CSRGraph.from_edges(10, [(0, 1)]))
+        simulate_growth(graph, 500, new_node_probability=0.1, seed=0)
+        assert graph.num_edges == 501
+        assert graph.num_nodes > 10
+
+    def test_growth_preferential(self):
+        """Early nodes accumulate more in-edges (Zipf-biased trace)."""
+        graph = DynamicGraph(CSRGraph.from_edges(50, []))
+        simulate_growth(graph, 2000, new_node_probability=0.0, seed=1)
+        snapshot = graph.snapshot()
+        in_degrees = np.bincount(snapshot.indices, minlength=50)
+        assert in_degrees[:5].sum() > in_degrees[-5:].sum()
+
+    def test_sampling_over_snapshot(self):
+        """The dynamic graph feeds the standard sampler via snapshot."""
+        from repro.framework.requests import SampleRequest
+        from repro.framework.sampler import MultiHopSampler
+        from repro.graph.partition import HashPartitioner
+        from repro.memstore.store import PartitionedStore
+
+        graph = DynamicGraph(power_law_graph(200, 5.0, attr_len=0, seed=0))
+        simulate_growth(graph, 300, new_node_probability=0.0, seed=2)
+        snapshot = graph.snapshot()
+        # Attach fresh attributes for the sampler's attribute path.
+        snapshot = CSRGraph(
+            snapshot.indptr,
+            snapshot.indices,
+            node_attr=np.zeros((snapshot.num_nodes, 4), dtype=np.float32),
+        )
+        store = PartitionedStore(snapshot, HashPartitioner(2))
+        sampler = MultiHopSampler(store, seed=0)
+        result = sampler.sample(
+            SampleRequest(roots=np.arange(8), fanouts=(4,))
+        )
+        assert result.layers[1].shape == (8, 4)
+
+    def test_growth_validation(self):
+        graph = DynamicGraph(CSRGraph.from_edges(1, []))
+        with pytest.raises(ConfigurationError):
+            simulate_growth(graph, 10, new_node_probability=1.5)

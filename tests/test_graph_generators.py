@@ -1,0 +1,120 @@
+"""Tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    power_law_graph,
+    scaled_synthesis,
+)
+
+
+class TestPowerLaw:
+    def test_basic_shape(self):
+        graph = power_law_graph(1000, 8.0, attr_len=16, seed=1)
+        assert graph.num_nodes == 1000
+        assert graph.attr_len == 16
+        assert graph.num_edges == pytest.approx(8000, rel=0.1)
+
+    def test_determinism(self):
+        a = power_law_graph(500, 5.0, seed=7)
+        b = power_law_graph(500, 5.0, seed=7)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_seed_changes_graph(self):
+        a = power_law_graph(500, 5.0, seed=7)
+        b = power_law_graph(500, 5.0, seed=8)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_skewed_in_degree(self):
+        """A power-law graph's in-degree must be far more skewed than
+        uniform: the top 1% of nodes attract a large share of edges."""
+        graph = power_law_graph(2000, 10.0, seed=3)
+        in_degrees = np.bincount(graph.indices, minlength=2000)
+        top = np.sort(in_degrees)[-20:].sum()
+        assert top / graph.num_edges > 0.10
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ConfigurationError):
+            power_law_graph(10, 2.0, exponent=1.0)
+
+    def test_rejects_nonpositive_nodes(self):
+        with pytest.raises(ConfigurationError):
+            power_law_graph(0, 2.0)
+
+    def test_rejects_negative_degree(self):
+        with pytest.raises(ConfigurationError):
+            power_law_graph(10, -1.0)
+
+    def test_zero_degree_graph(self):
+        graph = power_law_graph(10, 0.0, seed=0)
+        assert graph.num_edges == 0
+
+    def test_no_attrs_by_default(self):
+        assert power_law_graph(10, 1.0).node_attr is None
+
+
+class TestErdosRenyi:
+    def test_uniform_in_degree(self):
+        """ER in-degree should be much flatter than the power-law's."""
+        graph = erdos_renyi_graph(2000, 10.0, seed=3)
+        in_degrees = np.bincount(graph.indices, minlength=2000)
+        top = np.sort(in_degrees)[-20:].sum()
+        assert top / graph.num_edges < 0.05
+
+    def test_average_degree(self):
+        graph = erdos_renyi_graph(5000, 6.0, seed=2)
+        assert graph.num_edges / graph.num_nodes == pytest.approx(6.0, rel=0.05)
+
+    def test_attr_generation(self):
+        graph = erdos_renyi_graph(100, 2.0, attr_len=8, seed=0)
+        assert graph.node_attr.shape == (100, 8)
+        assert graph.node_attr.dtype == np.float32
+
+
+class TestScaledSynthesis:
+    def test_scales_counts(self):
+        base = power_law_graph(200, 4.0, seed=1)
+        big = scaled_synthesis(base, 5, seed=2)
+        assert big.num_nodes == 1000
+        assert big.num_edges == base.num_edges * 5
+
+    def test_preserves_degree_distribution(self):
+        base = power_law_graph(300, 6.0, seed=1)
+        big = scaled_synthesis(base, 4, seed=2)
+        assert np.array_equal(
+            np.tile(base.degrees(), 4), big.degrees()
+        )
+
+    def test_rewires_across_blocks(self):
+        base = power_law_graph(200, 8.0, seed=1)
+        big = scaled_synthesis(base, 4, seed=2)
+        n = base.num_nodes
+        # Edge sources are in block src//n; roughly 10% of destinations
+        # should land in a different block.
+        src_blocks = np.repeat(np.arange(big.num_nodes) // n, big.degrees())
+        dst_blocks = big.indices // n
+        cross = np.mean(src_blocks != dst_blocks)
+        assert 0.02 < cross < 0.25
+
+    def test_scale_one_keeps_structure(self):
+        base = power_law_graph(100, 3.0, seed=1)
+        same = scaled_synthesis(base, 1, seed=2)
+        assert np.array_equal(base.indices, same.indices)
+
+    def test_attr_len_override(self):
+        base = power_law_graph(50, 2.0, attr_len=4, seed=1)
+        big = scaled_synthesis(base, 2, attr_len=9, seed=2)
+        assert big.attr_len == 9
+
+    def test_attr_len_inherits(self):
+        base = power_law_graph(50, 2.0, attr_len=4, seed=1)
+        big = scaled_synthesis(base, 2, seed=2)
+        assert big.attr_len == 4
+
+    def test_rejects_bad_scale(self):
+        base = power_law_graph(10, 1.0, seed=0)
+        with pytest.raises(ConfigurationError):
+            scaled_synthesis(base, 0)

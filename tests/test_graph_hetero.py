@@ -1,0 +1,180 @@
+"""Tests for repro.graph.hetero."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.hetero import HeteroGraph, make_ecommerce_graph
+
+
+@pytest.fixture(scope="module")
+def shop_graph():
+    return make_ecommerce_graph(
+        num_users=200, num_items=400, num_shops=10, seed=0
+    )
+
+
+class TestConstruction:
+    def test_node_types(self, shop_graph):
+        assert set(shop_graph.node_types) == {"user", "item", "shop"}
+        assert shop_graph.node_types["item"].num_nodes == 400
+        assert shop_graph.node_types["item"].attr_len == 32
+
+    def test_relations_present(self, shop_graph):
+        assert ("user", "click", "item") in shop_graph.relations
+        assert ("shop", "sells", "item") in shop_graph.relations
+
+    def test_relations_from(self, shop_graph):
+        from_user = shop_graph.relations_from("user")
+        assert set(key[1] for key in from_user) == {"click", "buy"}
+
+    def test_item_in_exactly_one_shop(self, shop_graph):
+        csr = shop_graph.relation(("item", "in", "shop"))
+        assert (csr.degrees() == 1).all()
+
+    def test_shop_sells_inverse_consistent(self, shop_graph):
+        item_in = shop_graph.relation(("item", "in", "shop"))
+        shop_sells = shop_graph.relation(("shop", "sells", "item"))
+        for shop in range(10):
+            items = shop_sells.neighbors(shop)
+            for item in items:
+                assert int(item_in.neighbors(int(item))[0]) == shop
+
+    def test_click_skew(self, shop_graph):
+        clicks = shop_graph.relation(("user", "click", "item"))
+        in_degrees = np.bincount(clicks.indices, minlength=400)
+        top_share = np.sort(in_degrees)[-4:].sum() / max(1, clicks.num_edges)
+        assert top_share > 0.10  # popular items dominate
+
+    def test_validation_unknown_type(self):
+        with pytest.raises(ConfigurationError):
+            HeteroGraph(
+                node_types={"a": (2, 0)},
+                relations={("a", "e", "b"): CSRGraph.from_edges(2, [])},
+            )
+
+    def test_validation_dst_out_of_range(self):
+        with pytest.raises(GraphError):
+            HeteroGraph(
+                node_types={"a": (2, 0), "b": (1, 0)},
+                relations={("a", "e", "b"): CSRGraph.from_edges(2, [(0, 1)])},
+            )
+
+    def test_validation_src_count_mismatch(self):
+        with pytest.raises(GraphError):
+            HeteroGraph(
+                node_types={"a": (3, 0), "b": (5, 0)},
+                relations={("a", "e", "b"): CSRGraph.from_edges(2, [(0, 1)])},
+            )
+
+    def test_empty_node_types_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HeteroGraph(node_types={}, relations={})
+
+
+class TestAccess:
+    def test_attributes_shape(self, shop_graph):
+        rows = shop_graph.attributes("user", [0, 5, 7])
+        assert rows.shape == (3, 16)
+
+    def test_attributes_unknown_range(self, shop_graph):
+        with pytest.raises(GraphError):
+            shop_graph.attributes("shop", [100])
+
+    def test_zero_attr_type_raises(self):
+        graph = HeteroGraph(
+            node_types={"a": (2, 0)},
+            relations={},
+        )
+        with pytest.raises(GraphError):
+            graph.attributes("a", [0])
+
+    def test_unknown_relation(self, shop_graph):
+        with pytest.raises(GraphError):
+            shop_graph.relation(("user", "returns", "item"))
+
+
+class TestMetapathSampling:
+    def test_user_item_shop_shapes(self, shop_graph):
+        rng = np.random.default_rng(0)
+        layers = shop_graph.sample_metapath(
+            roots=np.arange(8),
+            metapath=[("user", "click", "item"), ("item", "in", "shop")],
+            fanouts=(5, 1),
+            rng=rng,
+        )
+        assert layers[0].shape == (8,)
+        assert layers[1].shape == (8, 5)
+        assert layers[2].shape == (8, 5)
+
+    def test_sampled_ids_within_type_ranges(self, shop_graph):
+        rng = np.random.default_rng(1)
+        layers = shop_graph.sample_metapath(
+            roots=np.arange(16),
+            metapath=[("user", "click", "item"), ("item", "in", "shop")],
+            fanouts=(4, 1),
+            rng=rng,
+        )
+        assert layers[1].max() < 400  # items
+        assert layers[2].max() < 10  # shops
+
+    def test_second_hop_consistent_with_first(self, shop_graph):
+        rng = np.random.default_rng(2)
+        layers = shop_graph.sample_metapath(
+            roots=np.arange(4),
+            metapath=[("user", "click", "item"), ("item", "in", "shop")],
+            fanouts=(3, 1),
+            rng=rng,
+        )
+        item_in = shop_graph.relation(("item", "in", "shop"))
+        for row in range(4):
+            for col in range(3):
+                item = int(layers[1][row, col])
+                shop = int(layers[2][row, col])
+                assert int(item_in.neighbors(item)[0]) == shop
+
+    def test_non_chaining_metapath_rejected(self, shop_graph):
+        with pytest.raises(ConfigurationError):
+            shop_graph.sample_metapath(
+                roots=np.arange(2),
+                metapath=[("user", "click", "item"), ("user", "buy", "item")],
+                fanouts=(2, 2),
+                rng=np.random.default_rng(0),
+            )
+
+    def test_length_mismatch_rejected(self, shop_graph):
+        with pytest.raises(ConfigurationError):
+            shop_graph.sample_metapath(
+                roots=np.arange(2),
+                metapath=[("user", "click", "item")],
+                fanouts=(2, 2),
+                rng=np.random.default_rng(0),
+            )
+
+    def test_streaming_selector_works_on_metapaths(self, shop_graph):
+        from repro.framework.selectors import select_streaming
+
+        rng = np.random.default_rng(3)
+        layers = shop_graph.sample_metapath(
+            roots=np.arange(8),
+            metapath=[("user", "click", "item")],
+            fanouts=(6,),
+            rng=rng,
+            selector=select_streaming,
+        )
+        assert layers[1].shape == (8, 6)
+
+    def test_zero_degree_cross_type_falls_back_to_random(self):
+        # user 0 has no clicks: destination must still be a valid item.
+        graph = HeteroGraph(
+            node_types={"user": (1, 0), "item": (5, 0)},
+            relations={("user", "click", "item"): CSRGraph.from_edges(1, [])},
+        )
+        layers = graph.sample_metapath(
+            roots=np.array([0]),
+            metapath=[("user", "click", "item")],
+            fanouts=(4,),
+            rng=np.random.default_rng(0),
+        )
+        assert layers[1].min() >= 0 and layers[1].max() < 5

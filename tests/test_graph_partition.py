@@ -1,0 +1,163 @@
+"""Tests for repro.graph.partition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.partition import (
+    HashPartitioner,
+    RangePartitioner,
+    locality_fraction,
+)
+
+
+class TestHashPartitioner:
+    def test_balanced(self):
+        part = HashPartitioner(8)
+        owners = part.partition_of(np.arange(80_000))
+        counts = np.bincount(owners, minlength=8)
+        assert counts.min() > 0.8 * counts.mean()
+        assert counts.max() < 1.2 * counts.mean()
+
+    def test_deterministic(self):
+        part = HashPartitioner(4)
+        nodes = np.arange(100)
+        assert np.array_equal(part.partition_of(nodes), part.partition_of(nodes))
+
+    def test_range_of_outputs(self):
+        part = HashPartitioner(5)
+        owners = part.partition_of(np.arange(1000))
+        assert owners.min() >= 0 and owners.max() < 5
+
+    def test_owned_mask(self):
+        part = HashPartitioner(3)
+        nodes = np.arange(30)
+        masks = [part.owned_mask(nodes, p) for p in range(3)]
+        assert np.array_equal(sum(m.astype(int) for m in masks), np.ones(30))
+
+    def test_owned_mask_rejects_bad_partition(self):
+        with pytest.raises(PartitionError):
+            HashPartitioner(3).owned_mask([0], 3)
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(PartitionError):
+            HashPartitioner(0)
+
+    def test_locality_approx_one_over_p(self):
+        part = HashPartitioner(10)
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 1_000_000, 20_000)
+        dst = rng.integers(0, 1_000_000, 20_000)
+        frac = locality_fraction(part, src, dst)
+        assert frac == pytest.approx(0.1, abs=0.02)
+
+
+class TestRangePartitioner:
+    def test_contiguous(self):
+        part = RangePartitioner(4, num_nodes=100)
+        owners = part.partition_of(np.arange(100))
+        # Owners are sorted (contiguous ranges).
+        assert (np.diff(owners) >= 0).all()
+        assert owners.max() == 3
+
+    def test_chunk_sizes(self):
+        part = RangePartitioner(3, num_nodes=10)
+        owners = part.partition_of(np.arange(10))
+        assert np.bincount(owners).tolist() == [4, 4, 2]
+
+    def test_rejects_out_of_range(self):
+        part = RangePartitioner(2, num_nodes=10)
+        with pytest.raises(PartitionError):
+            part.partition_of([10])
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(PartitionError):
+            RangePartitioner(2, num_nodes=0)
+
+    def test_block_locality_beats_hash(self):
+        """Range partitioning keeps block-local edges local — the reason
+        scaled_synthesis graphs prefer it."""
+        num_nodes = 1000
+        rng = np.random.default_rng(1)
+        src = rng.integers(0, num_nodes, 5000)
+        # Destinations near the source (community structure).
+        dst = np.clip(src + rng.integers(-10, 10, 5000), 0, num_nodes - 1)
+        range_part = RangePartitioner(10, num_nodes)
+        hash_part = HashPartitioner(10)
+        assert locality_fraction(range_part, src, dst) > locality_fraction(
+            hash_part, src, dst
+        )
+
+
+class TestLocalityFraction:
+    def test_empty_is_local(self):
+        assert locality_fraction(HashPartitioner(2), [], []) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(PartitionError):
+            locality_fraction(HashPartitioner(2), [1, 2], [1])
+
+    def test_single_partition_always_local(self):
+        part = HashPartitioner(1)
+        assert locality_fraction(part, [1, 2, 3], [4, 5, 6]) == 1.0
+
+
+class TestLdgPartitioner:
+    @staticmethod
+    def _community_graph(num_nodes=400, num_communities=4, seed=0):
+        import numpy as np
+        from repro.graph.csr import CSRGraph
+
+        rng = np.random.default_rng(seed)
+        communities = rng.integers(0, num_communities, num_nodes)
+        edges = []
+        for node in range(num_nodes):
+            same = np.flatnonzero(communities == communities[node])
+            for _ in range(6):
+                edges.append((node, int(rng.choice(same))))
+        return CSRGraph.from_edges(num_nodes, edges)
+
+    def test_balanced_within_slack(self):
+        from repro.graph.partition import LdgPartitioner
+
+        graph = self._community_graph()
+        part = LdgPartitioner(4, graph, slack=1.1)
+        sizes = part.partition_sizes()
+        assert sizes.sum() == graph.num_nodes
+        assert sizes.max() <= 1.2 * graph.num_nodes / 4
+
+    def test_beats_hash_on_clustered_graph(self):
+        """LDG's whole point: lower edge cut than hashing on graphs
+        with community structure — less remote sampling traffic."""
+        from repro.graph.partition import (
+            HashPartitioner,
+            LdgPartitioner,
+            edge_cut_fraction,
+        )
+
+        graph = self._community_graph(seed=1)
+        ldg_cut = edge_cut_fraction(LdgPartitioner(4, graph), graph)
+        hash_cut = edge_cut_fraction(HashPartitioner(4), graph)
+        assert ldg_cut < 0.8 * hash_cut
+
+    def test_partition_of_bounds(self):
+        from repro.graph.partition import LdgPartitioner
+
+        graph = self._community_graph()
+        part = LdgPartitioner(3, graph)
+        with pytest.raises(PartitionError):
+            part.partition_of([graph.num_nodes])
+
+    def test_slack_validation(self):
+        from repro.graph.partition import LdgPartitioner
+
+        graph = self._community_graph()
+        with pytest.raises(PartitionError):
+            LdgPartitioner(2, graph, slack=0.9)
+
+    def test_edge_cut_empty_graph(self):
+        from repro.graph.csr import CSRGraph
+        from repro.graph.partition import HashPartitioner, edge_cut_fraction
+
+        graph = CSRGraph.from_edges(5, [])
+        assert edge_cut_fraction(HashPartitioner(2), graph) == 0.0

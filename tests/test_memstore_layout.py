@@ -1,0 +1,78 @@
+"""Tests for repro.memstore.layout (Figure 2a)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.datasets import DATASET_ORDER, get_dataset
+from repro.memstore.layout import FootprintModel
+from repro.units import GB, TB
+
+
+@pytest.fixture
+def model():
+    return FootprintModel()
+
+
+class TestFootprint:
+    def test_total_is_sum_of_parts(self, model):
+        report = model.report(get_dataset("ss"))
+        assert report.total_bytes == (
+            report.structure_bytes + report.index_bytes + report.attribute_bytes
+        )
+
+    def test_footprints_order_with_scale(self, model):
+        totals = [model.report(get_dataset(n)).total_bytes for n in DATASET_ORDER]
+        # ss < sl (larger attrs), ls > sl (far more nodes), syn largest.
+        assert totals[0] < totals[2]
+        assert totals[-1] == max(totals)
+
+    def test_syn_needs_many_servers(self, model):
+        assert model.min_servers(get_dataset("syn")) >= 10
+
+    def test_small_graphs_fit_one_server(self, model):
+        assert model.min_servers(get_dataset("ss")) == 1
+        assert model.min_servers(get_dataset("sl")) == 1
+
+    def test_graphs_are_terabyte_scale(self, model):
+        assert model.report(get_dataset("ls")).total_bytes > 1 * TB
+        assert model.report(get_dataset("syn")).total_bytes > 5 * TB
+
+    def test_attr_overhead_multiplies(self):
+        lean = FootprintModel(attr_overhead=1.0)
+        fat = FootprintModel(attr_overhead=2.0)
+        spec = get_dataset("ss")
+        assert fat.attribute_bytes(spec) == 2 * lean.attribute_bytes(spec)
+
+    def test_min_instances_exceeds_min_servers(self, model):
+        """Cloud instances with small quotas need far more shards."""
+        spec = get_dataset("ml")
+        assert model.min_instances(spec, 8 * GB) > model.min_servers(spec)
+
+    def test_min_instances_ceiling(self, model):
+        spec = get_dataset("ss")
+        total = model.report(spec).total_bytes
+        instances = model.min_instances(spec, total // 3)
+        assert instances == 4  # ceil(total / (total // 3)) with remainder
+
+    def test_str_is_informative(self, model):
+        text = str(model.report(get_dataset("ss")))
+        assert "ss" in text and "min_servers" in text
+
+
+class TestValidation:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            FootprintModel(server_capacity_bytes=0)
+
+    def test_rejects_sub_one_overhead(self):
+        with pytest.raises(ConfigurationError):
+            FootprintModel(attr_overhead=0.5)
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ConfigurationError):
+            FootprintModel(bytes_per_edge=-1)
+
+    def test_min_instances_rejects_zero(self, ):
+        model = FootprintModel()
+        with pytest.raises(ConfigurationError):
+            model.min_instances(get_dataset("ss"), 0)

@@ -1,0 +1,94 @@
+"""Tests for repro.memstore.links (Figure 2d)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memstore.links import LINK_PRESETS, LinkModel, get_link
+
+
+class TestLinkModel:
+    def test_latency_grows_with_size(self):
+        link = get_link("rdma_remote_dram")
+        assert link.latency(1024) > link.latency(8)
+
+    def test_latency_includes_base(self):
+        link = LinkModel("l", 1e-6, 1e9, 0)
+        assert link.latency(0) == pytest.approx(1e-6)
+
+    def test_effective_bandwidth_monotone_in_outstanding(self):
+        link = get_link("rdma_remote_dram")
+        assert link.effective_bandwidth(64, 16) > link.effective_bandwidth(64, 1)
+
+    def test_effective_bandwidth_capped_at_wire(self):
+        link = get_link("pcie_host_dram")
+        # Absurd concurrency cannot exceed payload wire share.
+        huge = link.effective_bandwidth(1024, 100_000)
+        wire_share = 1024 / (1024 + link.packet_overhead_bytes)
+        assert huge == pytest.approx(link.peak_bandwidth * wire_share)
+
+    def test_small_requests_waste_bandwidth(self):
+        """Figure 2(d): 8B remote reads achieve ~1/100 of the bandwidth
+        1KB reads achieve at equal concurrency."""
+        link = get_link("rdma_remote_dram")
+        small = link.effective_bandwidth(8, 16)
+        large = link.effective_bandwidth(1024, 16)
+        assert large / small > 50
+
+    def test_utilization_bounds(self):
+        link = get_link("mof_fabric")
+        util = link.utilization(64, 8)
+        assert 0 < util <= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkModel("bad", 0, 1e9)
+        with pytest.raises(ConfigurationError):
+            LinkModel("bad", 1e-6, 0)
+        with pytest.raises(ConfigurationError):
+            LinkModel("bad", 1e-6, 1e9, -1)
+
+    def test_rejects_bad_requests(self):
+        link = get_link("local_dram")
+        with pytest.raises(ConfigurationError):
+            link.effective_bandwidth(0)
+        with pytest.raises(ConfigurationError):
+            link.effective_bandwidth(8, 0)
+        with pytest.raises(ConfigurationError):
+            link.latency(-1)
+
+
+class TestPresets:
+    def test_figure2d_latency_ordering(self):
+        """Local DRAM << PCIe host DRAM << RDMA remote (Observation-3)."""
+        local = get_link("local_dram").latency(8)
+        pcie = get_link("pcie_host_dram").latency(8)
+        rdma = get_link("rdma_remote_dram").latency(8)
+        sw = get_link("sw_remote_dram").latency(8)
+        assert local < pcie < rdma < sw
+
+    def test_mof_between_pcie_and_rdma_latency(self):
+        mof = get_link("mof_fabric").latency(8)
+        assert get_link("pcie_host_dram").latency(8) < mof
+        assert mof < get_link("rdma_remote_dram").latency(8)
+
+    def test_mof_bandwidth_dominates_nic(self):
+        assert (
+            get_link("mof_fabric").peak_bandwidth
+            > 5 * get_link("rdma_remote_dram").peak_bandwidth
+        )
+
+    def test_table8_bandwidths(self):
+        from repro.units import GB
+
+        assert get_link("pcie_host_dram").peak_bandwidth == 16 * GB
+        assert get_link("fpga_local_dram").peak_bandwidth == pytest.approx(102.4 * GB)
+        assert get_link("mof_fabric").peak_bandwidth == 100 * GB
+
+    def test_get_link_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_link("quantum_link")
+
+    def test_all_presets_valid(self):
+        for name, link in LINK_PRESETS.items():
+            assert link.name == name
+            assert link.latency(64) > 0

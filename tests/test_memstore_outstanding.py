@@ -1,0 +1,99 @@
+"""Tests for repro.memstore.outstanding (Equation 3, Figure 2e)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memstore.links import get_link
+from repro.memstore.outstanding import (
+    achieved_bandwidth,
+    mean_request_bytes,
+    outstanding_for_link,
+    outstanding_requests_needed,
+    outstanding_table,
+)
+from repro.units import GB
+
+
+MIX = {16: 0.5, 64: 0.3, 512: 0.2}
+
+
+class TestMeanRequest:
+    def test_weighted_mean(self):
+        assert mean_request_bytes({8: 0.5, 24: 0.5}) == 16
+
+    def test_unnormalized_probabilities(self):
+        assert mean_request_bytes({8: 1, 24: 1}) == 16
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            mean_request_bytes({})
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            mean_request_bytes({0: 1.0})
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(ConfigurationError):
+            mean_request_bytes({8: -1.0})
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ConfigurationError):
+            mean_request_bytes({8: 0.0})
+
+
+class TestEquation3:
+    def test_littles_law(self):
+        # O = B / mean * L: 16GB/s of 64B requests at 1us -> 250 reqs
+        needed = outstanding_requests_needed(16e9, 1e-6, {64: 1.0})
+        assert needed == pytest.approx(250.0)
+
+    def test_longer_latency_needs_more(self):
+        """Figure 2(e): remote DRAM needs far more outstanding requests
+        than local DRAM at the same bandwidth target."""
+        local = get_link("local_dram")
+        remote = get_link("rdma_remote_dram")
+        o_local = outstanding_requests_needed(16 * GB, local.latency(64), MIX)
+        o_remote = outstanding_requests_needed(16 * GB, remote.latency(64), MIX)
+        assert o_remote > 10 * o_local
+
+    def test_scales_linearly_with_bandwidth(self):
+        low = outstanding_requests_needed(16e9, 1e-6, MIX)
+        high = outstanding_requests_needed(200e9, 1e-6, MIX)
+        assert high / low == pytest.approx(200 / 16)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            outstanding_requests_needed(0, 1e-6, MIX)
+        with pytest.raises(ConfigurationError):
+            outstanding_requests_needed(1e9, 0, MIX)
+
+
+class TestHelpers:
+    def test_outstanding_for_link_default_peak(self):
+        link = get_link("pcie_host_dram")
+        needed = outstanding_for_link(link, MIX)
+        assert needed > 0
+
+    def test_outstanding_for_link_target(self):
+        link = get_link("pcie_host_dram")
+        half = outstanding_for_link(link, MIX, target_bandwidth=link.peak_bandwidth / 2)
+        full = outstanding_for_link(link, MIX)
+        assert half == pytest.approx(full / 2)
+
+    def test_achieved_bandwidth_saturates(self):
+        link = get_link("local_dram")
+        low = achieved_bandwidth(link, MIX, 1)
+        high = achieved_bandwidth(link, MIX, 10_000)
+        assert high > low
+        assert high <= link.peak_bandwidth
+
+    def test_outstanding_table_shape(self):
+        links = [get_link("local_dram"), get_link("rdma_remote_dram")]
+        targets = [16 * GB, 100 * GB, 200 * GB]
+        table = outstanding_table(links, targets, MIX)
+        assert set(table) == {"local_dram", "rdma_remote_dram"}
+        for row in table.values():
+            assert set(row) == set(targets)
+            # Figure 2(e): monotone in the bandwidth target.
+            values = [row[t] for t in targets]
+            assert values == sorted(values)

@@ -1,0 +1,99 @@
+"""Tests for repro.memstore.store."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import HashPartitioner, RangePartitioner
+from repro.memstore.store import AccessKind, PartitionedStore
+
+
+@pytest.fixture
+def store():
+    attrs = np.arange(40, dtype=np.float32).reshape(10, 4)
+    graph = CSRGraph.from_edges(
+        10, [(0, 1), (0, 2), (0, 3), (1, 4), (2, 5)], node_attr=attrs
+    )
+    return PartitionedStore(graph, RangePartitioner(2, 10))
+
+
+class TestAccessAccounting:
+    def test_get_neighbors_returns_correct_ids(self, store):
+        assert sorted(store.get_neighbors(0).tolist()) == [1, 2, 3]
+
+    def test_neighbor_access_records_structure(self, store):
+        store.get_neighbors(0)
+        summary = store.summary
+        # index + offsets + one ID block
+        assert summary.structure_count == 3
+        assert summary.attribute_count == 0
+        assert summary.structure_bytes == 16 + 16 + 3 * 8
+
+    def test_zero_degree_skips_id_read(self, store):
+        store.get_neighbors(9)
+        assert store.summary.structure_count == 2
+
+    def test_attribute_access_records_both_kinds(self, store):
+        rows = store.get_attributes([1, 2])
+        assert rows.shape == (2, 4)
+        summary = store.summary
+        assert summary.attribute_count == 2
+        assert summary.structure_count == 2  # index lookups
+        assert summary.attribute_bytes == 2 * 16
+
+    def test_locality_attribution(self, store):
+        # Range partition of 10 nodes into 2: nodes 0-4 on partition 0.
+        store.get_attributes([0, 7], from_partition=0)
+        assert store.summary.remote_count == 2  # index + row for node 7
+
+    def test_none_partition_is_all_local(self, store):
+        store.get_attributes([0, 7], from_partition=None)
+        assert store.summary.remote_count == 0
+
+    def test_batch_neighbors(self, store):
+        lists = store.get_neighbors_batch([0, 1])
+        assert len(lists) == 2
+        assert lists[1].tolist() == [4]
+
+    def test_reset_trace(self, store):
+        store.get_neighbors(0)
+        store.reset_trace()
+        assert store.summary.total_count == 0
+
+    def test_trace_records_when_enabled(self, store):
+        store.tracing = True
+        store.get_attributes([3])
+        kinds = [record.kind for record in store.trace]
+        assert AccessKind.STRUCTURE in kinds and AccessKind.ATTRIBUTE in kinds
+
+    def test_trace_empty_when_disabled(self, store):
+        store.get_attributes([3])
+        assert store.trace == ()
+
+
+class TestSummaryProperties:
+    def test_fraction_properties(self, store):
+        store.get_neighbors(0, from_partition=1)  # remote (node 0 on part 0)
+        store.get_attributes([0], from_partition=0)  # local
+        summary = store.summary
+        assert 0 < summary.structure_count_fraction < 1
+        assert 0 < summary.remote_count_fraction < 1
+        assert 0 < summary.remote_bytes_fraction < 1
+
+    def test_empty_summary_fractions(self, store):
+        assert store.summary.structure_count_fraction == 0.0
+        assert store.summary.remote_count_fraction == 0.0
+        assert store.summary.remote_bytes_fraction == 0.0
+
+
+class TestPartitionSizes:
+    def test_partition_sizes_sum(self, store):
+        sizes = store.partition_sizes()
+        assert sizes.sum() == 10
+        assert len(sizes) == 2
+
+    def test_hash_partition_sizes_balanced(self):
+        graph = CSRGraph.from_edges(10_000, [])
+        store = PartitionedStore(graph, HashPartitioner(4))
+        sizes = store.partition_sizes()
+        assert sizes.min() > 0.8 * sizes.mean()

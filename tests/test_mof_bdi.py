@@ -1,0 +1,139 @@
+"""Tests for repro.mof.bdi (Table 6 compression)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.mof.bdi import (
+    bdi_compress,
+    bdi_decompress,
+    compress_addresses,
+    compress_block,
+    compressed_size,
+    decompress_block,
+)
+
+
+class TestBlockRoundtrip:
+    def test_zeros_block(self):
+        block = b"\x00" * 64
+        encoded = compress_block(block)
+        assert len(encoded) == 1
+        assert decompress_block(encoded) == block
+
+    def test_repeat_block(self):
+        block = b"\x12\x34\x56\x78\x9a\xbc\xde\xf0" * 8
+        encoded = compress_block(block)
+        assert len(encoded) == 9
+        assert decompress_block(encoded) == block
+
+    def test_base8_delta1(self):
+        values = np.arange(1000, 1008, dtype=np.uint64)
+        block = values.tobytes()
+        encoded = compress_block(block)
+        assert len(encoded) == 1 + 8 + 8  # header + base + 8x1B deltas
+        assert decompress_block(encoded) == block
+
+    def test_base8_delta2(self):
+        values = (np.arange(8, dtype=np.uint64) * 300) + 7
+        block = values.tobytes()
+        encoded = compress_block(block)
+        assert len(encoded) == 1 + 8 + 16
+        assert decompress_block(encoded) == block
+
+    def test_incompressible_falls_back_to_raw(self):
+        rng = np.random.default_rng(0)
+        block = rng.integers(0, 2**63, 8, dtype=np.int64).tobytes()
+        encoded = compress_block(block)
+        assert len(encoded) == 65
+        assert decompress_block(encoded) == block
+
+    def test_short_block_padded(self):
+        encoded = compress_block(b"\x01" * 10)
+        decoded = decompress_block(encoded)
+        assert decoded[:10] == b"\x01" * 10
+        assert len(decoded) == 64
+
+    def test_negative_deltas(self):
+        values = np.array([1000, 999, 998, 997, 1001, 1002, 1000, 1000], dtype=np.uint64)
+        block = values.tobytes()
+        encoded = compress_block(block)
+        assert len(encoded) < 64
+        assert decompress_block(encoded) == block
+
+    def test_rejects_oversize(self):
+        with pytest.raises(ConfigurationError):
+            compress_block(b"\x00" * 65)
+
+
+class TestStreamRoundtrip:
+    def test_multi_block(self):
+        data = np.arange(500, 564, dtype=np.uint64).tobytes()  # 512B
+        blocks = bdi_compress(data)
+        assert len(blocks) == 8
+        assert bdi_decompress(blocks, len(data)) == data
+
+    def test_unaligned_length(self):
+        data = b"\x07" * 100
+        blocks = bdi_compress(data)
+        assert bdi_decompress(blocks, 100) == data
+
+    def test_compressed_size_beats_raw_for_clustered(self):
+        addresses = (np.arange(128, dtype=np.uint64) * 8) + 0x7F000000
+        raw = addresses.tobytes()
+        assert compressed_size(raw) < len(raw) / 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            bdi_compress(b"")
+
+    def test_decompress_length_check(self):
+        blocks = bdi_compress(b"\x00" * 64)
+        with pytest.raises(ProtocolError):
+            bdi_decompress(blocks, 1000)
+
+    def test_corrupt_block_rejected(self):
+        with pytest.raises(ProtocolError):
+            decompress_block(b"")
+        with pytest.raises(ProtocolError):
+            decompress_block(bytes([2]) + b"\x00" * 3)  # truncated payload
+        with pytest.raises(ProtocolError):
+            decompress_block(bytes([42]) + b"\x00" * 10)  # unknown encoding
+
+
+class TestTable6Shape:
+    def test_address_compression_effective(self):
+        """Tech-2: request addresses cluster around region bases and
+        compress well (the Table 6 addr-compression win)."""
+        rng = np.random.default_rng(0)
+        base = np.uint64(0x4000_0000)
+        addresses = base + rng.integers(0, 4096, 128).astype(np.uint64)
+        compressed = compress_addresses(addresses)
+        assert compressed < 128 * 8 / 2
+
+    def test_attribute_data_compression(self):
+        """Quantized embedding-like data compresses well under BDI."""
+        rng = np.random.default_rng(1)
+        data = (rng.integers(-100, 100, 128) + 2**16).astype(np.uint64).tobytes()
+        assert compressed_size(data) < len(data) / 2
+
+    def test_table6_progression(self):
+        """GENZ > MoF > MoF+data-comp > MoF+addr-comp total bytes for
+        128x8B reads (Table 6's left-to-right saving progression)."""
+        from repro.mof.frames import GENZ, MOF, batch_breakdown
+
+        rng = np.random.default_rng(2)
+        data = (rng.integers(0, 50, 128) + 10_000).astype(np.uint64).tobytes()
+        addresses = (np.uint64(0x1000_0000) + rng.integers(0, 8192, 128).astype(np.uint64))
+        genz = batch_breakdown(GENZ, 128, 8).total_bytes
+        mof = batch_breakdown(MOF, 128, 8).total_bytes
+        data_comp = batch_breakdown(
+            MOF, 128, 8, compressed_data_bytes=compressed_size(data)
+        ).total_bytes
+        addr_comp = batch_breakdown(
+            MOF, 128, 8,
+            compressed_data_bytes=compressed_size(data),
+            compressed_addr_bytes=compress_addresses(addresses),
+        ).total_bytes
+        assert genz > mof > data_comp > addr_comp
+        assert mof / genz < 0.4  # ~75% saving in the paper

@@ -1,0 +1,111 @@
+"""Tests for repro.mof.fabric and repro.mof.protocol."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.mof.fabric import MofFabric
+from repro.mof.protocol import LossyWire, MofEndpoint, run_transfer
+from repro.units import GB
+
+
+class TestMofFabric:
+    def test_poc_raw_bandwidth(self):
+        """PoC: 3x QSFP-DD at 200Gb/s each = 75GB/s raw per card."""
+        fabric = MofFabric()
+        assert fabric.raw_bandwidth == pytest.approx(75e9)
+
+    def test_effective_below_raw(self):
+        fabric = MofFabric()
+        assert fabric.effective_bandwidth(64) < fabric.raw_bandwidth
+
+    def test_effective_grows_with_request_size(self):
+        fabric = MofFabric()
+        assert fabric.effective_bandwidth(256) > fabric.effective_bandwidth(16)
+
+    def test_as_link(self):
+        link = MofFabric().as_link(64)
+        assert link.peak_bandwidth == pytest.approx(75e9)
+        assert link.packet_overhead_bytes >= 4
+        assert link.base_latency_s > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MofFabric(num_qsfp=0)
+        with pytest.raises(ConfigurationError):
+            MofFabric(gbps_per_qsfp=0)
+        with pytest.raises(ConfigurationError):
+            MofFabric(base_latency_s=0)
+
+
+class TestLossyWire:
+    def test_lossless_delivery(self):
+        wire = LossyWire(0.0)
+        from repro.mof.protocol import _Frame
+
+        wire.send(_Frame(seq=0, payload=b"x"))
+        assert wire.receive().payload == b"x"
+        assert wire.receive() is None
+
+    def test_loss_rate_drops(self):
+        from repro.mof.protocol import _Frame
+
+        wire = LossyWire(0.5, seed=0)
+        for i in range(1000):
+            wire.send(_Frame(seq=i, payload=b""))
+        assert 350 < wire.dropped < 650
+
+    def test_rejects_bad_loss_rate(self):
+        with pytest.raises(ConfigurationError):
+            LossyWire(1.0)
+        with pytest.raises(ConfigurationError):
+            LossyWire(-0.1)
+
+
+class TestProtocol:
+    def test_lossless_transfer(self):
+        payloads = [bytes([i]) * 16 for i in range(40)]
+        result = run_transfer(payloads, loss_rate=0.0)
+        assert result.received == payloads
+        assert result.retransmissions == 0
+
+    def test_in_order_exactly_once_under_loss(self):
+        payloads = [i.to_bytes(4, "little") for i in range(100)]
+        result = run_transfer(payloads, loss_rate=0.25, seed=5)
+        assert result.received == payloads
+
+    def test_retransmissions_happen_under_loss(self):
+        payloads = [bytes([i]) for i in range(50)]
+        result = run_transfer(payloads, loss_rate=0.3, seed=1)
+        assert result.retransmissions > 0
+
+    def test_heavy_loss_still_completes(self):
+        payloads = [bytes([i]) for i in range(20)]
+        result = run_transfer(payloads, loss_rate=0.6, seed=2)
+        assert result.received == payloads
+
+    def test_loss_increases_ticks(self):
+        payloads = [bytes([i]) for i in range(50)]
+        clean = run_transfer(payloads, loss_rate=0.0, seed=0)
+        lossy = run_transfer(payloads, loss_rate=0.3, seed=0)
+        assert lossy.ticks > clean.ticks
+
+    def test_window_limits_inflight(self):
+        wire_a, wire_b = LossyWire(0.0), LossyWire(0.0)
+        endpoint = MofEndpoint(wire_a, wire_b, window=4)
+        for i in range(20):
+            endpoint.queue(bytes([i]))
+        endpoint.tick()
+        assert wire_a.delivered == 4  # only the window goes out
+
+    def test_validation(self):
+        wires = (LossyWire(0.0), LossyWire(0.0))
+        with pytest.raises(ConfigurationError):
+            MofEndpoint(*wires, window=0)
+        with pytest.raises(ConfigurationError):
+            MofEndpoint(*wires, timeout_ticks=0)
+
+    def test_incomplete_transfer_raises(self):
+        # max_ticks too small for any progress check to finish
+        payloads = [bytes([i]) for i in range(5)]
+        with pytest.raises(ProtocolError):
+            run_transfer(payloads, loss_rate=0.5, seed=3, max_ticks=2)

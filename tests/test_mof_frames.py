@@ -1,0 +1,98 @@
+"""Tests for repro.mof.frames (Table 5)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mof.frames import (
+    GENZ,
+    MOF,
+    FrameFormat,
+    batch_breakdown,
+    packing_gain,
+)
+
+
+class TestFrameFormat:
+    def test_frames_for(self):
+        assert GENZ.frames_for(128) == 32
+        assert MOF.frames_for(128) == 2
+
+    def test_frames_for_remainder(self):
+        assert MOF.frames_for(65) == 2
+        assert GENZ.frames_for(5) == 2
+
+    def test_frames_for_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            MOF.frames_for(0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrameFormat("x", header_bytes=-1, addr_bytes=4, requests_per_frame=4)
+        with pytest.raises(ConfigurationError):
+            FrameFormat("x", header_bytes=4, addr_bytes=0, requests_per_frame=4)
+        with pytest.raises(ConfigurationError):
+            FrameFormat("x", header_bytes=4, addr_bytes=4, requests_per_frame=0)
+
+
+class TestTable5:
+    """Table 5 reproduction: 128 requests of 16B / 64B."""
+
+    def test_genz_16b_row(self):
+        row = batch_breakdown(GENZ, 128, 16)
+        assert row.frames == 64
+        assert row.header_fraction == pytest.approx(0.5102, abs=0.01)
+        assert row.data_utilization == pytest.approx(0.3265, abs=0.01)
+
+    def test_genz_64b_row(self):
+        row = batch_breakdown(GENZ, 128, 64)
+        assert row.frames == 64
+        assert row.header_fraction == pytest.approx(0.2577, abs=0.005)
+        assert row.addr_fraction == pytest.approx(0.0825, abs=0.005)
+        assert row.data_utilization == pytest.approx(0.6598, abs=0.005)
+
+    def test_mof_16b_row(self):
+        row = batch_breakdown(MOF, 128, 16)
+        assert row.frames == 4
+        assert row.addr_fraction == pytest.approx(0.1953, abs=0.02)
+        assert row.data_utilization == pytest.approx(0.7811, abs=0.03)
+
+    def test_mof_64b_row(self):
+        row = batch_breakdown(MOF, 128, 64)
+        assert row.data_utilization == pytest.approx(0.9403, abs=0.02)
+        assert row.addr_fraction == pytest.approx(0.0588, abs=0.005)
+
+    def test_mof_beats_genz_at_all_sizes(self):
+        for size in (8, 16, 32, 64, 128):
+            assert packing_gain(128, size) > 1.0
+
+    def test_gain_larger_for_small_requests(self):
+        """The paper: the advantage is more obvious for small data."""
+        assert packing_gain(128, 16) > packing_gain(128, 64)
+
+    def test_total_is_consistent(self):
+        row = batch_breakdown(MOF, 128, 64)
+        assert row.total_bytes == row.header_bytes + row.addr_bytes + row.data_bytes
+        assert (
+            row.header_fraction + row.addr_fraction + row.data_utilization
+            == pytest.approx(1.0)
+        )
+
+
+class TestCompressionOverrides:
+    def test_compressed_data_reduces_total(self):
+        raw = batch_breakdown(MOF, 128, 8)
+        squeezed = batch_breakdown(MOF, 128, 8, compressed_data_bytes=300)
+        assert squeezed.total_bytes < raw.total_bytes
+
+    def test_compressed_addr_reduces_total(self):
+        raw = batch_breakdown(MOF, 128, 8)
+        squeezed = batch_breakdown(MOF, 128, 8, compressed_addr_bytes=200)
+        assert squeezed.total_bytes < raw.total_bytes
+
+    def test_rejects_negative_compressed(self):
+        with pytest.raises(ConfigurationError):
+            batch_breakdown(MOF, 128, 8, compressed_data_bytes=-1)
+
+    def test_rejects_bad_request_bytes(self):
+        with pytest.raises(ConfigurationError):
+            batch_breakdown(MOF, 128, 0)

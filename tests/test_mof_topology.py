@@ -1,0 +1,124 @@
+"""Tests for repro.mof.topology."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mof.topology import FabricTopology, chain, full_mesh, ring
+
+
+class TestConstruction:
+    def test_full_mesh_links(self):
+        mesh = full_mesh(4)
+        assert len(mesh.links) == 6  # C(4,2)
+
+    def test_poc_mesh_uses_three_cages(self):
+        """The PoC's 4-card mesh needs exactly 3 links per card — the
+        VV8's 3 usable QSFP-DD cages."""
+        mesh = full_mesh(4)
+        degree = {n: 0 for n in range(4)}
+        for a, b in mesh.links:
+            degree[a] += 1
+            degree[b] += 1
+        assert all(d == 3 for d in degree.values())
+
+    def test_ring_links(self):
+        assert len(ring(6).links) == 6
+
+    def test_chain_links(self):
+        assert len(chain(5).links) == 4
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ConfigurationError):
+            FabricTopology(4, [(0, 1), (2, 3)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ConfigurationError):
+            FabricTopology(3, [(0, 0), (0, 1), (1, 2)])
+
+    def test_rejects_duplicate(self):
+        with pytest.raises(ConfigurationError):
+            FabricTopology(3, [(0, 1), (1, 0), (1, 2)])
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ConfigurationError):
+            FabricTopology(1, [])
+
+
+class TestRouting:
+    def test_mesh_single_hop(self):
+        mesh = full_mesh(4)
+        for src in range(4):
+            for dst in range(4):
+                if src != dst:
+                    assert mesh.hops(src, dst) == 1
+
+    def test_ring_multi_hop(self):
+        topology = ring(6)
+        assert topology.hops(0, 3) == 3
+        assert topology.hops(0, 5) == 1  # wraps
+
+    def test_chain_end_to_end(self):
+        topology = chain(5)
+        assert topology.hops(0, 4) == 4
+
+    def test_path_endpoints(self):
+        topology = ring(5)
+        path = topology.shortest_path(0, 2)
+        assert path[0] == 0 and path[-1] == 2
+
+    def test_self_path(self):
+        assert full_mesh(3).shortest_path(1, 1) == [1]
+
+    def test_path_latency(self):
+        topology = chain(4, hop_latency_s=1e-6)
+        assert topology.path_latency(0, 3) == pytest.approx(3e-6)
+
+    def test_bad_nodes(self):
+        with pytest.raises(ConfigurationError):
+            full_mesh(3).shortest_path(0, 5)
+
+
+class TestBandwidth:
+    def test_mesh_beats_ring_pair_bandwidth(self):
+        """The PoC's full mesh gives each pair a dedicated link; a ring
+        shares links across forwarded traffic."""
+        mesh = full_mesh(4)
+        ring4 = ring(4)
+        assert mesh.effective_pair_bandwidth() > ring4.effective_pair_bandwidth()
+
+    def test_mesh_pair_bandwidth_is_half_link(self):
+        # Each link carries exactly the two directed flows of its pair.
+        mesh = full_mesh(4, link_bandwidth=100.0)
+        assert mesh.effective_pair_bandwidth() == pytest.approx(50.0)
+
+    def test_chain_worst_bisection(self):
+        assert chain(4, link_bandwidth=10.0).bisection_bandwidth() == 10.0
+        assert ring(4, link_bandwidth=10.0).bisection_bandwidth() == 20.0
+        assert full_mesh(4, link_bandwidth=10.0).bisection_bandwidth() == 40.0
+
+    def test_link_load_conservation(self):
+        topology = ring(5)
+        load = topology.all_to_all_link_load()
+        # Total link-hops equals the sum of all pairwise distances.
+        total_hops = sum(
+            topology.hops(s, d)
+            for s in range(5)
+            for d in range(5)
+            if s != d
+        )
+        assert sum(load.values()) == pytest.approx(total_hops)
+
+    def test_per_node_egress(self):
+        assert full_mesh(4, link_bandwidth=25.0).per_node_egress() == 75.0
+
+    def test_poc_aggregate_bandwidth(self):
+        """Table 10: 200Gb/s x 6 links x 2 directions for the system."""
+        from repro.units import gbps_to_bytes_per_s
+
+        mesh = full_mesh(4, link_bandwidth=gbps_to_bytes_per_s(200))
+        total_unidirectional = len(mesh.links) * mesh.link_bandwidth
+        assert total_unidirectional == pytest.approx(6 * 25e9)
+
+    def test_bisection_node_limit(self):
+        with pytest.raises(ConfigurationError):
+            full_mesh(17).bisection_bandwidth()

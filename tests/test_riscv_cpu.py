@@ -1,0 +1,187 @@
+"""Tests for repro.riscv.cpu and repro.riscv.asm."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DecodeError, SimulationError
+from repro.riscv.asm import assemble
+from repro.riscv.cpu import RiscvCpu
+
+
+def run_program(source, **kwargs):
+    cpu = RiscvCpu(**kwargs)
+    cpu.load_program(assemble(source))
+    cpu.run()
+    return cpu
+
+
+class TestArithmetic:
+    def test_addi(self):
+        cpu = run_program("addi x1, x0, 42\necall")
+        assert cpu.registers[1] == 42
+
+    def test_negative_immediate(self):
+        cpu = run_program("addi x1, x0, -5\necall")
+        assert cpu.registers[1] == 2**32 - 5  # two's complement
+
+    def test_add_sub(self):
+        cpu = run_program(
+            "addi x1, x0, 10\naddi x2, x0, 3\nadd x3, x1, x2\nsub x4, x1, x2\necall"
+        )
+        assert cpu.registers[3] == 13
+        assert cpu.registers[4] == 7
+
+    def test_logic_ops(self):
+        cpu = run_program(
+            "addi x1, x0, 0b1100\naddi x2, x0, 0b1010\n"
+            "and x3, x1, x2\nor x4, x1, x2\nxor x5, x1, x2\necall"
+        )
+        assert cpu.registers[3] == 0b1000
+        assert cpu.registers[4] == 0b1110
+        assert cpu.registers[5] == 0b0110
+
+    def test_shifts(self):
+        cpu = run_program(
+            "addi x1, x0, -8\nslli x2, x1, 1\nsrli x3, x1, 1\nsrai x4, x1, 1\necall"
+        )
+        assert cpu.registers[2] == (2**32 - 16)
+        assert cpu.registers[3] == (2**32 - 8) >> 1
+        assert cpu.registers[4] == 2**32 - 4
+
+    def test_slt(self):
+        cpu = run_program(
+            "addi x1, x0, -1\naddi x2, x0, 1\nslt x3, x1, x2\nsltu x4, x1, x2\necall"
+        )
+        assert cpu.registers[3] == 1  # signed: -1 < 1
+        assert cpu.registers[4] == 0  # unsigned: 0xffffffff > 1
+
+    def test_x0_is_hardwired_zero(self):
+        cpu = run_program("addi x0, x0, 99\necall")
+        assert cpu.registers[0] == 0
+
+
+class TestControlFlow:
+    def test_loop_sum(self):
+        cpu = run_program(
+            """
+            addi x1, x0, 10
+            addi x5, x0, 0
+        loop:
+            add x5, x5, x1
+            addi x1, x1, -1
+            bne x1, x0, loop
+            ecall
+            """
+        )
+        assert cpu.registers[5] == 55
+
+    def test_beq_taken(self):
+        cpu = run_program(
+            "addi x1, x0, 7\naddi x2, x0, 7\nbeq x1, x2, skip\naddi x3, x0, 1\nskip:\necall"
+        )
+        assert cpu.registers[3] == 0
+
+    def test_jal_and_jalr(self):
+        cpu = run_program(
+            """
+            jal x1, target
+            addi x2, x0, 99
+            ecall
+        target:
+            addi x3, x0, 5
+            jalr x0, x1, 0
+            """
+        )
+        assert cpu.registers[3] == 5
+        assert cpu.registers[2] == 99  # returned and continued
+
+    def test_blt_bge(self):
+        cpu = run_program(
+            """
+            addi x1, x0, -3
+            addi x2, x0, 2
+            blt x1, x2, less
+            addi x3, x0, 1
+        less:
+            bge x2, x1, done
+            addi x4, x0, 1
+        done:
+            ecall
+            """
+        )
+        assert cpu.registers[3] == 0
+        assert cpu.registers[4] == 0
+
+
+class TestMemory:
+    def test_load_store(self):
+        cpu = run_program(
+            "addi x1, x0, 1234\naddi x2, x0, 512\nsw x1, 0(x2)\nlw x3, 0(x2)\necall"
+        )
+        assert cpu.registers[3] == 1234
+
+    def test_store_offset(self):
+        cpu = run_program(
+            "addi x1, x0, 7\naddi x2, x0, 600\nsw x1, 20(x2)\nlw x3, 20(x2)\necall"
+        )
+        assert cpu.registers[3] == 7
+
+    def test_out_of_range_load(self):
+        cpu = RiscvCpu(memory_bytes=1024)
+        cpu.load_program(assemble("lw x1, 0(x2)\necall"))
+        cpu.registers[2] = 2048
+        with pytest.raises(SimulationError):
+            cpu.run()
+
+    def test_memory_validation(self):
+        with pytest.raises(ConfigurationError):
+            RiscvCpu(memory_bytes=10)  # not multiple of 4
+
+
+class TestExecutionLimits:
+    def test_cycle_counting(self):
+        cpu = run_program("addi x1, x0, 1\necall")
+        assert cpu.cycles >= 2
+        assert cpu.instructions_retired == 2
+
+    def test_runaway_guard(self):
+        cpu = RiscvCpu()
+        cpu.load_program(assemble("loop:\njal x0, loop"))
+        with pytest.raises(SimulationError):
+            cpu.run(max_instructions=100)
+
+    def test_halted_cpu_cannot_step(self):
+        cpu = run_program("ecall")
+        with pytest.raises(SimulationError):
+            cpu.step()
+
+
+class TestAssembler:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(DecodeError):
+            assemble("frobnicate x1, x2")
+
+    def test_bad_register(self):
+        with pytest.raises(DecodeError):
+            assemble("addi x99, x0, 1")
+
+    def test_bad_immediate(self):
+        with pytest.raises(DecodeError):
+            assemble("addi x1, x0, banana")
+
+    def test_comments_and_blanks(self):
+        words = assemble("# only a comment\n\naddi x1, x0, 1 # trailing\necall")
+        assert len(words) == 2
+
+    def test_nop(self):
+        cpu = run_program("nop\necall")
+        assert cpu.instructions_retired == 2
+
+    def test_hex_immediates(self):
+        cpu = run_program("addi x1, x0, 0xff\necall")
+        assert cpu.registers[1] == 255
+
+    def test_label_forward_and_backward(self):
+        words = assemble(
+            "start:\naddi x1, x0, 1\nbne x1, x0, end\njal x0, start\nend:\necall"
+        )
+        assert len(words) == 4

@@ -1,0 +1,107 @@
+"""Tests for repro.riscv.isa (encode/decode)."""
+
+import pytest
+
+from repro.errors import DecodeError
+from repro.riscv import isa
+from repro.riscv.isa import Instruction, decode, encode
+
+
+def roundtrip(instr):
+    return decode(encode(instr))
+
+
+class TestRoundtrip:
+    def test_lui(self):
+        instr = Instruction(isa.OPCODE_LUI, rd=5, imm=0x12345 << 12)
+        assert roundtrip(instr) == instr
+
+    def test_lui_negative(self):
+        instr = Instruction(isa.OPCODE_LUI, rd=1, imm=-4096)
+        assert roundtrip(instr).imm == -4096
+
+    def test_jal(self):
+        instr = Instruction(isa.OPCODE_JAL, rd=1, imm=2048)
+        assert roundtrip(instr) == instr
+
+    def test_jal_negative_offset(self):
+        instr = Instruction(isa.OPCODE_JAL, rd=0, imm=-8)
+        assert roundtrip(instr).imm == -8
+
+    def test_jalr(self):
+        instr = Instruction(isa.OPCODE_JALR, rd=1, rs1=2, imm=-4)
+        assert roundtrip(instr) == instr
+
+    def test_branch(self):
+        instr = Instruction(isa.OPCODE_BRANCH, rs1=3, rs2=4, funct3=0b001, imm=-16)
+        assert roundtrip(instr) == instr
+
+    def test_branch_positive(self):
+        instr = Instruction(isa.OPCODE_BRANCH, rs1=1, rs2=0, funct3=0b101, imm=256)
+        assert roundtrip(instr) == instr
+
+    def test_load(self):
+        instr = Instruction(isa.OPCODE_LOAD, rd=7, rs1=8, funct3=0b010, imm=100)
+        assert roundtrip(instr) == instr
+
+    def test_store(self):
+        instr = Instruction(isa.OPCODE_STORE, rs1=2, rs2=9, funct3=0b010, imm=-64)
+        assert roundtrip(instr) == instr
+
+    def test_op_imm(self):
+        instr = Instruction(isa.OPCODE_OP_IMM, rd=1, rs1=2, funct3=0b000, imm=-1)
+        assert roundtrip(instr) == instr
+
+    def test_op(self):
+        instr = Instruction(
+            isa.OPCODE_OP, rd=1, rs1=2, rs2=3, funct3=0b000, funct7=0b0100000
+        )
+        assert roundtrip(instr) == instr
+
+    def test_custom0_qpush(self):
+        instr = Instruction(
+            isa.OPCODE_CUSTOM0, rd=1, rs1=2, rs2=3,
+            funct3=isa.FUNCT3_QPUSH, funct7=17,
+        )
+        assert roundtrip(instr) == instr
+
+    def test_custom0_qpull(self):
+        instr = Instruction(
+            isa.OPCODE_CUSTOM0, rd=4, funct3=isa.FUNCT3_QPULL, funct7=99
+        )
+        assert roundtrip(instr) == instr
+
+
+class TestDecodeErrors:
+    def test_rejects_unknown_opcode(self):
+        with pytest.raises(DecodeError):
+            decode(0b0101010)
+
+    def test_rejects_oversized_word(self):
+        with pytest.raises(DecodeError):
+            decode(1 << 32)
+
+    def test_rejects_negative_word(self):
+        with pytest.raises(DecodeError):
+            decode(-1)
+
+    def test_encode_rejects_unknown_opcode(self):
+        with pytest.raises(DecodeError):
+            encode(Instruction(0b0101010))
+
+
+class TestKnownEncodings:
+    def test_addi_golden(self):
+        # addi x1, x0, 5  ->  0x00500093
+        instr = Instruction(isa.OPCODE_OP_IMM, rd=1, rs1=0, funct3=0, imm=5)
+        assert encode(instr) == 0x00500093
+
+    def test_add_golden(self):
+        # add x3, x1, x2 -> 0x002081B3
+        instr = Instruction(isa.OPCODE_OP, rd=3, rs1=1, rs2=2, funct3=0, funct7=0)
+        assert encode(instr) == 0x002081B3
+
+    def test_lui_golden(self):
+        # lui x5, 0x12345 -> 0x123452B7
+        instr = Instruction(isa.OPCODE_LUI, rd=5, imm=0x12345 << 12)
+        assert encode(instr) == 0x123452B7

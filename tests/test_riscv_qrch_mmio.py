@@ -1,0 +1,194 @@
+"""Tests for repro.riscv.qrch and repro.riscv.mmio (Table 7)."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError, SimulationError
+from repro.riscv.asm import assemble
+from repro.riscv.cpu import RiscvCpu
+from repro.riscv.mmio import MmioBus, MmioDevice
+from repro.riscv.qrch import INTERACTION_COSTS, TABLE7, Qrch, QrchQueue
+
+
+class TestQrchQueue:
+    def test_push_service_pull(self):
+        queue = QrchQueue("adder", lambda a, b: a + b)
+        queue.push(2, 3)
+        queue.service()
+        value, _cycles = queue.pull()
+        assert value == 5
+
+    def test_fifo_order(self):
+        queue = QrchQueue("echo", lambda a, b: a)
+        queue.push(1, 0)
+        queue.push(2, 0)
+        queue.service()
+        assert queue.pull()[0] == 1
+        assert queue.pull()[0] == 2
+
+    def test_none_result_no_response(self):
+        queue = QrchQueue("sink", lambda a, b: None)
+        queue.push(1, 2)
+        queue.service()
+        assert not queue.response_available
+        assert queue.pull()[0] is None
+
+    def test_depth_enforced(self):
+        queue = QrchQueue("q", lambda a, b: a, depth=1)
+        queue.push(1, 0)
+        with pytest.raises(CapacityError):
+            queue.push(2, 0)
+
+    def test_result_truncated_to_32bit(self):
+        queue = QrchQueue("big", lambda a, b: 2**40)
+        queue.push(0, 0)
+        queue.service()
+        assert queue.pull()[0] == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QrchQueue("q", lambda a, b: a, depth=0)
+        with pytest.raises(ConfigurationError):
+            QrchQueue("q", lambda a, b: a, push_cycles=-1)
+
+
+class TestQrchHub:
+    def test_attach_and_roundtrip(self):
+        hub = Qrch()
+        hub.attach(3, QrchQueue("mul", lambda a, b: a * b))
+        hub.push(3, 6, 7)
+        value, _cycles = hub.pull(3)
+        assert value == 42
+
+    def test_duplicate_attach_rejected(self):
+        hub = Qrch()
+        hub.attach(1, QrchQueue("a", lambda a, b: a))
+        with pytest.raises(ConfigurationError):
+            hub.attach(1, QrchQueue("b", lambda a, b: b))
+
+    def test_unknown_queue(self):
+        with pytest.raises(ConfigurationError):
+            Qrch().push(9, 0, 0)
+
+    def test_index_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Qrch().attach(128, QrchQueue("q", lambda a, b: a))
+
+    def test_interaction_cycles_accumulate(self):
+        hub = Qrch()
+        hub.attach(0, QrchQueue("q", lambda a, b: a))
+        hub.push(0, 1, 2)
+        hub.pull(0)
+        assert hub.interaction_cycles == 8  # 4 push + 4 pull
+
+
+class TestTable7:
+    def test_cost_ordering(self):
+        """Table 7: ISA-ext (~1) < QRCH (~10) < MMIO (~100)."""
+        assert (
+            INTERACTION_COSTS["isa_ext"]
+            < INTERACTION_COSTS["qrch"]
+            < INTERACTION_COSTS["mmio"]
+        )
+
+    def test_qrch_order_of_magnitude(self):
+        assert 5 <= INTERACTION_COSTS["qrch"] <= 20
+
+    def test_table_rows(self):
+        names = [row.name for row in TABLE7]
+        assert names == ["mmio", "isa_ext", "qrch"]
+        assert TABLE7[2].extensibility == "good"
+
+    def test_measured_qrch_vs_mmio_on_cpu(self):
+        """End-to-end: the same accelerator interaction costs ~10x more
+        cycles via MMIO than via QRCH."""
+        # QRCH version
+        hub = Qrch()
+        hub.attach(5, QrchQueue("inc", lambda a, b: a + 1))
+        cpu_q = RiscvCpu(qrch=hub)
+        cpu_q.load_program(
+            assemble("addi x2, x0, 41\nqpush x0, x2, x0, 5\nqpull x4, 5\necall")
+        )
+        cpu_q.run()
+        assert cpu_q.registers[4] == 42
+
+        # MMIO version: write operand, read result (device computes on
+        # write).
+        state = {}
+        device = MmioDevice(
+            "inc",
+            read_handler=lambda offset: state.get("value", 0) + 1,
+            write_handler=lambda offset, value: state.__setitem__("value", value),
+        )
+        bus = MmioBus(access_cycles=100)
+        bus.attach(0x4000_0000, 0x100, device)
+        cpu_m = RiscvCpu(mmio=bus)
+        cpu_m.load_program(
+            assemble(
+                "lui x1, 0x40000\naddi x2, x0, 41\nsw x2, 0(x1)\nlw x4, 0(x1)\necall"
+            )
+        )
+        cpu_m.run()
+        assert cpu_m.registers[4] == 42
+        assert bus.interaction_cycles > 5 * hub.interaction_cycles
+
+
+class TestMmio:
+    def test_register_storage(self):
+        device = MmioDevice("csr")
+        device.write(4, 123)
+        assert device.read(4) == 123
+        assert device.read(8) == 0
+
+    def test_bus_routing(self):
+        bus = MmioBus()
+        a, b = MmioDevice("a"), MmioDevice("b")
+        bus.attach(0x1000, 0x100, a)
+        bus.attach(0x2000, 0x100, b)
+        bus.write(0x1004, 1)
+        bus.write(0x2004, 2)
+        assert bus.read(0x1004)[0] == 1
+        assert bus.read(0x2004)[0] == 2
+
+    def test_overlap_rejected(self):
+        bus = MmioBus()
+        bus.attach(0x1000, 0x100, MmioDevice("a"))
+        with pytest.raises(ConfigurationError):
+            bus.attach(0x1080, 0x100, MmioDevice("b"))
+
+    def test_unmapped_access(self):
+        with pytest.raises(SimulationError):
+            MmioBus().read(0x9999)
+
+    def test_access_cycles_charged(self):
+        bus = MmioBus(access_cycles=100)
+        bus.attach(0, 16, MmioDevice("d"))
+        _value, cycles = bus.read(0)
+        assert cycles == 100
+        assert bus.interaction_cycles == 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MmioBus(access_cycles=0)
+        bus = MmioBus()
+        with pytest.raises(ConfigurationError):
+            bus.attach(-1, 16, MmioDevice("d"))
+
+
+class TestQrchBlockingPull:
+    def test_pull_spins_until_data(self):
+        """QPULL with an empty response queue re-executes until the
+        accelerator produces data (here: second push fills it)."""
+        hub = Qrch()
+        produced = []
+
+        def handler(a, b):
+            produced.append(a)
+            return a
+
+        hub.attach(2, QrchQueue("q", handler))
+        cpu = RiscvCpu(qrch=hub)
+        cpu.load_program(
+            assemble("addi x2, x0, 9\nqpush x0, x2, x0, 2\nqpull x4, 2\necall")
+        )
+        cpu.run()
+        assert cpu.registers[4] == 9

@@ -1,0 +1,75 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+from repro.units import (
+    cycles_to_seconds,
+    format_bytes,
+    format_rate,
+    gbps_to_bytes_per_s,
+    gib_per_s,
+    seconds_to_cycles,
+)
+
+
+class TestConversions:
+    def test_gbps_to_bytes(self):
+        assert gbps_to_bytes_per_s(8) == 1e9
+
+    def test_gbps_200(self):
+        assert gbps_to_bytes_per_s(200) == 25e9
+
+    def test_gib_per_s(self):
+        assert gib_per_s(1) == 1024**3
+
+    def test_cycles_to_seconds(self):
+        assert cycles_to_seconds(250, 250e6) == pytest.approx(1e-6)
+
+    def test_cycles_to_seconds_rejects_zero_freq(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(1, 0)
+
+    def test_seconds_to_cycles_rounds_up(self):
+        assert seconds_to_cycles(1.5e-9, 1e9) == 2
+
+    def test_seconds_to_cycles_exact(self):
+        assert seconds_to_cycles(4e-9, 1e9) == 4
+
+    def test_seconds_to_cycles_rejects_negative(self):
+        with pytest.raises(ValueError):
+            seconds_to_cycles(-1, 1e9)
+
+    def test_seconds_to_cycles_rejects_zero_freq(self):
+        with pytest.raises(ValueError):
+            seconds_to_cycles(1, 0)
+
+    def test_unit_constants_are_consistent(self):
+        assert units.MB == 1024 * units.KB
+        assert units.GB == 1024 * units.MB
+        assert units.TB == 1024 * units.GB
+
+
+class TestFormatting:
+    def test_format_bytes_tb(self):
+        assert format_bytes(3 * units.TB) == "3.00TB"
+
+    def test_format_bytes_small(self):
+        assert format_bytes(100) == "100B"
+
+    def test_format_bytes_kb(self):
+        assert format_bytes(2048) == "2.00KB"
+
+    def test_format_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+    def test_format_rate_mega(self):
+        assert format_rate(1.5e6) == "1.50M"
+
+    def test_format_rate_plain(self):
+        assert format_rate(12.0) == "12.00"
+
+    def test_format_rate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_rate(-5)
