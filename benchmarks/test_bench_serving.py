@@ -1,0 +1,57 @@
+"""Online serving gateway: throughput/latency under rising load.
+
+Not a numbered paper figure, but the ROADMAP north star ("serve heavy
+traffic from millions of users"): the gateway's admitted-p99 and shed
+rate as offered load sweeps from provisioned to 4x, plus the batch
+coalescing that sustains throughput (HP-GNN's observation that
+sustained rate comes from batching, not per-request latency).
+"""
+
+from repro.api import GnnSession
+from repro.graph.datasets import instantiate_dataset
+from repro.serving import default_tenants
+
+
+def run_load(session, tenants, factor, duration_s=0.4):
+    scaled = [spec.overloaded(factor) for spec in tenants]
+    return session.serve(
+        tenants=scaled,
+        duration_s=duration_s,
+        functional=False,
+        seed=7,
+    )
+
+
+def test_serving_load_sweep(benchmark, report):
+    graph = instantiate_dataset("ls", max_nodes=3000, seed=0)
+    session = GnnSession(graph, num_partitions=4, seed=0)
+    tenants = default_tenants(0.4)
+    baseline = benchmark.pedantic(
+        run_load, args=(session, tenants, 1.0), rounds=1, iterations=1
+    )
+    results = [(1.0, baseline)]
+    for factor in (2.0, 4.0):
+        results.append((factor, run_load(session, tenants, factor)))
+    lines = ["load  offered  completed  qps     p50(ms)  p99(ms)  shed%  occupancy"]
+    for factor, r in results:
+        lines.append(
+            f"{factor:>4.1f}  {r.offered:>7}  {r.completed:>9}"
+            f"  {r.completed_qps:>6.0f}  {1e3 * r.p50:>7.3f}"
+            f"  {1e3 * r.p99:>7.3f}  {100 * r.shed_rate:>5.1f}"
+            f"  {r.mean_batch_occupancy:>9.2f}"
+        )
+    report("Online serving — load sweep (admitted p99 + shed rate)",
+           "\n".join(lines))
+    # Shape: baseline admits ~everything under SLO with coalescing;
+    # overload sheds instead of letting the admitted tail blow up.
+    assert baseline.shed_rate < 0.05
+    assert baseline.mean_batch_occupancy > 1.0
+    assert all(
+        baseline.tenants[t.name].p99 < t.slo_s for t in tenants
+    )
+    overload_4x = results[-1][1]
+    assert overload_4x.shed_rate > 0.2
+    assert overload_4x.completed == overload_4x.admitted
+    assert overload_4x.p99 < 10 * baseline.p99 + 20e-3
+    # Heavier load coalesces more, not less.
+    assert overload_4x.mean_batch_occupancy >= baseline.mean_batch_occupancy

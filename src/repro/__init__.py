@@ -30,6 +30,10 @@ cost
     Cloud price catalog and the linear instance-cost regression.
 faas
     The eight-architecture FaaS design-space exploration (Figures 17-21).
+serving
+    Online SLO-aware serving gateway: open-loop multi-tenant
+    workloads, dynamic micro-batching, EDF scheduling with
+    token-bucket fair share, load shedding, and backend failover.
 """
 
 __version__ = "1.0.0"

@@ -11,7 +11,7 @@ or the AxE hardware model.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +31,10 @@ from repro.graph.partition import HashPartitioner
 from repro.gnn.models import GraphSageEncoder
 from repro.gnn.train import Trainer
 from repro.memstore.store import PartitionedStore
+from repro.serving.backends import HardwareBackend, SoftwareBackend
+from repro.serving.gateway import GatewayConfig, serve_workload
+from repro.serving.metrics import ServingReport
+from repro.serving.workload import TenantSpec, default_tenants
 
 
 class GnnSession:
@@ -144,6 +148,63 @@ class GnnSession:
             pairs=np.asarray(pairs, dtype=np.int64), rate=rate
         )
         return self.sampler.negative_sample(request)
+
+    # ------------------------------------------------------- serving level
+    def serve(
+        self,
+        tenants: Optional[Sequence[TenantSpec]] = None,
+        duration_s: float = 0.5,
+        config: Optional[GatewayConfig] = None,
+        functional: bool = True,
+        include_hardware: bool = True,
+        fail_hardware_at_s: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> ServingReport:
+        """Serve an open-loop multi-tenant workload over this session.
+
+        Wraps this session's software sampler and AxE engine as serving
+        backends (hardware preferred, software as fallback/overflow)
+        behind the admission-controlled gateway, generates the tenants'
+        Poisson arrival streams, and replays them to completion.
+
+        Parameters
+        ----------
+        tenants:
+            Traffic sources; ``None`` uses the three default tenants.
+        duration_s:
+            Arrival window in virtual seconds (the run drains fully).
+        functional:
+            Execute real sampling per micro-batch; ``False`` is
+            timing-only (calibrated models) for load studies.
+        include_hardware:
+            Also offer the AxE engine as the preferred backend.
+        fail_hardware_at_s:
+            Fault-injection hook: kill the hardware backend this far
+            into the run to exercise graceful degradation.
+        """
+        if tenants is None:
+            tenants = default_tenants(duration_s)
+        software = SoftwareBackend(self.sampler, functional=functional)
+        backends = [software]
+        fail_backend_at: Optional[Dict[str, float]] = None
+        if include_hardware:
+            hardware = HardwareBackend(self.engine, functional=functional)
+            backends = [hardware, software]
+            if fail_hardware_at_s is not None:
+                fail_backend_at = {hardware.name: fail_hardware_at_s}
+        elif fail_hardware_at_s is not None:
+            raise ConfigurationError(
+                "fail_hardware_at_s requires include_hardware=True"
+            )
+        return serve_workload(
+            backends,
+            tenants,
+            duration_s=duration_s,
+            num_nodes=self.graph.num_nodes,
+            seed=self._seed if seed is None else seed,
+            config=config,
+            fail_backend_at=fail_backend_at,
+        )
 
     # ------------------------------------------------------ fixed model API
     def graphsage(

@@ -96,7 +96,7 @@ class EngineStats:
 class AxeEngine:
     """One FPGA's multi-core access engine."""
 
-    def __init__(self, graph: CSRGraph, config: EngineConfig = None) -> None:
+    def __init__(self, graph: CSRGraph, config: Optional[EngineConfig] = None) -> None:
         self.graph = graph
         self.config = config or EngineConfig()
         self._partitioner = HashPartitioner(self.config.num_fpga_nodes)

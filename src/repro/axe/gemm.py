@@ -14,7 +14,7 @@ dataflow, and a resource estimate that scales with the array geometry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -49,7 +49,7 @@ class GemmConfig:
 class GemmEngine:
     """Output-stationary FP32 GEMM on an ``R x C`` MAC array."""
 
-    def __init__(self, config: GemmConfig = None) -> None:
+    def __init__(self, config: Optional[GemmConfig] = None) -> None:
         self.config = config or GemmConfig()
         self.total_cycles = 0
         self.total_flops = 0

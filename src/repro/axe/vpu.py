@@ -12,7 +12,7 @@ Functional results are exact; timing is lanes-per-cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -43,7 +43,7 @@ class VpuConfig:
 class VectorUnit:
     """SIMD lanes for elementwise ops and neighborhood reductions."""
 
-    def __init__(self, config: VpuConfig = None) -> None:
+    def __init__(self, config: Optional[VpuConfig] = None) -> None:
         self.config = config or VpuConfig()
         self.total_cycles = 0
 

@@ -11,6 +11,7 @@ Usage::
     python -m repro cost               # Figure 16
     python -m repro dse                # Figures 17-21
     python -m repro sampler            # Tech-2 cycle/resource numbers
+    python -m repro serve              # online SLO-aware serving gateway
 """
 
 from __future__ import annotations
@@ -152,6 +153,27 @@ def _cmd_service(_args) -> None:
           f"{100 * loaded.deadline_miss_rate(deadline):.0f}%")
 
 
+def _cmd_serve(args) -> None:
+    from repro.api import GnnSession
+    from repro.graph.datasets import instantiate_dataset
+    from repro.serving import default_tenants
+
+    graph = instantiate_dataset("ls", max_nodes=args.max_nodes, seed=0)
+    session = GnnSession(graph, num_partitions=4, seed=args.seed)
+    tenants = default_tenants(args.duration_s)
+    if args.overload != 1.0:
+        tenants = [spec.overloaded(args.overload) for spec in tenants]
+    report = session.serve(
+        tenants=tenants,
+        duration_s=args.duration_s,
+        functional=not args.no_functional,
+        fail_hardware_at_s=args.fail_hardware_at,
+    )
+    print(f"online serving: {len(tenants)} tenants, "
+          f"{args.overload:.1f}x offered/provisioned load")
+    print(report.format())
+
+
 def _cmd_sampler(_args) -> None:
     from repro.axe.resources import sampler_savings
     from repro.axe.sampling import sampling_speedup
@@ -190,6 +212,18 @@ def build_parser() -> argparse.ArgumentParser:
     system.add_argument("--max-nodes", type=int, default=6000)
     system.set_defaults(fn=_cmd_system)
     sub.add_parser("service", help="Challenge-1 latency").set_defaults(fn=_cmd_service)
+    serve = sub.add_parser("serve", help="online SLO-aware serving gateway")
+    serve.add_argument("--duration-s", type=float, default=0.5,
+                       help="arrival window in virtual seconds")
+    serve.add_argument("--max-nodes", type=int, default=2000)
+    serve.add_argument("--overload", type=float, default=1.0,
+                       help="offered load as a multiple of provisioned")
+    serve.add_argument("--fail-hardware-at", type=float, default=None,
+                       help="kill the AxE backend this far into the run")
+    serve.add_argument("--no-functional", action="store_true",
+                       help="timing-only backends (skip real sampling)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(fn=_cmd_serve)
     return parser
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 import numpy as np
 
@@ -134,7 +134,7 @@ class ServiceReport:
         return misses / len(self.batch_latencies_s)
 
 
-def run_service(config: ServiceConfig = None, seed: int = 0) -> ServiceReport:
+def run_service(config: Optional[ServiceConfig] = None, seed: int = 0) -> ServiceReport:
     """Run the closed-loop service simulation; returns latency stats."""
     config = config or ServiceConfig()
     sim = Simulator()

@@ -97,3 +97,66 @@ class TestConfiguration:
         graph = power_law_graph(100, 3.0, seed=0)
         with pytest.raises(ConfigurationError):
             GnnSession(graph, cache_nodes=-1)
+
+
+class TestServingLevel:
+    def small_tenants(self):
+        from repro.serving import TenantSpec
+
+        return [
+            TenantSpec(name="a", rate_rps=120.0, roots_per_request=2,
+                       fanouts=(3, 2), slo_s=30e-3),
+            TenantSpec(name="b", rate_rps=80.0, roots_per_request=4,
+                       fanouts=(3, 2), slo_s=50e-3),
+        ]
+
+    def test_serve_functional_end_to_end(self, session):
+        report = session.serve(
+            tenants=self.small_tenants(), duration_s=0.15
+        )
+        assert report.completed == report.admitted > 0
+        assert report.mean_batch_occupancy >= 1.0
+        assert report.p99 < 50e-3
+        assert set(report.backends) == {"axe", "software"}
+
+    def test_serve_default_tenants_timing_only(self, session):
+        report = session.serve(duration_s=0.1, functional=False)
+        assert set(report.tenants) == {"recsys", "fraud", "search"}
+        assert report.completed > 0
+
+    def test_serve_software_only(self, session):
+        report = session.serve(
+            tenants=self.small_tenants(),
+            duration_s=0.1,
+            functional=False,
+            include_hardware=False,
+        )
+        assert set(report.backends) == {"software"}
+        assert report.completed == report.admitted > 0
+
+    def test_serve_hardware_failure_degrades(self, session):
+        report = session.serve(
+            tenants=self.small_tenants(),
+            duration_s=0.15,
+            functional=False,
+            fail_hardware_at_s=0.05,
+        )
+        # No admitted request is lost across the failover.
+        assert report.completed == report.admitted > 0
+        assert report.backends["software"].batches > 0
+
+    def test_serve_deterministic(self, session):
+        kwargs = dict(
+            tenants=self.small_tenants(), duration_s=0.1, functional=False
+        )
+        a = session.serve(**kwargs)
+        b = session.serve(**kwargs)
+        assert a.latencies_s == b.latencies_s
+
+    def test_fail_hardware_requires_hardware(self, session):
+        with pytest.raises(ConfigurationError):
+            session.serve(
+                duration_s=0.1,
+                include_hardware=False,
+                fail_hardware_at_s=0.05,
+            )

@@ -83,3 +83,30 @@ class TestExtraCommands:
         assert main(["service"]) == 0
         out = capsys.readouterr().out
         assert "deadline" in out
+
+
+class TestServeCommand:
+    def test_serve_smoke(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--duration-s", "0.5", "--max-nodes", "1200",
+                     "--no-functional"]) == 0
+        out = capsys.readouterr().out
+        assert "p99 latency" in out
+        assert "shed rate" in out
+        assert "batch occupancy" in out
+
+    def test_serve_overload_and_failure(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--duration-s", "0.3", "--max-nodes", "1200",
+                     "--overload", "2.0", "--fail-hardware-at", "0.15",
+                     "--no-functional"]) == 0
+        out = capsys.readouterr().out
+        assert "2.0x offered/provisioned" in out
+        assert "backend software" in out
+
+    def test_parser_lists_serve(self):
+        from repro.cli import build_parser
+
+        assert "serve" in build_parser().format_help()

@@ -102,3 +102,40 @@ class TestValidation:
 
     def test_empty_report_miss_rate(self):
         assert ServiceReport([], 0.0, 0, 0).deadline_miss_rate(1.0) == 0.0
+
+
+class TestReportEdgeCases:
+    def test_percentile_empty_raises(self):
+        empty = ServiceReport([], 0.0, 0, 0)
+        for q in (0, 50, 99, 100):
+            with pytest.raises(ConfigurationError):
+                empty.percentile(q)
+        with pytest.raises(ConfigurationError):
+            _ = empty.p50
+        with pytest.raises(ConfigurationError):
+            _ = empty.p99
+
+    def test_deadline_rejects_non_positive(self):
+        report = ServiceReport([1.0], 1.0, 1, 1)
+        for deadline in (0, -1e-6, -5.0):
+            with pytest.raises(ConfigurationError):
+                report.deadline_miss_rate(deadline)
+
+    def test_empty_latencies_miss_rate_zero(self):
+        assert ServiceReport([], 0.0, 0, 0).deadline_miss_rate(1e-9) == 0.0
+
+    def test_zero_time_throughput(self):
+        assert ServiceReport([], 0.0, 0, 0).throughput_batches_per_s == 0.0
+
+    def test_run_service_deterministic_default_config(self):
+        a = run_service(seed=11)
+        b = run_service(seed=11)
+        assert a.batch_latencies_s == b.batch_latencies_s
+        assert a.total_time_s == b.total_time_s
+        assert a.server_max_queue == b.server_max_queue
+
+    def test_run_service_seed_changes_jitter(self):
+        a = run_service(ServiceConfig(num_workers=4), seed=0)
+        b = run_service(ServiceConfig(num_workers=4), seed=1)
+        assert a.total_batches == b.total_batches
+        assert a.batch_latencies_s != b.batch_latencies_s

@@ -1,0 +1,305 @@
+"""Tests for repro.serving.gateway (admission, batching, failover)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving.backends import BackendResult, ServingBackend
+from repro.serving.gateway import (
+    GatewayConfig,
+    ServingGateway,
+    serve_workload,
+)
+from repro.serving.workload import Arrival, TenantSpec, generate_arrivals
+
+
+class FakeBackend(ServingBackend):
+    """Deterministic fixed-service-time backend for gateway tests."""
+
+    def __init__(self, name="fake", concurrency=1, service_s=1e-3):
+        super().__init__(name=name, concurrency=concurrency)
+        self.service_s = service_s
+        self.calls = []
+
+    def execute(self, roots, fanouts):
+        self.calls.append((int(roots.size), tuple(fanouts)))
+        return BackendResult(payload=None, service_s=self.service_s)
+
+
+def tenant(name="a", rate=1000.0, slo=0.1):
+    return TenantSpec(name=name, rate_rps=rate, slo_s=slo)
+
+
+def arrival(t, name="a", num_roots=4, fanouts=(2, 2), slo=0.1, seq=0):
+    rng = np.random.default_rng(seq)
+    return Arrival(
+        time_s=t,
+        tenant=name,
+        roots=rng.integers(0, 100, size=num_roots, dtype=np.int64),
+        fanouts=fanouts,
+        slo_s=slo,
+        seq=seq,
+    )
+
+
+def config(**kwargs):
+    defaults = dict(token_burst=64.0)
+    defaults.update(kwargs)
+    return GatewayConfig(**defaults)
+
+
+class TestBatching:
+    def test_coalesces_simultaneous_arrivals(self):
+        backend = FakeBackend()
+        gateway = ServingGateway([backend], [tenant()], config())
+        arrivals = [arrival(0.0, seq=i) for i in range(6)]
+        report = gateway.run(arrivals, duration_s=0.1)
+        assert report.mean_batch_occupancy == 6.0
+        assert report.completed == 6
+        assert backend.calls == [(24, (2, 2))]
+
+    def test_flush_on_root_budget(self):
+        gateway = ServingGateway(
+            [FakeBackend(concurrency=8)],
+            [tenant()],
+            config(batch_root_budget=16),
+        )
+        arrivals = [arrival(0.0, seq=i) for i in range(8)]
+        report = gateway.run(arrivals, duration_s=0.1)
+        assert report.batch_request_sizes == [4, 4]
+        assert report.batch_root_sizes == [16, 16]
+
+    def test_flush_on_request_cap(self):
+        gateway = ServingGateway(
+            [FakeBackend(concurrency=8)],
+            [tenant()],
+            config(batch_root_budget=10_000, max_batch_requests=2),
+        )
+        arrivals = [arrival(0.0, seq=i) for i in range(6)]
+        report = gateway.run(arrivals, duration_s=0.1)
+        assert report.batch_request_sizes == [2, 2, 2]
+
+    def test_flush_on_max_wait(self):
+        gateway = ServingGateway(
+            [FakeBackend()], [tenant()], config(max_wait_s=5e-3)
+        )
+        report = gateway.run([arrival(0.0)], duration_s=0.1)
+        assert report.completed == 1
+        # Latency = max-wait flush + service time.
+        assert report.p50 == pytest.approx(5e-3 + 1e-3)
+
+    def test_groups_by_fanouts(self):
+        backend = FakeBackend(concurrency=4)
+        gateway = ServingGateway([backend], [tenant()], config())
+        arrivals = [
+            arrival(0.0, fanouts=(2, 2), seq=0),
+            arrival(0.0, fanouts=(3,), seq=1),
+            arrival(0.0, fanouts=(2, 2), seq=2),
+        ]
+        report = gateway.run(arrivals, duration_s=0.1)
+        assert sorted(report.batch_request_sizes) == [1, 2]
+        assert {fanouts for _n, fanouts in backend.calls} == {(2, 2), (3,)}
+
+    def test_cross_tenant_coalescing(self):
+        tenants = [tenant("a"), tenant("b")]
+        gateway = ServingGateway([FakeBackend()], tenants, config())
+        arrivals = [
+            arrival(0.0, name="a", seq=0),
+            arrival(0.0, name="b", seq=1),
+        ]
+        report = gateway.run(arrivals, duration_s=0.1)
+        assert report.mean_batch_occupancy == 2.0
+        assert report.tenants["a"].completed == 1
+        assert report.tenants["b"].completed == 1
+
+
+class TestScheduling:
+    def test_edf_order_under_contention(self):
+        """With the single slot busy, the tightest deadline runs next."""
+        gateway = ServingGateway(
+            [FakeBackend(service_s=10e-3)],
+            [tenant("a"), tenant("b"), tenant("c")],
+            config(max_batch_requests=1),
+        )
+        arrivals = [
+            arrival(0.0, name="a", slo=0.100, seq=0),      # dispatches at 0
+            arrival(1e-5, name="c", slo=0.050, seq=1),     # deadline 0.050
+            arrival(2e-5, name="b", slo=0.010, seq=2),     # deadline 0.010
+        ]
+        report = gateway.run(arrivals, duration_s=0.1)
+        # b (tighter SLO) overtakes c despite arriving later.
+        assert report.tenants["b"].p50 < report.tenants["c"].p50
+
+    def test_conservation(self):
+        """offered = admitted + shed, and every admitted completes."""
+        spec = TenantSpec(name="a", rate_rps=400.0, provisioned_rps=100.0)
+        arrivals = generate_arrivals([spec], 0.5, num_nodes=100, seed=0)
+        gateway = ServingGateway([FakeBackend(concurrency=2)], [spec])
+        report = gateway.run(arrivals, duration_s=0.5)
+        assert report.offered == len(arrivals)
+        assert report.offered == report.admitted + report.shed
+        assert report.completed == report.admitted
+
+
+class TestBackpressure:
+    def test_rate_limit_sheds_with_retry_after(self):
+        spec = TenantSpec(name="a", rate_rps=400.0, provisioned_rps=100.0)
+        arrivals = generate_arrivals([spec], 0.5, num_nodes=100, seed=0)
+        gateway = ServingGateway([FakeBackend(concurrency=4)], [spec])
+        report = gateway.run(arrivals, duration_s=0.5)
+        assert report.shed > 0
+        assert report.shed_by_reason.get("rate_limited", 0) > 0
+        assert gateway.shed_responses
+        for shed in gateway.shed_responses:
+            assert shed.retry_after_s > 0
+            assert shed.reason in ("rate_limited", "queue_full")
+        # Admitted traffic still meets a sane latency bound.
+        assert report.p99 < 0.05
+
+    def test_queue_full_sheds(self):
+        gateway = ServingGateway(
+            [FakeBackend(service_s=50e-3)],
+            [tenant()],
+            config(queue_capacity=2, max_batch_requests=1),
+        )
+        arrivals = [arrival(i * 1e-5, seq=i) for i in range(10)]
+        report = gateway.run(arrivals, duration_s=0.1)
+        assert report.shed_by_reason.get("queue_full", 0) == 7
+        assert report.admitted == 3
+        assert report.completed == 3
+
+    def test_overload_bounds_admitted_tail(self):
+        """2x overload: non-zero shed, but admitted p99 stays put."""
+        base = TenantSpec(name="a", rate_rps=200.0)
+        over = base.overloaded(2.0)
+        backend_args = dict(concurrency=2, service_s=2e-3)
+        baseline = ServingGateway(
+            [FakeBackend(**backend_args)], [base]
+        ).run(generate_arrivals([base], 0.5, 100, seed=1), 0.5)
+        overload = ServingGateway(
+            [FakeBackend(**backend_args)], [over]
+        ).run(generate_arrivals([over], 0.5, 100, seed=1), 0.5)
+        assert baseline.shed_rate == 0.0 or baseline.shed_rate < 0.05
+        assert overload.shed_rate > 0.1
+        assert overload.p99 < 5 * baseline.p99 + 10e-3
+
+
+class TestFailover:
+    def test_in_flight_retried_on_software(self):
+        hardware = FakeBackend(name="hw", service_s=100e-3)
+        software = FakeBackend(name="sw", concurrency=2, service_s=1e-3)
+        gateway = ServingGateway(
+            [hardware, software],
+            [tenant()],
+            config(max_batch_requests=1),
+        )
+        gateway.inject_backend_failure("hw", at_s=10e-3)
+        report = gateway.run([arrival(0.0)], duration_s=0.1)
+        # The batch was in flight on hw at the failure, got retried,
+        # and completed on sw — nothing admitted was dropped.
+        assert report.retried == 1
+        assert report.completed == 1
+        assert report.p50 == pytest.approx(10e-3 + 1e-3)
+        assert not hardware.healthy
+
+    def test_no_hardware_dispatch_after_failure(self):
+        hardware = FakeBackend(name="hw", service_s=1e-3)
+        software = FakeBackend(name="sw", concurrency=2, service_s=1e-3)
+        gateway = ServingGateway(
+            [hardware, software], [tenant()], config(max_batch_requests=1)
+        )
+        gateway.inject_backend_failure("hw", at_s=5e-3)
+        arrivals = [arrival(0.0, seq=0), arrival(20e-3, seq=1)]
+        report = gateway.run(arrivals, duration_s=0.1)
+        assert report.completed == 2
+        assert len(hardware.calls) == 1      # only the pre-failure batch
+        assert len(software.calls) == 1      # the post-failure batch
+        assert report.backends["hw"].batches == 1
+        assert report.backends["sw"].batches == 1
+
+    def test_failure_with_nothing_in_flight_is_benign(self):
+        hardware = FakeBackend(name="hw")
+        software = FakeBackend(name="sw")
+        gateway = ServingGateway([hardware, software], [tenant()], config())
+        gateway.inject_backend_failure("hw", at_s=50e-3)
+        report = gateway.run([arrival(0.0)], duration_s=0.1)
+        assert report.retried == 0
+        assert report.completed == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        spec = TenantSpec(name="a", rate_rps=300.0)
+
+        def run_once():
+            arrivals = generate_arrivals([spec], 0.3, 100, seed=5)
+            gateway = ServingGateway([FakeBackend(concurrency=2)], [spec])
+            return gateway.run(arrivals, duration_s=0.3)
+
+        a, b = run_once(), run_once()
+        assert a.latencies_s == b.latencies_s
+        assert a.batch_request_sizes == b.batch_request_sizes
+        assert a.shed == b.shed
+
+
+class TestValidation:
+    def test_gateway_needs_backends_and_tenants(self):
+        with pytest.raises(ConfigurationError):
+            ServingGateway([], [tenant()])
+        with pytest.raises(ConfigurationError):
+            ServingGateway([FakeBackend()], [])
+        with pytest.raises(ConfigurationError):
+            ServingGateway([FakeBackend(), FakeBackend()], [tenant()])
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            GatewayConfig(batch_root_budget=0)
+        with pytest.raises(ConfigurationError):
+            GatewayConfig(max_wait_s=0)
+        with pytest.raises(ConfigurationError):
+            GatewayConfig(queue_capacity=0)
+        with pytest.raises(ConfigurationError):
+            GatewayConfig(token_burst=0.5)
+        with pytest.raises(ConfigurationError):
+            GatewayConfig(token_rate_headroom=0)
+
+    def test_fault_injection_validation(self):
+        gateway = ServingGateway([FakeBackend()], [tenant()])
+        with pytest.raises(ConfigurationError):
+            gateway.inject_backend_failure("ghost", 0.1)
+        with pytest.raises(ConfigurationError):
+            gateway.inject_backend_failure("fake", -1.0)
+
+    def test_run_validation(self):
+        gateway = ServingGateway([FakeBackend()], [tenant()])
+        with pytest.raises(ConfigurationError):
+            gateway.run([], duration_s=0)
+
+
+class TestServeWorkload:
+    def test_end_to_end_helper(self):
+        spec = TenantSpec(name="a", rate_rps=200.0)
+        report = serve_workload(
+            [FakeBackend(concurrency=2)],
+            [spec],
+            duration_s=0.2,
+            num_nodes=100,
+            seed=0,
+        )
+        assert report.completed == report.admitted > 0
+        assert report.duration_s == 0.2
+
+    def test_fault_schedule_passthrough(self):
+        hw = FakeBackend(name="hw", service_s=30e-3)
+        sw = FakeBackend(name="sw", concurrency=4)
+        spec = TenantSpec(name="a", rate_rps=200.0)
+        report = serve_workload(
+            [hw, sw],
+            [spec],
+            duration_s=0.2,
+            num_nodes=100,
+            seed=0,
+            fail_backend_at={"hw": 0.05},
+        )
+        assert not hw.healthy
+        assert report.completed == report.admitted > 0

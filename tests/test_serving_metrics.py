@@ -1,0 +1,101 @@
+"""Tests for repro.serving.metrics (registry and ServingReport)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving.metrics import MetricsRegistry
+
+
+def populated_registry():
+    metrics = MetricsRegistry()
+    metrics.register_tenant("a", slo_s=1e-3)
+    metrics.register_tenant("b", slo_s=5e-3)
+    metrics.register_backend("hw", concurrency=1)
+    metrics.register_backend("sw", concurrency=4)
+    for _ in range(4):
+        metrics.on_offered("a")
+    metrics.on_offered("b")
+    metrics.on_admitted("a", 1)
+    metrics.on_admitted("a", 2)
+    metrics.on_admitted("b", 3)
+    metrics.on_shed("a", "rate_limited")
+    metrics.on_shed("a", "queue_full")
+    metrics.on_batch(3, 12)
+    metrics.on_dispatch("hw", 3, 2e-3)
+    metrics.on_completed("a", 0.5e-3)
+    metrics.on_completed("a", 2e-3)   # misses a's 1ms SLO
+    metrics.on_completed("b", 3e-3)
+    return metrics
+
+
+class TestRegistry:
+    def test_counts_flow_into_report(self):
+        report = populated_registry().snapshot(duration_s=0.1, drain_s=0.12)
+        assert report.offered == 5
+        assert report.admitted == 3
+        assert report.completed == 3
+        assert report.shed == 2
+        assert report.shed_by_reason == {"rate_limited": 1, "queue_full": 1}
+        assert report.max_queue_depth == 3
+        assert report.completed_qps == pytest.approx(30.0)
+
+    def test_tenant_slices(self):
+        report = populated_registry().snapshot(duration_s=0.1, drain_s=0.12)
+        a = report.tenants["a"]
+        assert a.offered == 4 and a.admitted == 2 and a.shed == 2
+        assert a.shed_rate == pytest.approx(0.5)
+        assert a.completed == 2 and a.slo_misses == 1
+        assert a.slo_miss_rate == pytest.approx(0.5)
+        b = report.tenants["b"]
+        assert b.shed_rate == 0.0 and b.slo_miss_rate == 0.0
+
+    def test_batch_occupancy(self):
+        metrics = populated_registry()
+        metrics.on_batch(1, 4)
+        report = metrics.snapshot(duration_s=0.1, drain_s=0.1)
+        assert report.mean_batch_occupancy == pytest.approx(2.0)
+        assert report.mean_batch_roots == pytest.approx(8.0)
+
+    def test_backend_utilization(self):
+        report = populated_registry().snapshot(duration_s=0.1, drain_s=0.1)
+        hw = report.backends["hw"]
+        assert hw.batches == 1 and hw.requests == 3
+        assert hw.utilization(0.1) == pytest.approx(2e-2)
+        # Four slots divide the same busy time.
+        sw = report.backends["sw"]
+        assert sw.utilization(0.1) == 0.0
+
+
+class TestReportEdges:
+    def test_empty_report(self):
+        report = MetricsRegistry().snapshot(duration_s=0.0, drain_s=0.0)
+        assert report.shed_rate == 0.0
+        assert report.completed_qps == 0.0
+        assert report.mean_batch_occupancy == 0.0
+        assert report.mean_batch_roots == 0.0
+        assert report.slo_miss_rate == 0.0
+        with pytest.raises(ConfigurationError):
+            report.percentile(50)
+        assert "p99 latency: n/a" in report.format()
+
+    def test_percentile_bounds(self):
+        report = populated_registry().snapshot(duration_s=0.1, drain_s=0.1)
+        with pytest.raises(ConfigurationError):
+            report.percentile(101)
+        with pytest.raises(ConfigurationError):
+            report.percentile(-1)
+        assert report.p99 >= report.p50
+
+    def test_format_mentions_headline_metrics(self):
+        text = populated_registry().snapshot(0.1, 0.12).format()
+        for needle in (
+            "p99 latency", "shed rate", "batch occupancy",
+            "backend hw", "tenant a", "SLO",
+        ):
+            assert needle in text
+
+    def test_snapshot_is_a_copy(self):
+        metrics = populated_registry()
+        report = metrics.snapshot(duration_s=0.1, drain_s=0.1)
+        metrics.on_completed("a", 9.0)
+        assert len(report.latencies_s) == 3

@@ -1,0 +1,130 @@
+"""Tests for repro.serving.workload (open-loop arrival generation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving.workload import (
+    DiurnalProfile,
+    TenantSpec,
+    default_tenants,
+    generate_arrivals,
+)
+
+
+def one_tenant(**kwargs):
+    defaults = dict(name="t0", rate_rps=200.0)
+    defaults.update(kwargs)
+    return TenantSpec(**defaults)
+
+
+class TestTenantSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            one_tenant(rate_rps=0)
+        with pytest.raises(ConfigurationError):
+            one_tenant(roots_per_request=0)
+        with pytest.raises(ConfigurationError):
+            one_tenant(fanouts=())
+        with pytest.raises(ConfigurationError):
+            one_tenant(slo_s=0)
+        with pytest.raises(ConfigurationError):
+            one_tenant(provisioned_rps=-1.0)
+        with pytest.raises(ConfigurationError):
+            one_tenant(name="")
+
+    def test_fair_share_defaults_to_offered(self):
+        assert one_tenant(rate_rps=100.0).fair_share_rps == 100.0
+
+    def test_overloaded_keeps_provisioned(self):
+        spec = one_tenant(rate_rps=100.0).overloaded(2.0)
+        assert spec.rate_rps == 200.0
+        assert spec.fair_share_rps == 100.0
+        # Overloading twice compounds offered rate, not the contract.
+        again = spec.overloaded(3.0)
+        assert again.rate_rps == 300.0
+        assert again.fair_share_rps == 100.0
+
+    def test_overloaded_rejects_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            one_tenant().overloaded(0)
+
+
+class TestDiurnalProfile:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalProfile(amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalProfile(period_s=0)
+
+    def test_multiplier_range(self):
+        profile = DiurnalProfile(amplitude=0.5, period_s=1.0)
+        times = np.linspace(0, 2, 101)
+        values = [profile.multiplier(t) for t in times]
+        assert min(values) >= 0.5 - 1e-9
+        assert max(values) <= 1.5 + 1e-9
+
+    def test_flat_profile_is_identity(self):
+        assert DiurnalProfile().multiplier(0.37) == 1.0
+
+
+class TestGenerateArrivals:
+    def test_deterministic(self):
+        tenants = default_tenants(0.2)
+        a = generate_arrivals(tenants, 0.2, num_nodes=100, seed=7)
+        b = generate_arrivals(tenants, 0.2, num_nodes=100, seed=7)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert x.time_s == y.time_s and x.tenant == y.tenant
+            assert np.array_equal(x.roots, y.roots)
+
+    def test_sorted_and_within_window(self):
+        arrivals = generate_arrivals(
+            [one_tenant()], 0.5, num_nodes=50, seed=0
+        )
+        times = [a.time_s for a in arrivals]
+        assert times == sorted(times)
+        assert all(0 <= t < 0.5 for t in times)
+        assert [a.seq for a in arrivals] == list(range(len(arrivals)))
+
+    def test_rate_roughly_matches(self):
+        arrivals = generate_arrivals(
+            [one_tenant(rate_rps=500.0)], 2.0, num_nodes=50, seed=1
+        )
+        # ~1000 expected; Poisson sd ~32.
+        assert 850 <= len(arrivals) <= 1150
+
+    def test_roots_in_range(self):
+        arrivals = generate_arrivals(
+            [one_tenant(roots_per_request=6)], 0.2, num_nodes=13, seed=0
+        )
+        for a in arrivals:
+            assert a.num_roots == 6
+            assert a.roots.min() >= 0 and a.roots.max() < 13
+            assert a.deadline_s == a.time_s + a.slo_s
+
+    def test_diurnal_modulates_density(self):
+        """Peak-phase halves should hold more arrivals than troughs."""
+        spec = one_tenant(
+            rate_rps=800.0,
+            diurnal=DiurnalProfile(amplitude=0.9, period_s=1.0),
+        )
+        arrivals = generate_arrivals([spec], 1.0, num_nodes=10, seed=3)
+        peak = sum(1 for a in arrivals if a.time_s < 0.5)
+        trough = len(arrivals) - peak
+        assert peak > 1.5 * trough
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_arrivals([], 1.0, num_nodes=10)
+        with pytest.raises(ConfigurationError):
+            generate_arrivals([one_tenant()], 0, num_nodes=10)
+        with pytest.raises(ConfigurationError):
+            generate_arrivals([one_tenant()], 1.0, num_nodes=0)
+        with pytest.raises(ConfigurationError):
+            generate_arrivals([one_tenant(), one_tenant()], 1.0, num_nodes=10)
+
+    def test_default_tenants_share_fanouts(self):
+        tenants = default_tenants(0.5)
+        assert len(tenants) == 3
+        assert len({t.fanouts for t in tenants}) == 1
