@@ -30,6 +30,7 @@ from repro.graph.csr import CSRGraph
 from repro.graph.partition import HashPartitioner
 from repro.gnn.models import GraphSageEncoder
 from repro.gnn.train import Trainer
+from repro.memstore.faults import ReliableReadPath
 from repro.memstore.store import PartitionedStore
 from repro.serving.backends import HardwareBackend, SoftwareBackend
 from repro.serving.gateway import GatewayConfig, serve_workload
@@ -54,6 +55,12 @@ class GnnSession:
         step-based method).
     cache_nodes:
         Optional hot-node cache capacity for the software path.
+    reliability:
+        Optional fault-tolerant remote-read path
+        (:class:`~repro.memstore.faults.ReliableReadPath`) threaded
+        into the store. When set, the software sampler runs with
+        degraded completion enabled so a dead shard costs data quality
+        (self-loop / zero-row fallbacks), not the run.
     """
 
     def __init__(
@@ -64,19 +71,23 @@ class GnnSession:
         sampling_method: str = "uniform",
         cache_nodes: int = 0,
         seed: int = 0,
+        reliability: Optional["ReliableReadPath"] = None,
     ) -> None:
         if cache_nodes < 0:
             raise ConfigurationError(
                 f"cache_nodes must be non-negative, got {cache_nodes}"
             )
         self.graph = graph
-        self.store = PartitionedStore(graph, HashPartitioner(num_partitions))
+        self.store = PartitionedStore(
+            graph, HashPartitioner(num_partitions), reliability=reliability
+        )
         cache = HotNodeCache(cache_nodes) if cache_nodes else None
         self.sampler = MultiHopSampler(
             self.store,
             seed=seed,
             cache=cache,
             selector=get_selector(sampling_method),
+            degraded_ok=reliability is not None,
         )
         if engine_config is None:
             engine_config = EngineConfig(

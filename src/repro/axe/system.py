@@ -106,7 +106,7 @@ class MultiCardSystem:
     def __init__(
         self,
         graph: CSRGraph,
-        config: SystemConfig = None,
+        config: Optional[SystemConfig] = None,
         topology: Optional[FabricTopology] = None,
     ) -> None:
         self.graph = graph

@@ -12,6 +12,7 @@ Usage::
     python -m repro dse                # Figures 17-21
     python -m repro sampler            # Tech-2 cycle/resource numbers
     python -m repro serve              # online SLO-aware serving gateway
+    python -m repro faults             # fault-tolerant remote-memory path
 """
 
 from __future__ import annotations
@@ -174,6 +175,53 @@ def _cmd_serve(args) -> None:
     print(report.format())
 
 
+def _cmd_faults(args) -> None:
+    from repro.graph.datasets import instantiate_dataset
+    from repro.graph.partition import HashPartitioner
+    from repro.framework.sampler import MultiHopSampler
+    from repro.framework.requests import SampleRequest
+    from repro.memstore import (
+        FaultInjector,
+        PartitionedStore,
+        ReliableReadPath,
+        ReplicaPlacement,
+        RetryPolicy,
+    )
+    import numpy as np
+
+    graph = instantiate_dataset("ls", max_nodes=args.max_nodes, seed=0)
+    placement = ReplicaPlacement(
+        num_partitions=args.partitions, replication_factor=args.replicas
+    )
+    injector = FaultInjector(seed=args.seed, loss_rate=args.loss_rate)
+    policy = RetryPolicy(hedge=not args.no_hedge)
+    path = ReliableReadPath(
+        placement, policy=policy, injector=injector, seed=args.seed
+    )
+    store = PartitionedStore(
+        graph, HashPartitioner(args.partitions), reliability=path
+    )
+    sampler = MultiHopSampler(
+        store, seed=args.seed, worker_partition=0, degraded_ok=True
+    )
+    if args.kill_partition is not None:
+        injector.kill_replica(args.kill_partition, replica=0)
+        print(f"killed: partition {args.kill_partition} replica 0")
+    roots = np.arange(args.batch_size, dtype=np.int64)
+    request = SampleRequest(roots=roots, fanouts=(10, 5))
+    sampler.sample(request)
+    stats = sampler.fault_stats
+    print(f"replicas: {args.replicas}x across {placement.num_domains} domains"
+          f"  loss rate: {args.loss_rate:.1%}"
+          f"  hedging: {'on' if policy.hedge else 'off'}")
+    print(f"reads {stats.reads}  attempts {stats.attempts}"
+          f"  retries {stats.retries}  timeouts {stats.timeouts}")
+    print(f"hedges {stats.hedges} (won {stats.hedge_wins})"
+          f"  failovers {stats.failovers}"
+          f"  failed reads {stats.failed_reads}"
+          f"  degraded fallbacks {sampler.degraded_fallbacks}")
+
+
 def _cmd_sampler(_args) -> None:
     from repro.axe.resources import sampler_savings
     from repro.axe.sampling import sampling_speedup
@@ -224,6 +272,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timing-only backends (skip real sampling)")
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(fn=_cmd_serve)
+    faults = sub.add_parser(
+        "faults", help="fault-tolerant remote-memory path demo"
+    )
+    faults.add_argument("--max-nodes", type=int, default=2000)
+    faults.add_argument("--partitions", type=int, default=4)
+    faults.add_argument("--replicas", type=int, default=2,
+                        help="replication factor per partition")
+    faults.add_argument("--loss-rate", type=float, default=0.0,
+                        help="per-request loss probability")
+    faults.add_argument("--kill-partition", type=int, default=None,
+                        help="kill this partition's primary replica up front")
+    faults.add_argument("--no-hedge", action="store_true",
+                        help="disable hedged second reads")
+    faults.add_argument("--batch-size", type=int, default=48)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.set_defaults(fn=_cmd_faults)
     return parser
 
 

@@ -9,7 +9,7 @@ paper's noted outlier.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -43,7 +43,7 @@ class CostModel:
 
 
 def fit_cost_model(
-    catalog: Iterable[PricedInstance] = None,
+    catalog: Optional[Iterable[PricedInstance]] = None,
 ) -> CostModel:
     """Least-squares fit over the catalog."""
     rows = list(catalog) if catalog is not None else list(PRICE_CATALOG.values())
@@ -84,8 +84,8 @@ class CostValidationRow:
 
 
 def validate_cost_model(
-    model: CostModel = None,
-    catalog: Dict[str, PricedInstance] = None,
+    model: Optional[CostModel] = None,
+    catalog: Optional[Dict[str, PricedInstance]] = None,
 ) -> List[CostValidationRow]:
     """Figure 16: per-instance prediction error of the linear model."""
     catalog = catalog or PRICE_CATALOG

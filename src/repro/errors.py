@@ -23,6 +23,10 @@ class PartitionError(ReproError):
     """A partitioning operation failed or referenced a missing partition."""
 
 
+class ReplicaUnavailableError(PartitionError):
+    """No replica of a partition could serve a read before its deadline."""
+
+
 class SimulationError(ReproError):
     """The event-driven simulator reached an inconsistent state."""
 

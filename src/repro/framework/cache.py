@@ -11,7 +11,7 @@ quantify exactly that.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -21,8 +21,13 @@ from repro.errors import ConfigurationError
 class HotNodeCache:
     """LRU cache over neighbor lists and attribute rows.
 
-    Capacity is expressed in *nodes* (each cached node may hold its
-    neighbor list, its attribute row, or both).
+    Capacity is expressed in *nodes* and is a combined budget: a node
+    counts once whether it holds its neighbor list, its attribute row,
+    or both, and the total number of distinct cached nodes never
+    exceeds ``capacity_nodes``. (An earlier version budgeted the two
+    facets independently, silently caching up to twice the stated
+    capacity.) Eviction is LRU over nodes — touching either facet
+    refreshes the node, and evicting a node drops both facets.
     """
 
     def __init__(self, capacity_nodes: int) -> None:
@@ -31,48 +36,71 @@ class HotNodeCache:
                 f"capacity_nodes must be positive, got {capacity_nodes}"
             )
         self.capacity_nodes = capacity_nodes
-        self._neighbors: "OrderedDict[int, np.ndarray]" = OrderedDict()
-        self._attributes: "OrderedDict[int, np.ndarray]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        #: Shared recency order; keys are node IDs, oldest first.
+        self._lru: "OrderedDict[int, None]" = OrderedDict()
+        self._neighbors: Dict[int, np.ndarray] = {}
+        self._attributes: Dict[int, np.ndarray] = {}
+        self.neighbor_hits = 0
+        self.neighbor_misses = 0
+        self.attribute_hits = 0
+        self.attribute_misses = 0
+
+    # -------------------------------------------------------------- budget
+    def __len__(self) -> int:
+        """Number of distinct cached nodes (the budgeted quantity)."""
+        return len(self._lru)
+
+    def _touch(self, node: int) -> None:
+        self._lru[node] = None
+        self._lru.move_to_end(node)
+        while len(self._lru) > self.capacity_nodes:
+            victim, _ = self._lru.popitem(last=False)
+            self._neighbors.pop(victim, None)
+            self._attributes.pop(victim, None)
 
     # ------------------------------------------------------------ neighbors
     def get_neighbors(self, node: int) -> Optional[np.ndarray]:
         """Cached neighbor list of ``node``, or ``None`` on a miss."""
         cached = self._neighbors.get(node)
         if cached is None:
-            self.misses += 1
+            self.neighbor_misses += 1
             return None
-        self._neighbors.move_to_end(node)
-        self.hits += 1
+        self._touch(node)
+        self.neighbor_hits += 1
         return cached
 
     def put_neighbors(self, node: int, neighbors: np.ndarray) -> None:
-        """Insert a neighbor list, evicting the LRU entry when full."""
+        """Insert a neighbor list, evicting the LRU node when full."""
         self._neighbors[node] = np.asarray(neighbors, dtype=np.int64)
-        self._neighbors.move_to_end(node)
-        while len(self._neighbors) > self.capacity_nodes:
-            self._neighbors.popitem(last=False)
+        self._touch(node)
 
     # ----------------------------------------------------------- attributes
     def get_attributes(self, node: int) -> Optional[np.ndarray]:
         """Cached attribute row of ``node``, or ``None`` on a miss."""
         cached = self._attributes.get(node)
         if cached is None:
-            self.misses += 1
+            self.attribute_misses += 1
             return None
-        self._attributes.move_to_end(node)
-        self.hits += 1
+        self._touch(node)
+        self.attribute_hits += 1
         return cached
 
     def put_attributes(self, node: int, row: np.ndarray) -> None:
-        """Insert an attribute row, evicting the LRU entry when full."""
+        """Insert an attribute row, evicting the LRU node when full."""
         self._attributes[node] = np.asarray(row, dtype=np.float32)
-        self._attributes.move_to_end(node)
-        while len(self._attributes) > self.capacity_nodes:
-            self._attributes.popitem(last=False)
+        self._touch(node)
 
     # ------------------------------------------------------------- metrics
+    @property
+    def hits(self) -> int:
+        """Total hits across both facets."""
+        return self.neighbor_hits + self.attribute_hits
+
+    @property
+    def misses(self) -> int:
+        """Total misses across both facets."""
+        return self.neighbor_misses + self.attribute_misses
+
     @property
     def hit_rate(self) -> float:
         """Hit fraction over all lookups so far."""
@@ -81,5 +109,7 @@ class HotNodeCache:
 
     def reset_stats(self) -> None:
         """Zero the hit/miss counters (contents are kept)."""
-        self.hits = 0
-        self.misses = 0
+        self.neighbor_hits = 0
+        self.neighbor_misses = 0
+        self.attribute_hits = 0
+        self.attribute_misses = 0

@@ -16,7 +16,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError, GraphError
+from repro.errors import ConfigurationError, GraphError, ReplicaUnavailableError
 from repro.framework.cache import HotNodeCache
 from repro.framework.requests import (
     NegativeSampleRequest,
@@ -49,6 +49,13 @@ class MultiHopSampler:
         defaults to uniform-with-replacement. Pass
         :func:`~repro.framework.selectors.select_streaming` to sample
         the way the AxE hardware does.
+    degraded_ok:
+        When the store's fault-tolerant path declares a shard
+        unreachable (every replica dead past the read deadline), fall
+        back instead of raising: neighbor reads degrade to the
+        self-loop fallback, attribute reads to zero rows. Each fallback
+        is counted in ``degraded_fallbacks``. ``False`` (the default)
+        propagates :class:`~repro.errors.ReplicaUnavailableError`.
     """
 
     def __init__(
@@ -58,17 +65,27 @@ class MultiHopSampler:
         cache: Optional[HotNodeCache] = None,
         worker_partition: Optional[int] = None,
         selector=select_uniform,
+        degraded_ok: bool = False,
     ) -> None:
         self.store = store
         self.rng = np.random.default_rng(seed)
         self.cache = cache
         self.worker_partition = worker_partition
         self.selector = selector
+        self.degraded_ok = degraded_ok
+        #: Reads completed without data because a shard was unreachable.
+        self.degraded_fallbacks = 0
         # Weighted selectors take an extra ``weights`` argument, fed
         # from the graph's per-edge attributes when present.
         self._selector_takes_weights = (
             "weights" in inspect.signature(selector).parameters
         )
+
+    @property
+    def fault_stats(self):
+        """Store-level retry/hedge counters (``None`` without a
+        reliable path configured on the store)."""
+        return self.store.fault_stats
 
     # ------------------------------------------------------------- sampling
     def _neighbors(self, node: int) -> np.ndarray:
@@ -76,7 +93,16 @@ class MultiHopSampler:
             hit = self.cache.get_neighbors(node)
             if hit is not None:
                 return hit
-        neighbors = self.store.get_neighbors(node, self.worker_partition)
+        try:
+            neighbors = self.store.get_neighbors(node, self.worker_partition)
+        except ReplicaUnavailableError:
+            if not self.degraded_ok:
+                raise
+            # Degraded completion: treat the node as isolated, which
+            # downstream becomes the zero-degree self-loop fallback.
+            # The empty list is NOT cached — the shard may come back.
+            self.degraded_fallbacks += 1
+            return np.empty(0, dtype=np.int64)
         if self.cache is not None:
             self.cache.put_neighbors(node, neighbors)
         return neighbors
@@ -140,12 +166,28 @@ class MultiHopSampler:
                     served[i] = True
         missing = np.flatnonzero(~served)
         if missing.size:
-            fetched = self.store.get_attributes(flat[missing], self.worker_partition)
-            rows[missing] = fetched
+            rows[missing] = self._fetch_missing(flat[missing])
             if self.cache is not None:
                 for i, node in zip(missing, flat[missing]):
                     self.cache.put_attributes(int(node), rows[i])
         return rows.reshape(layer.shape + (self.store.graph.attr_len,))
+
+    def _fetch_missing(self, nodes: np.ndarray) -> np.ndarray:
+        """Fetch uncached attribute rows, degrading per node if allowed."""
+        if not self.degraded_ok or self.store.reliability is None:
+            return self.store.get_attributes(nodes, self.worker_partition)
+        # Fetch node-by-node so one dead shard only blanks its own rows
+        # (zero vectors), not the whole batch. Per-node fetches record
+        # the same access sequence as the batch path.
+        rows = np.zeros((nodes.size, self.store.graph.attr_len), dtype=np.float32)
+        for i, node in enumerate(nodes):
+            try:
+                rows[i] = self.store.get_attributes(
+                    np.asarray([node], dtype=np.int64), self.worker_partition
+                )[0]
+            except ReplicaUnavailableError:
+                self.degraded_fallbacks += 1
+        return rows
 
     # ------------------------------------------------------ negative sample
     def negative_sample(self, request: NegativeSampleRequest) -> np.ndarray:

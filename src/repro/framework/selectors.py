@@ -15,6 +15,8 @@ Two strategies matter to the paper:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.errors import ConfigurationError
@@ -68,7 +70,7 @@ def select_weighted(
     neighbors: np.ndarray,
     fanout: int,
     rng: np.random.Generator,
-    weights: np.ndarray = None,
+    weights: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Weighted sampling with replacement (edge-weight / degree-based).
 
@@ -99,7 +101,7 @@ def select_streaming_weighted(
     neighbors: np.ndarray,
     fanout: int,
     rng: np.random.Generator,
-    weights: np.ndarray = None,
+    weights: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Streaming weighted sampling: one weighted pick per group.
 

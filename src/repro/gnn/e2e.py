@@ -16,7 +16,7 @@ negatives per root, while inference scores only the positive pair.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.framework.cpu_model import CpuSamplingModel, WorkloadShape
@@ -83,7 +83,7 @@ class EndToEndModel:
         worker_vcpus: int = 120,
         gpu_effective_tflops: float = 0.9,
         embed_bandwidth: float = 90 * GB,
-        cpu_model: CpuSamplingModel = None,
+        cpu_model: Optional[CpuSamplingModel] = None,
     ) -> None:
         if batch_size <= 0 or hidden_dim <= 0:
             raise ConfigurationError("batch_size and hidden_dim must be positive")

@@ -8,7 +8,7 @@ streaming-vs-uniform sampler accuracy-parity experiment (Tech-2).
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -132,8 +132,8 @@ def train_to_convergence(
     labels: np.ndarray,
     batch_size: int = 64,
     epochs: int = 5,
-    rng: np.random.Generator = None,
-    on_epoch: Callable[[int, float], None] = None,
+    rng: Optional[np.random.Generator] = None,
+    on_epoch: Optional[Callable[[int, float], None]] = None,
 ) -> float:
     """Simple epoch loop; returns the final epoch's mean loss."""
     if rng is None:

@@ -1,0 +1,349 @@
+"""Fault injection and the fault-tolerant remote read path.
+
+This is the availability substrate under :class:`PartitionedStore`.
+The graph physically lives in one process, so "fault tolerance" here
+means the same thing the rest of the repo means by "hardware": a
+deterministic simulation, precise enough to measure policies against.
+A read that would ride the MoF fabric instead walks:
+
+    replica selection (``ReplicaPlacement``)
+      -> per-attempt latency draw (``LinkModel`` base + lognormal tail)
+      -> fault checks (replica down? request lost? link degraded?)
+      -> timeout / exponential backoff / deadline (``RetryPolicy``)
+      -> optional hedged second read to another replica after a
+         p99-derived delay, first response wins, loser cancelled
+
+Faults are events on the shared discrete-event kernel
+(:mod:`repro.axe.events`): replica kills/restores and link degradation
+are scheduled at absolute virtual times, per-request loss is drawn from
+a seeded generator — a run is a pure function of its seed. Virtual
+time advances only when reads consume it, so a kill "mid-run" lands
+mid-run regardless of host speed.
+
+When a store has no :class:`ReliableReadPath` attached, none of this
+code executes: the zero-fault configuration is bit-for-bit identical
+to the pre-fault-tolerance store.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, fields
+from typing import Deque, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReplicaUnavailableError
+from repro.axe.events import Simulator
+from repro.memstore.links import LinkModel, get_link
+from repro.memstore.replication import ReplicaId, ReplicaPlacement
+from repro.memstore.retry import RetryPolicy
+
+
+@dataclass
+class FaultStats:
+    """Counters accumulated by one :class:`ReliableReadPath`."""
+
+    #: Logical reads requested by the store.
+    reads: int = 0
+    #: Physical attempts issued (first tries + retries, not hedges).
+    attempts: int = 0
+    #: Attempts issued after a failed first try.
+    retries: int = 0
+    #: Attempts abandoned at the per-attempt timeout.
+    timeouts: int = 0
+    #: Hedged second reads issued.
+    hedges: int = 0
+    #: Hedges whose response arrived first (loser cancelled).
+    hedge_wins: int = 0
+    #: Reads served by a non-primary replica.
+    failovers: int = 0
+    #: Reads that exhausted deadline/attempts on every replica.
+    failed_reads: int = 0
+    #: Virtual seconds consumed by reads (including waits and backoffs).
+    busy_s: float = 0.0
+
+    def copy(self) -> "FaultStats":
+        return FaultStats(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def minus(self, baseline: "FaultStats") -> "FaultStats":
+        """Per-window delta: counters since ``baseline`` was captured."""
+        return FaultStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(baseline, f.name)
+                for f in fields(self)
+            }
+        )
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether any fault-path event (beyond clean reads) occurred."""
+        return bool(
+            self.retries
+            or self.timeouts
+            or self.hedges
+            or self.failovers
+            or self.failed_reads
+        )
+
+
+class FaultInjector:
+    """Event-kernel-driven fault source for the remote memory path.
+
+    Three fault classes, all deterministic:
+
+    * **Replica kill/restore** — scheduled at absolute virtual times
+      (or applied immediately); a dead replica never answers, so reads
+      against it burn the attempt timeout.
+    * **Link degradation** — a latency multiplier on every read,
+      switchable at scheduled times (congestion / cable brownout).
+    * **Per-request loss** — each attempt is independently lost with
+      ``loss_rate``, drawn from a seeded generator.
+    """
+
+    def __init__(self, seed: int = 0, loss_rate: float = 0.0) -> None:
+        if not 0 <= loss_rate < 1:
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {loss_rate}"
+            )
+        self.sim = Simulator()
+        self.loss_rate = loss_rate
+        self._rng = np.random.default_rng(seed)
+        self._down: Set[Tuple[int, int]] = set()
+        self._latency_factor = 1.0
+        self._now = 0.0
+
+    # ------------------------------------------------------------- clock
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Advance virtual time, applying any faults scheduled before it."""
+        if when <= self._now:
+            return
+        self.sim.run(until=when)
+        self._now = when
+
+    # ------------------------------------------------------------ faults
+    def kill_replica(
+        self, partition: int, replica: int = 0, at_s: Optional[float] = None
+    ) -> None:
+        """Kill one replica now, or at virtual time ``at_s``."""
+        self._schedule(at_s, lambda: self._down.add((partition, replica)))
+
+    def restore_replica(
+        self, partition: int, replica: int = 0, at_s: Optional[float] = None
+    ) -> None:
+        """Bring one replica back now, or at virtual time ``at_s``."""
+        self._schedule(
+            at_s, lambda: self._down.discard((partition, replica))
+        )
+
+    def degrade_link(
+        self, latency_factor: float, at_s: Optional[float] = None
+    ) -> None:
+        """Scale read latencies by ``latency_factor`` from ``at_s`` on.
+
+        Pass ``1.0`` (possibly at a later ``at_s``) to end a degradation
+        window.
+        """
+        if latency_factor <= 0:
+            raise ConfigurationError(
+                f"latency_factor must be positive, got {latency_factor}"
+            )
+
+        def apply() -> None:
+            self._latency_factor = latency_factor
+
+        self._schedule(at_s, apply)
+
+    def _schedule(self, at_s: Optional[float], apply) -> None:
+        if at_s is None or at_s <= self._now:
+            apply()
+        else:
+            self.sim.at(at_s, apply)
+
+    # ------------------------------------------------------------ queries
+    def is_down(self, replica: ReplicaId) -> bool:
+        return (replica.partition, replica.replica) in self._down
+
+    def request_lost(self) -> bool:
+        """Deterministic draw: is this attempt lost on the wire?"""
+        if self.loss_rate == 0.0:
+            return False
+        return bool(self._rng.random() < self.loss_rate)
+
+    @property
+    def latency_factor(self) -> float:
+        return self._latency_factor
+
+
+class ReliableReadPath:
+    """Replica-aware, retrying, hedging remote read simulator.
+
+    One instance hangs off a :class:`PartitionedStore`; every remote
+    access the store attributes is additionally *executed* against this
+    path, which decides which replica serves it, how long it takes in
+    virtual time, and whether retries/hedges/failovers were needed.
+
+    Parameters
+    ----------
+    placement:
+        Partition-to-replica map.
+    policy:
+        Timeout/backoff/deadline/hedging parameters.
+    injector:
+        Fault source and virtual clock; a fresh no-fault injector is
+        created when omitted.
+    link:
+        The memory path the reads ride; defaults to the MoF fabric.
+    seed:
+        Seed for the latency-jitter generator (separate from the
+        injector's loss generator so enabling loss does not reshuffle
+        latencies).
+    jitter_sigma:
+        Sigma of the lognormal latency multiplier; ~0.25 gives a
+        realistic p99/p50 around 1.8x, enough for hedging to matter.
+    """
+
+    def __init__(
+        self,
+        placement: ReplicaPlacement,
+        policy: Optional[RetryPolicy] = None,
+        injector: Optional[FaultInjector] = None,
+        link: Optional[LinkModel] = None,
+        seed: int = 0,
+        jitter_sigma: float = 0.25,
+        latency_window: int = 256,
+    ) -> None:
+        if jitter_sigma < 0:
+            raise ConfigurationError(
+                f"jitter_sigma must be non-negative, got {jitter_sigma}"
+            )
+        if latency_window <= 0:
+            raise ConfigurationError(
+                f"latency_window must be positive, got {latency_window}"
+            )
+        self.placement = placement
+        self.policy = policy or RetryPolicy()
+        self.injector = injector or FaultInjector()
+        self.link = link or get_link("mof_fabric")
+        self.jitter_sigma = jitter_sigma
+        self.stats = FaultStats()
+        self._rng = np.random.default_rng(seed)
+        self._latency_window: Deque[float] = deque(maxlen=latency_window)
+
+    # ---------------------------------------------------------- internals
+    def _draw_latency(self, nbytes: int) -> float:
+        base = self.link.latency(nbytes) * self.injector.latency_factor
+        if self.jitter_sigma == 0.0:
+            return base
+        return base * float(self._rng.lognormal(0.0, self.jitter_sigma))
+
+    def _hedge_delay(self) -> Optional[float]:
+        """The p99-derived (or explicit) hedge trigger delay."""
+        if not self.policy.hedge:
+            return None
+        if self.policy.hedge_delay_s is not None:
+            return self.policy.hedge_delay_s
+        if len(self._latency_window) < self.policy.hedge_min_samples:
+            return None
+        return float(
+            np.percentile(
+                np.fromiter(self._latency_window, dtype=np.float64),
+                self.policy.hedge_quantile,
+            )
+        )
+
+    def _issue(
+        self, replica: ReplicaId, nbytes: int
+    ) -> Optional[float]:
+        """Latency of one wire request, or ``None`` if it never answers."""
+        if self.injector.is_down(replica) or self.injector.request_lost():
+            return None
+        return self._draw_latency(nbytes)
+
+    # -------------------------------------------------------------- reads
+    def read(self, partition: int, nbytes: int) -> float:
+        """Execute one remote read; returns its virtual latency.
+
+        Raises :class:`ReplicaUnavailableError` when the deadline or
+        attempt budget is exhausted without any replica answering —
+        callers either propagate (strict mode) or degrade.
+        """
+        policy = self.policy
+        injector = self.injector
+        replicas = self.placement.replicas_of(partition)
+        start_s = injector.now
+        deadline_s = start_s + policy.deadline_s
+        self.stats.reads += 1
+
+        for attempt in range(policy.max_attempts):
+            if attempt > 0:
+                backoff = policy.backoff_s(attempt - 1)
+                if injector.now + backoff >= deadline_s:
+                    break
+                injector.advance_to(injector.now + backoff)
+                self.stats.retries += 1
+            self.stats.attempts += 1
+
+            primary = replicas[attempt % len(replicas)]
+            t0 = injector.now
+            primary_latency = self._issue(primary, nbytes)
+            t_primary = (
+                t0 + primary_latency if primary_latency is not None else math.inf
+            )
+
+            # Hedge to a different replica once the first response is
+            # late past the p99-derived delay.
+            t_hedge = math.inf
+            hedge_replica: Optional[ReplicaId] = None
+            hedge_delay = self._hedge_delay()
+            if (
+                hedge_delay is not None
+                and hedge_delay < policy.attempt_timeout_s
+                and len(replicas) > 1
+                and t_primary > t0 + hedge_delay
+                and t0 + hedge_delay < deadline_s
+            ):
+                hedge_replica = replicas[(attempt + 1) % len(replicas)]
+                # Liveness/loss of the hedge is evaluated at its issue
+                # time, so scheduled kills before the trigger apply.
+                injector.advance_to(t0 + hedge_delay)
+                self.stats.hedges += 1
+                hedge_latency = self._issue(hedge_replica, nbytes)
+                if hedge_latency is not None:
+                    t_hedge = t0 + hedge_delay + hedge_latency
+
+            t_timeout = min(t0 + policy.attempt_timeout_s, deadline_s)
+            t_done = min(t_primary, t_hedge)
+            if t_done <= t_timeout:
+                injector.advance_to(t_done)
+                winner = primary
+                if t_hedge < t_primary:
+                    winner = hedge_replica  # loser's response is dropped
+                    self.stats.hedge_wins += 1
+                if winner is not None and winner.replica != 0:
+                    self.stats.failovers += 1
+                latency = t_done - start_s
+                self._latency_window.append(t_done - t0)
+                self.stats.busy_s += latency
+                return latency
+
+            self.stats.timeouts += 1
+            injector.advance_to(t_timeout)
+            if injector.now >= deadline_s:
+                break
+
+        self.stats.failed_reads += 1
+        self.stats.busy_s += injector.now - start_s
+        raise ReplicaUnavailableError(
+            f"partition {partition}: no replica answered within "
+            f"{policy.deadline_s * 1e3:.2f} ms "
+            f"({policy.max_attempts} attempts)"
+        )

@@ -94,6 +94,31 @@ class LinkModel:
         """Fraction of peak bandwidth achieved (payload only)."""
         return self.effective_bandwidth(request_bytes, outstanding) / self.peak_bandwidth
 
+    def degraded(
+        self, latency_factor: float = 1.0, bandwidth_factor: float = 1.0
+    ) -> "LinkModel":
+        """A derived link under partial failure (fault injection).
+
+        Scales base latency up by ``latency_factor`` and peak bandwidth
+        down to ``bandwidth_factor`` of nominal — the brownout shape a
+        congested or renegotiated-down fabric hop exhibits, as opposed
+        to the binary dead/alive state of a killed replica.
+        """
+        if latency_factor < 1.0:
+            raise ConfigurationError(
+                f"latency_factor must be >= 1, got {latency_factor}"
+            )
+        if not 0 < bandwidth_factor <= 1.0:
+            raise ConfigurationError(
+                f"bandwidth_factor must be in (0, 1], got {bandwidth_factor}"
+            )
+        return LinkModel(
+            name=f"{self.name}:degraded",
+            base_latency_s=self.base_latency_s * latency_factor,
+            peak_bandwidth=self.peak_bandwidth * bandwidth_factor,
+            packet_overhead_bytes=self.packet_overhead_bytes,
+        )
+
 
 #: Calibrated presets. Latencies follow the Figure 2(d) ordering:
 #: direct DRAM << PCIe host DRAM << RDMA remote DRAM, with the custom

@@ -17,6 +17,7 @@ from typing import Dict, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.memstore.links import LinkModel
+from repro.memstore.retry import RetryPolicy, expected_attempts
 
 
 def mean_request_bytes(access_mix: Mapping[int, float]) -> float:
@@ -62,6 +63,33 @@ def outstanding_for_link(
     mean = mean_request_bytes(access_mix)
     return outstanding_requests_needed(
         bandwidth, link.latency(int(round(mean))), access_mix
+    )
+
+
+def outstanding_with_faults(
+    link: LinkModel,
+    access_mix: Mapping[int, float],
+    policy: RetryPolicy,
+    loss_rate: float = 0.0,
+    hedge_rate: float = 0.0,
+    target_bandwidth: float = 0.0,
+) -> float:
+    """Equation 3 re-sized for a faulty link.
+
+    Retries amplify the request stream by the truncated-geometric mean
+    attempt count, and hedged reads add ``hedge_rate`` duplicate
+    requests per read (by construction of the p99 trigger, roughly
+    ``1 - hedge_quantile/100`` of reads hedge). The concurrency budget
+    — and hence the Equation-3 AxE core sizing — must absorb both, or
+    the link runs below target exactly when the fabric is struggling.
+    """
+    if not 0 <= hedge_rate <= 1:
+        raise ConfigurationError(
+            f"hedge_rate must be in [0, 1], got {hedge_rate}"
+        )
+    amplification = expected_attempts(loss_rate, policy.max_attempts) + hedge_rate
+    return amplification * outstanding_for_link(
+        link, access_mix, target_bandwidth=target_bandwidth
     )
 
 

@@ -1,0 +1,108 @@
+"""Replica placement for the partitioned graph store.
+
+The paper's MoF fabric pulls fine-grained reads across machines, which
+means the memory path — not just the serving path — sits across failure
+domains. AliGraph-style deployments keep R copies of every partition
+and spread them so that no single rack/power domain holds two copies of
+the same shard. :class:`ReplicaPlacement` is the single source of truth
+for "which replicas can serve partition p, and where do they live".
+
+Placement rule: replica ``r`` of partition ``p`` lives in failure
+domain ``(p + r) % num_domains``. With ``num_domains >=
+replication_factor`` this guarantees the copies of one partition occupy
+``replication_factor`` *distinct* domains (rotating chain placement,
+the same shape as consistent-hashing successor lists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError, PartitionError
+
+
+@dataclass(frozen=True)
+class ReplicaId:
+    """One physical copy of one partition."""
+
+    #: The logical shard this copy holds.
+    partition: int
+    #: Copy index within the partition (0 is the primary).
+    replica: int
+    #: Failure domain (rack / power feed) the copy lives in.
+    domain: int
+
+
+class ReplicaPlacement:
+    """Maps each partition onto R replicas across failure domains.
+
+    Parameters
+    ----------
+    num_partitions:
+        Logical shards of the graph.
+    replication_factor:
+        Copies kept of each partition (R). ``1`` means no redundancy.
+    num_domains:
+        Failure domains available; defaults to
+        ``max(num_partitions, replication_factor)``.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int,
+        replication_factor: int = 2,
+        num_domains: Optional[int] = None,
+    ) -> None:
+        if num_partitions <= 0:
+            raise ConfigurationError(
+                f"num_partitions must be positive, got {num_partitions}"
+            )
+        if replication_factor <= 0:
+            raise ConfigurationError(
+                f"replication_factor must be positive, got {replication_factor}"
+            )
+        if num_domains is None:
+            num_domains = max(num_partitions, replication_factor)
+        if num_domains < replication_factor:
+            raise ConfigurationError(
+                f"need at least {replication_factor} failure domains to place "
+                f"{replication_factor} replicas apart, got {num_domains}"
+            )
+        self.num_partitions = num_partitions
+        self.replication_factor = replication_factor
+        self.num_domains = num_domains
+        self._replicas: Tuple[Tuple[ReplicaId, ...], ...] = tuple(
+            tuple(
+                ReplicaId(
+                    partition=p, replica=r, domain=(p + r) % num_domains
+                )
+                for r in range(replication_factor)
+            )
+            for p in range(num_partitions)
+        )
+
+    def replicas_of(self, partition: int) -> Tuple[ReplicaId, ...]:
+        """All copies of ``partition``, primary first."""
+        if not 0 <= partition < self.num_partitions:
+            raise PartitionError(
+                f"partition {partition} outside [0, {self.num_partitions})"
+            )
+        return self._replicas[partition]
+
+    def primary_of(self, partition: int) -> ReplicaId:
+        """The primary (replica 0) copy of ``partition``."""
+        return self.replicas_of(partition)[0]
+
+    def replicas_in_domain(self, domain: int) -> Tuple[ReplicaId, ...]:
+        """Every replica hosted by failure domain ``domain``."""
+        if not 0 <= domain < self.num_domains:
+            raise ConfigurationError(
+                f"domain {domain} outside [0, {self.num_domains})"
+            )
+        return tuple(
+            replica
+            for partition in self._replicas
+            for replica in partition
+            if replica.domain == domain
+        )

@@ -1,0 +1,134 @@
+"""Deadline-bounded retry/backoff/hedging policy for remote reads.
+
+Fine-grained remote access is where tail latency bites hardest: a
+single multi-hop sampling request issues thousands of 8-64B reads, so
+one slow or lost read stalls the whole subgraph. The policy below is
+the standard tail-tolerant recipe:
+
+* a per-attempt **timeout** converts a lost request or a dead replica
+  into a bounded wait instead of a hang,
+* **exponential backoff** between attempts keeps retries from piling
+  onto a struggling shard,
+* an overall **deadline** bounds the total time a read may consume
+  before the caller degrades,
+* an optional **hedged read**: if the first response has not arrived
+  after a p99-derived delay, issue the same read to a *different*
+  replica and take whichever answers first (cancelling the loser) —
+  "The Tail at Scale" style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout, backoff, deadline, and hedging parameters for one read.
+
+    Parameters
+    ----------
+    attempt_timeout_s:
+        Time after which one attempt (and its hedge, if any) is
+        abandoned and the read retries on the next replica.
+    deadline_s:
+        Total budget for the read across all attempts and backoffs;
+        when exhausted the read fails (degraded completion upstream).
+    max_attempts:
+        Attempt count bound (primary try plus retries).
+    backoff_base_s:
+        Backoff before the first retry; doubles (by default) per retry.
+    backoff_multiplier:
+        Growth factor of the exponential backoff.
+    backoff_max_s:
+        Cap on a single backoff interval.
+    hedge:
+        Enable hedged second reads.
+    hedge_quantile:
+        Latency quantile (over recently observed read latencies) that
+        sets the hedge trigger delay — hedging past ~p95/p99 bounds the
+        extra load to a few percent of reads.
+    hedge_min_samples:
+        Observed-latency samples required before derived hedging kicks
+        in (avoids hedging off a cold, noisy estimate).
+    hedge_delay_s:
+        Explicit hedge delay override; ``None`` derives it from the
+        observed ``hedge_quantile``.
+    """
+
+    attempt_timeout_s: float = 100e-6
+    deadline_s: float = 10e-3
+    max_attempts: int = 5
+    backoff_base_s: float = 20e-6
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 2e-3
+    hedge: bool = True
+    hedge_quantile: float = 99.0
+    hedge_min_samples: int = 32
+    hedge_delay_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.attempt_timeout_s <= 0:
+            raise ConfigurationError(
+                f"attempt_timeout_s must be positive, got {self.attempt_timeout_s}"
+            )
+        if self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+        if self.max_attempts <= 0:
+            raise ConfigurationError(
+                f"max_attempts must be positive, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigurationError("backoff intervals must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0 < self.hedge_quantile <= 100:
+            raise ConfigurationError(
+                f"hedge_quantile must be in (0, 100], got {self.hedge_quantile}"
+            )
+        if self.hedge_min_samples <= 0:
+            raise ConfigurationError(
+                f"hedge_min_samples must be positive, got {self.hedge_min_samples}"
+            )
+        if self.hedge_delay_s is not None and self.hedge_delay_s <= 0:
+            raise ConfigurationError(
+                f"hedge_delay_s must be positive, got {self.hedge_delay_s}"
+            )
+
+    def backoff_s(self, retry_index: int) -> float:
+        """Backoff before retry ``retry_index`` (0 = first retry)."""
+        if retry_index < 0:
+            raise ConfigurationError(
+                f"retry_index must be non-negative, got {retry_index}"
+            )
+        return min(
+            self.backoff_base_s * self.backoff_multiplier**retry_index,
+            self.backoff_max_s,
+        )
+
+
+def expected_attempts(loss_rate: float, max_attempts: int) -> float:
+    """Mean attempts per read when each attempt is lost with ``loss_rate``.
+
+    Truncated-geometric mean: ``sum_{i=0}^{A-1} loss^i``. This is the
+    request-amplification factor retries impose on the link, used to
+    re-size the Equation-3 outstanding-request budget under faults.
+    """
+    if not 0 <= loss_rate < 1:
+        raise ConfigurationError(
+            f"loss_rate must be in [0, 1), got {loss_rate}"
+        )
+    if max_attempts <= 0:
+        raise ConfigurationError(
+            f"max_attempts must be positive, got {max_attempts}"
+        )
+    if loss_rate == 0.0:
+        return 1.0
+    return (1.0 - loss_rate**max_attempts) / (1.0 - loss_rate)

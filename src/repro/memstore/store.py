@@ -12,13 +12,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import PartitionError
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import Partitioner
+
+if TYPE_CHECKING:  # import cycle: faults rides the axe event kernel
+    from repro.memstore.faults import ReliableReadPath
 
 
 class AccessKind(enum.Enum):
@@ -94,6 +97,15 @@ class PartitionedStore:
         Size of one CSR offset-pair read.
     id_bytes:
         Size of one neighbor ID on the wire.
+    reliability:
+        Optional fault-tolerant remote path
+        (:class:`~repro.memstore.faults.ReliableReadPath`). When set,
+        every remote access is additionally executed against it —
+        replica selection, timeouts, retries, hedged reads — and may
+        raise :class:`~repro.errors.ReplicaUnavailableError` when no
+        replica of the owning partition answers before the deadline.
+        ``None`` (the default) keeps the store's historical zero-fault
+        behavior bit-for-bit.
     """
 
     def __init__(
@@ -103,12 +115,14 @@ class PartitionedStore:
         index_entry_bytes: int = 16,
         offset_entry_bytes: int = 16,
         id_bytes: int = 8,
+        reliability: Optional["ReliableReadPath"] = None,
     ) -> None:
         self.graph = graph
         self.partitioner = partitioner
         self.index_entry_bytes = index_entry_bytes
         self.offset_entry_bytes = offset_entry_bytes
         self.id_bytes = id_bytes
+        self.reliability = reliability
         self._trace: List[AccessRecord] = []
         self._summary = AccessSummary()
         self.tracing = False
@@ -151,6 +165,22 @@ class PartitionedStore:
             return np.ones(nodes.shape, dtype=bool)
         return self.partitioner.owned_mask(nodes, from_partition)
 
+    def _remote_read(self, owner: int, nbytes: int) -> None:
+        """Execute one remote read on the fault-tolerant path (if any).
+
+        May raise :class:`~repro.errors.ReplicaUnavailableError`; the
+        caller has not yet recorded the access when that happens.
+        """
+        if self.reliability is not None:
+            self.reliability.read(owner, nbytes)
+
+    @property
+    def fault_stats(self):
+        """Retry/timeout/hedge counters, or ``None`` without a reliable path."""
+        if self.reliability is None:
+            return None
+        return self.reliability.stats
+
     # --------------------------------------------------------------- access
     def get_neighbors(
         self, node: int, from_partition: Optional[int] = None
@@ -160,12 +190,21 @@ class PartitionedStore:
         Issues one index lookup, one offset-pair read, and one ID-block
         read, each attributed local or remote relative to
         ``from_partition`` (``None`` means measure everything as local,
-        e.g. a single-server deployment).
+        e.g. a single-server deployment). Remote reads additionally run
+        through the reliable path when one is configured.
         """
         local = bool(
             self._locality(np.asarray([node], dtype=np.int64), from_partition)[0]
         )
         neighbors = self.graph.neighbors(node)
+        if not local and self.reliability is not None:
+            owner = int(
+                self.partitioner.partition_of(np.asarray([node], dtype=np.int64))[0]
+            )
+            self._remote_read(owner, self.index_entry_bytes)
+            self._remote_read(owner, self.offset_entry_bytes)
+            if neighbors.size:
+                self._remote_read(owner, int(neighbors.size) * self.id_bytes)
         self._record(AccessKind.STRUCTURE, self.index_entry_bytes, local)
         self._record(AccessKind.STRUCTURE, self.offset_entry_bytes, local)
         if neighbors.size:
@@ -189,6 +228,18 @@ class PartitionedStore:
         nodes = np.asarray(nodes, dtype=np.int64)
         locality = self._locality(nodes, from_partition)
         row_bytes = self.graph.attr_len * 4
+        if self.reliability is not None and not locality.all():
+            # Interleave reliable reads with records so a failure
+            # mid-batch leaves earlier rows consistently accounted and
+            # raises before the failing row is recorded.
+            owners = self.partitioner.partition_of(nodes)
+            for owner, local in zip(owners, locality):
+                if not local:
+                    self._remote_read(int(owner), self.index_entry_bytes)
+                    self._remote_read(int(owner), row_bytes)
+                self._record(AccessKind.STRUCTURE, self.index_entry_bytes, bool(local))
+                self._record(AccessKind.ATTRIBUTE, row_bytes, bool(local))
+            return self.graph.attributes(nodes)
         for local in locality:
             self._record(AccessKind.STRUCTURE, self.index_entry_bytes, bool(local))
             self._record(AccessKind.ATTRIBUTE, row_bytes, bool(local))

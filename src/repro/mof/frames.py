@@ -13,6 +13,7 @@ addresses, response frames carry data; both carry headers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError
 
@@ -85,8 +86,8 @@ def batch_breakdown(
     fmt: FrameFormat,
     num_requests: int,
     request_bytes: int,
-    compressed_data_bytes: int = None,
-    compressed_addr_bytes: int = None,
+    compressed_data_bytes: Optional[int] = None,
+    compressed_addr_bytes: Optional[int] = None,
 ) -> FrameBreakdown:
     """Table 5/6 accounting for reading ``num_requests`` x ``request_bytes``.
 

@@ -99,7 +99,9 @@ class HardwareWorkload:
         )
         return float(self.attr_nodes * per_node)
 
-    def sampling_cycles_per_root(self, fanouts: Tuple[int, ...] = None) -> float:
+    def sampling_cycles_per_root(
+        self, fanouts: Optional[Tuple[int, ...]] = None
+    ) -> float:
         """Streaming-sampler pipeline cycles per root (Tech-2: N cycles
         per GetNeighbor, at least K)."""
         per_op = max(self.avg_degree, 10.0)

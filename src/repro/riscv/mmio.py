@@ -8,7 +8,7 @@ comparison is measured against.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
 
@@ -19,8 +19,8 @@ class MmioDevice:
     def __init__(
         self,
         name: str,
-        read_handler: Callable[[int], int] = None,
-        write_handler: Callable[[int, int], None] = None,
+        read_handler: Optional[Callable[[int], int]] = None,
+        write_handler: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         self.name = name
         self._registers: Dict[int, int] = {}

@@ -193,8 +193,39 @@ class ServingGateway:
             sim.at(at_s, lambda n=name: self._on_fault(n))
         for arrival in arrivals:
             sim.at(arrival.time_s, lambda a=arrival: self._submit(a))
+        store_paths = self._store_fault_paths()
+        baselines = [path.stats.copy() for path in store_paths]
         sim.run()
+        self._collect_store_faults(store_paths, baselines)
         return self.metrics.snapshot(duration_s=duration_s, drain_s=sim.now)
+
+    def _store_fault_paths(self) -> List[object]:
+        """Reliable read paths under this gateway's functional backends."""
+        paths: List[object] = []
+        for backend in self.backends:
+            sampler = getattr(backend, "sampler", None)
+            store = getattr(sampler, "store", None)
+            path = getattr(store, "reliability", None)
+            if path is not None and all(path is not p for p in paths):
+                paths.append(path)
+        return paths
+
+    def _collect_store_faults(self, paths, baselines) -> None:
+        """Surface store-level retry/hedge counters accrued this run."""
+        if not paths:
+            return
+        total = None
+        for path, baseline in zip(paths, baselines):
+            delta = path.stats.minus(baseline)
+            if total is None:
+                total = delta
+            else:
+                for field in vars(delta):
+                    setattr(
+                        total, field,
+                        getattr(total, field) + getattr(delta, field),
+                    )
+        self.metrics.on_store_faults(total)
 
     # ------------------------------------------------------------ admission
     def _shed(self, arrival: Arrival, reason: str, retry_after_s: float) -> None:

@@ -19,10 +19,17 @@ from repro.errors import ConfigurationError
 
 
 def _percentile(samples: List[float], q: float) -> float:
-    if not samples:
-        raise ConfigurationError("no latency samples recorded")
+    """Percentile of ``samples``; NaN when none were recorded.
+
+    A latency percentile over zero completed requests is undefined —
+    returning NaN keeps report plumbing (format strings, dashboards)
+    alive instead of crashing an otherwise-valid empty-window report.
+    Out-of-range ``q`` is still a caller bug and raises.
+    """
     if not 0 <= q <= 100:
         raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+    if not samples:
+        return float("nan")
     return float(np.percentile(samples, q))
 
 
@@ -103,6 +110,15 @@ class ServingReport:
     batch_request_sizes: List[int]
     batch_root_sizes: List[int]
     max_queue_depth: int
+    #: Store-level (memstore reliable-path) counters for the run, when
+    #: a functional backend samples over a fault-tolerant store.
+    store_reads: int = 0
+    store_retries: int = 0
+    store_timeouts: int = 0
+    store_hedges: int = 0
+    store_hedge_wins: int = 0
+    store_failovers: int = 0
+    store_degraded_reads: int = 0
 
     # ------------------------------------------------------------- derived
     @property
@@ -182,6 +198,16 @@ class ServingReport:
             f"  ({self.mean_batch_roots:.1f} roots/batch,"
             f" {len(self.batch_request_sizes)} batches)"
         )
+        if self.store_reads:
+            lines.append(
+                f"store path: {self.store_reads} reads"
+                f"  retries {self.store_retries}"
+                f"  timeouts {self.store_timeouts}"
+                f"  hedges {self.store_hedges}"
+                f" (won {self.store_hedge_wins})"
+                f"  failovers {self.store_failovers}"
+                f"  degraded {self.store_degraded_reads}"
+            )
         for name, backend in sorted(self.backends.items()):
             lines.append(
                 f"backend {name}: {backend.batches} batches,"
@@ -218,6 +244,7 @@ class MetricsRegistry:
         self.max_queue_depth = 0
         self._tenants: Dict[str, TenantReport] = {}
         self._backends: Dict[str, BackendReport] = {}
+        self._store_faults: Dict[str, int] = {}
 
     # ------------------------------------------------------------ wiring
     def register_tenant(self, name: str, slo_s: float) -> None:
@@ -259,6 +286,22 @@ class MetricsRegistry:
     def on_retried(self, num_requests: int) -> None:
         self.retried += num_requests
 
+    def on_store_faults(self, stats) -> None:
+        """Record the run's store-level fault counters.
+
+        ``stats`` is a :class:`repro.memstore.faults.FaultStats` delta
+        (counters accumulated during this run only).
+        """
+        self._store_faults = {
+            "store_reads": stats.reads,
+            "store_retries": stats.retries,
+            "store_timeouts": stats.timeouts,
+            "store_hedges": stats.hedges,
+            "store_hedge_wins": stats.hedge_wins,
+            "store_failovers": stats.failovers,
+            "store_degraded_reads": stats.failed_reads,
+        }
+
     def on_completed(self, tenant: str, latency_s: float) -> None:
         self.completed += 1
         self.latencies_s.append(latency_s)
@@ -286,4 +329,5 @@ class MetricsRegistry:
             batch_request_sizes=list(self.batch_request_sizes),
             batch_root_sizes=list(self.batch_root_sizes),
             max_queue_depth=self.max_queue_depth,
+            **self._store_faults,
         )

@@ -110,3 +110,29 @@ class TestServeCommand:
         from repro.cli import build_parser
 
         assert "serve" in build_parser().format_help()
+
+
+class TestFaultsCommand:
+    def test_faults_clean(self, capsys):
+        assert main(["faults", "--max-nodes", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "replicas: 2x" in out
+        assert "retries 0" in out
+        assert "failed reads 0" in out
+
+    def test_faults_kill_primary(self, capsys):
+        assert main(["faults", "--max-nodes", "600",
+                     "--kill-partition", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "killed: partition 1 replica 0" in out
+        assert "failovers" in out
+
+    def test_faults_lossy_no_hedge(self, capsys):
+        assert main(["faults", "--max-nodes", "600", "--loss-rate", "0.1",
+                     "--no-hedge"]) == 0
+        out = capsys.readouterr().out
+        assert "hedging: off" in out
+        assert "loss rate: 10.0%" in out
+
+    def test_parser_lists_faults(self):
+        assert "faults" in build_parser().format_help()

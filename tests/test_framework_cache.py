@@ -66,6 +66,72 @@ class TestHotNodeCache:
         with pytest.raises(ConfigurationError):
             HotNodeCache(0)
 
+    def test_combined_capacity_budget(self):
+        """Regression: neighbor and attribute entries share one node
+        budget — the old per-facet budgets cached up to 2x capacity."""
+        cache = HotNodeCache(4)
+        for node in range(4):
+            cache.put_neighbors(node, np.array([0]))
+        for node in range(4, 8):
+            cache.put_attributes(node, np.zeros(2))
+        assert len(cache) == 4
+        # The neighbor entries were LRU across the combined order.
+        for node in range(4):
+            assert cache.get_neighbors(node) is None
+        for node in range(4, 8):
+            assert cache.get_attributes(node) is not None
+
+    def test_node_with_both_facets_counts_once(self):
+        cache = HotNodeCache(2)
+        cache.put_neighbors(1, np.array([0]))
+        cache.put_attributes(1, np.array([0.5]))
+        cache.put_neighbors(2, np.array([0]))
+        assert len(cache) == 2
+        assert cache.get_neighbors(1) is not None
+        assert cache.get_attributes(1) is not None
+        assert cache.get_neighbors(2) is not None
+
+    def test_eviction_drops_both_facets(self):
+        cache = HotNodeCache(1)
+        cache.put_neighbors(1, np.array([0]))
+        cache.put_attributes(1, np.array([0.5]))
+        cache.put_neighbors(2, np.array([0]))
+        assert cache.get_neighbors(1) is None
+        assert cache.get_attributes(1) is None
+
+    def test_cross_facet_lru_order(self):
+        """Touching a node's attribute row protects its neighbor list."""
+        cache = HotNodeCache(2)
+        cache.put_neighbors(1, np.array([0]))
+        cache.put_neighbors(2, np.array([0]))
+        cache.put_attributes(1, np.array([0.5]))  # refreshes node 1
+        cache.put_neighbors(3, np.array([0]))  # evicts node 2
+        assert cache.get_neighbors(2) is None
+        assert cache.get_neighbors(1) is not None
+
+    def test_split_hit_miss_counters(self):
+        cache = HotNodeCache(4)
+        cache.put_neighbors(1, np.array([0]))
+        cache.put_attributes(1, np.array([0.5]))
+        cache.get_neighbors(1)
+        cache.get_neighbors(2)
+        cache.get_attributes(1)
+        cache.get_attributes(1)
+        cache.get_attributes(3)
+        assert cache.neighbor_hits == 1 and cache.neighbor_misses == 1
+        assert cache.attribute_hits == 2 and cache.attribute_misses == 1
+        assert cache.hits == 3 and cache.misses == 2
+
+    def test_reset_stats_zeroes_split_counters(self):
+        cache = HotNodeCache(4)
+        cache.put_neighbors(1, np.array([0]))
+        cache.get_neighbors(1)
+        cache.get_attributes(1)
+        cache.reset_stats()
+        assert cache.neighbor_hits == 0 and cache.neighbor_misses == 0
+        assert cache.attribute_hits == 0 and cache.attribute_misses == 0
+        assert cache.hits == 0 and cache.misses == 0
+
     def test_lsd_gnn_reuse_is_low(self):
         """Tech-4's premise: random 512-batches over a large graph have
         almost no temporal reuse for a small cache."""

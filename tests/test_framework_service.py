@@ -1,5 +1,7 @@
 """Tests for repro.framework.service (queueing/latency simulation)."""
 
+import math
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -95,25 +97,29 @@ class TestValidation:
 
     def test_report_validation(self):
         report = ServiceReport([], 0.0, 0, 0)
-        with pytest.raises(ConfigurationError):
-            report.percentile(50)
+        assert math.isnan(report.percentile(50))
         with pytest.raises(ConfigurationError):
             ServiceReport([1.0], 1.0, 1, 1).deadline_miss_rate(0)
 
     def test_empty_report_miss_rate(self):
-        assert ServiceReport([], 0.0, 0, 0).deadline_miss_rate(1.0) == 0.0
+        assert math.isnan(ServiceReport([], 0.0, 0, 0).deadline_miss_rate(1.0))
 
 
 class TestReportEdgeCases:
-    def test_percentile_empty_raises(self):
+    def test_percentile_empty_is_nan(self):
+        """Zero completed requests: percentiles are undefined, not an
+        exception and not zero."""
         empty = ServiceReport([], 0.0, 0, 0)
         for q in (0, 50, 99, 100):
+            assert math.isnan(empty.percentile(q))
+        assert math.isnan(empty.p50)
+        assert math.isnan(empty.p99)
+
+    def test_percentile_out_of_range_still_raises_when_empty(self):
+        empty = ServiceReport([], 0.0, 0, 0)
+        for q in (-1, 101):
             with pytest.raises(ConfigurationError):
                 empty.percentile(q)
-        with pytest.raises(ConfigurationError):
-            _ = empty.p50
-        with pytest.raises(ConfigurationError):
-            _ = empty.p99
 
     def test_deadline_rejects_non_positive(self):
         report = ServiceReport([1.0], 1.0, 1, 1)
@@ -121,8 +127,8 @@ class TestReportEdgeCases:
             with pytest.raises(ConfigurationError):
                 report.deadline_miss_rate(deadline)
 
-    def test_empty_latencies_miss_rate_zero(self):
-        assert ServiceReport([], 0.0, 0, 0).deadline_miss_rate(1e-9) == 0.0
+    def test_empty_latencies_miss_rate_nan(self):
+        assert math.isnan(ServiceReport([], 0.0, 0, 0).deadline_miss_rate(1e-9))
 
     def test_zero_time_throughput(self):
         assert ServiceReport([], 0.0, 0, 0).throughput_batches_per_s == 0.0

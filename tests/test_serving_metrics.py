@@ -1,5 +1,7 @@
 """Tests for repro.serving.metrics (registry and ServingReport)."""
 
+import math
+
 import pytest
 
 from repro.errors import ConfigurationError
@@ -74,8 +76,8 @@ class TestReportEdges:
         assert report.mean_batch_occupancy == 0.0
         assert report.mean_batch_roots == 0.0
         assert report.slo_miss_rate == 0.0
-        with pytest.raises(ConfigurationError):
-            report.percentile(50)
+        assert math.isnan(report.percentile(50))
+        assert math.isnan(report.p50) and math.isnan(report.p99)
         assert "p99 latency: n/a" in report.format()
 
     def test_percentile_bounds(self):
