@@ -1,0 +1,77 @@
+"""Batched sampler fast path: speedup over the per-node reference walk.
+
+The acceptance bar for the fast path: on the ``ll``-shaped synthetic
+instance (batch 512, fanouts 10x10) the batched sampler must be at
+least 5x faster than the reference walk while producing byte-identical
+``AccessSummary`` totals — verified by replaying the batched result's
+picks back through the reference walk (the two live runs consume the
+RNG differently, so only same-layers accounting is comparable).
+"""
+
+import time
+
+import numpy as np
+
+from repro.framework.replay import replay_reference
+from repro.framework.requests import SampleRequest
+from repro.framework.sampler import MultiHopSampler
+from repro.graph.datasets import instantiate_dataset
+from repro.graph.partition import HashPartitioner
+from repro.memstore.store import PartitionedStore
+
+MAX_NODES = 20000
+BATCH_SIZE = 512
+FANOUTS = (10, 10)
+PARTITIONS = 4
+REPEATS = 3
+
+
+def best_of(graph, partitioner, request, batched):
+    best = float("inf")
+    store = result = None
+    for _ in range(REPEATS):
+        store = PartitionedStore(graph, partitioner)
+        sampler = MultiHopSampler(store, seed=0, worker_partition=0, batched=batched)
+        start = time.perf_counter()
+        result = sampler.sample(request)
+        best = min(best, time.perf_counter() - start)
+    return best, result, store
+
+
+def test_batched_sampler_speedup(benchmark, report):
+    graph = instantiate_dataset("ll", max_nodes=MAX_NODES, seed=0)
+    partitioner = HashPartitioner(PARTITIONS)
+    roots = np.random.default_rng(0).integers(0, graph.num_nodes, size=BATCH_SIZE)
+    request = SampleRequest(roots=roots, fanouts=FANOUTS, with_attributes=True)
+
+    reference_s, _, _ = best_of(graph, partitioner, request, batched=False)
+    batched_s, result, batched_store = best_of(
+        graph, partitioner, request, batched=True
+    )
+
+    def run_batched():
+        store = PartitionedStore(graph, partitioner)
+        sampler = MultiHopSampler(store, seed=0, worker_partition=0, batched=True)
+        return sampler.sample(request)
+
+    benchmark.pedantic(run_batched, rounds=1, iterations=1)
+
+    # Byte-identical accounting for the batched run's layers.
+    replay_store = PartitionedStore(graph, partitioner)
+    replay_reference(result, request, replay_store, worker_partition=0)
+    assert batched_store.summary == replay_store.summary
+
+    speedup = reference_s / batched_s
+    report(
+        "Batched sampler fast path (ll instance, batch 512, fanouts 10x10)",
+        "\n".join(
+            [
+                "path       ms/batch",
+                f"reference  {reference_s * 1e3:8.2f}",
+                f"batched    {batched_s * 1e3:8.2f}",
+                f"speedup    {speedup:7.2f}x",
+                "accounting: byte-identical (replayed reference)",
+            ]
+        ),
+    )
+    assert speedup >= 5.0

@@ -11,6 +11,7 @@ Usage::
     python -m repro cost               # Figure 16
     python -m repro dse                # Figures 17-21
     python -m repro sampler            # Tech-2 cycle/resource numbers
+    python -m repro bench-sampler      # batched vs reference sampler speedup
     python -m repro serve              # online SLO-aware serving gateway
     python -m repro faults             # fault-tolerant remote-memory path
 """
@@ -222,6 +223,71 @@ def _cmd_faults(args) -> None:
           f"  degraded fallbacks {sampler.degraded_fallbacks}")
 
 
+def _cmd_bench_sampler(args) -> None:
+    import time
+
+    import numpy as np
+
+    from repro.framework.cache import HotNodeCache
+    from repro.framework.replay import replay_reference
+    from repro.framework.requests import SampleRequest
+    from repro.framework.sampler import MultiHopSampler
+    from repro.graph.datasets import instantiate_dataset
+    from repro.graph.partition import HashPartitioner
+    from repro.memstore.store import PartitionedStore
+
+    fanouts = tuple(int(f) for f in args.fanouts.split(","))
+    graph = instantiate_dataset("ll", max_nodes=args.max_nodes, seed=args.seed)
+    partitioner = HashPartitioner(args.partitions)
+    rng = np.random.default_rng(args.seed)
+    roots = rng.integers(0, graph.num_nodes, size=args.batch_size)
+    request = SampleRequest(roots=roots, fanouts=fanouts, with_attributes=True)
+
+    def run(batched: bool):
+        best = float("inf")
+        store = sampler = None
+        for _ in range(args.repeats):
+            store = PartitionedStore(graph, partitioner)
+            cache = HotNodeCache(args.cache_nodes) if args.cache_nodes else None
+            sampler = MultiHopSampler(
+                store,
+                seed=args.seed,
+                cache=cache,
+                worker_partition=0,
+                batched=batched,
+            )
+            start = time.perf_counter()
+            result = sampler.sample(request)
+            best = min(best, time.perf_counter() - start)
+        return best, result, store, sampler
+
+    reference_s, _ref_result, _store, _ = run(batched=False)
+    batched_s, result, store, _ = run(batched=True)
+    replay_store = PartitionedStore(graph, partitioner)
+    replay_cache = HotNodeCache(args.cache_nodes) if args.cache_nodes else None
+    replay_reference(
+        result, request, replay_store, worker_partition=0, cache=replay_cache
+    )
+    match = store.summary == replay_store.summary
+
+    print(f"ll instance: {graph.num_nodes} nodes, batch {args.batch_size}, "
+          f"fanouts {'x'.join(str(f) for f in fanouts)}, "
+          f"{args.partitions} partitions (best of {args.repeats})")
+    print(f"reference: {reference_s * 1e3:8.2f} ms/batch")
+    print(f"batched:   {batched_s * 1e3:8.2f} ms/batch")
+    print(f"speedup:   {reference_s / batched_s:8.2f}x")
+    print(f"accounting match (replayed reference): {'yes' if match else 'NO'}")
+    if not match:
+        if args.cache_nodes:
+            print(
+                "note: cache-counter parity assumes a non-thrashing cache; "
+                f"--cache-nodes {args.cache_nodes} may be evicting within a "
+                "hop (see docs/ARCHITECTURE.md section 5d). Retry with a "
+                "larger capacity or --cache-nodes 0."
+            )
+        raise SystemExit(1)
+
+
 def _cmd_sampler(_args) -> None:
     from repro.axe.resources import sampler_savings
     from repro.axe.sampling import sampling_speedup
@@ -256,6 +322,20 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--gpus-per-12gbps", type=float, default=1.0)
     dse.set_defaults(fn=_cmd_dse)
     sub.add_parser("sampler", help="Tech-2 numbers").set_defaults(fn=_cmd_sampler)
+    bench = sub.add_parser(
+        "bench-sampler",
+        help="batched vs reference sampler speedup + accounting parity",
+    )
+    bench.add_argument("--max-nodes", type=int, default=20000)
+    bench.add_argument("--batch-size", type=int, default=512)
+    bench.add_argument("--fanouts", type=str, default="10,10")
+    bench.add_argument("--partitions", type=int, default=4)
+    bench.add_argument("--cache-nodes", type=int, default=0,
+                       help="optional hot-node cache capacity")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="take the best of this many runs per path")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(fn=_cmd_bench_sampler)
     system = sub.add_parser("system", help="multi-card scaling")
     system.add_argument("--max-nodes", type=int, default=6000)
     system.set_defaults(fn=_cmd_system)

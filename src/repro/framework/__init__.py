@@ -6,9 +6,15 @@ from repro.framework.cache import HotNodeCache
 from repro.framework.cpu_model import CpuSamplingModel, WorkloadShape
 from repro.framework.cluster import ClusterModel, ScalingPoint
 from repro.framework.tracing import characterize_access_mix
-from repro.framework.selectors import get_selector, select_streaming, select_uniform
+from repro.framework.selectors import (
+    get_bucket_selector,
+    get_selector,
+    select_streaming,
+    select_uniform,
+)
 from repro.framework.service import ServiceConfig, ServiceReport, run_service
 from repro.framework.export import batch_nbytes, load_batch, save_batch
+from repro.framework.replay import ReplaySelector, replay_reference
 
 __all__ = [
     "NegativeSampleRequest",
@@ -21,7 +27,10 @@ __all__ = [
     "ClusterModel",
     "ScalingPoint",
     "characterize_access_mix",
+    "get_bucket_selector",
     "get_selector",
+    "ReplaySelector",
+    "replay_reference",
     "select_streaming",
     "select_uniform",
     "ServiceConfig",

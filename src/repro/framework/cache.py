@@ -60,7 +60,11 @@ class HotNodeCache:
 
     # ------------------------------------------------------------ neighbors
     def get_neighbors(self, node: int) -> Optional[np.ndarray]:
-        """Cached neighbor list of ``node``, or ``None`` on a miss."""
+        """Cached neighbor list of ``node``, or ``None`` on a miss.
+
+        Hits are read-only views of the cached entry; copy before
+        mutating.
+        """
         cached = self._neighbors.get(node)
         if cached is None:
             self.neighbor_misses += 1
@@ -70,13 +74,24 @@ class HotNodeCache:
         return cached
 
     def put_neighbors(self, node: int, neighbors: np.ndarray) -> None:
-        """Insert a neighbor list, evicting the LRU node when full."""
-        self._neighbors[node] = np.asarray(neighbors, dtype=np.int64)
+        """Insert a neighbor list, evicting the LRU node when full.
+
+        The array is copied and frozen so neither later caller
+        mutations nor mutations of the returned hit can corrupt the
+        cached entry.
+        """
+        entry = np.array(neighbors, dtype=np.int64, copy=True)
+        entry.flags.writeable = False
+        self._neighbors[node] = entry
         self._touch(node)
 
     # ----------------------------------------------------------- attributes
     def get_attributes(self, node: int) -> Optional[np.ndarray]:
-        """Cached attribute row of ``node``, or ``None`` on a miss."""
+        """Cached attribute row of ``node``, or ``None`` on a miss.
+
+        Hits are read-only views of the cached entry; copy before
+        mutating.
+        """
         cached = self._attributes.get(node)
         if cached is None:
             self.attribute_misses += 1
@@ -86,11 +101,32 @@ class HotNodeCache:
         return cached
 
     def put_attributes(self, node: int, row: np.ndarray) -> None:
-        """Insert an attribute row, evicting the LRU node when full."""
-        self._attributes[node] = np.asarray(row, dtype=np.float32)
+        """Insert an attribute row, evicting the LRU node when full.
+
+        Copied and frozen like :meth:`put_neighbors`.
+        """
+        entry = np.array(row, dtype=np.float32, copy=True)
+        entry.flags.writeable = False
+        self._attributes[node] = entry
         self._touch(node)
 
     # ------------------------------------------------------------- metrics
+    def bump_neighbor_stats(self, hits: int = 0, misses: int = 0) -> None:
+        """Credit extra neighbor lookups served without touching entries.
+
+        The batched sampler deduplicates a frontier before probing the
+        cache, so repeat occurrences of a node never reach
+        :meth:`get_neighbors`; this keeps the hit/miss counters
+        occurrence-accurate with the per-node walk.
+        """
+        self.neighbor_hits += hits
+        self.neighbor_misses += misses
+
+    def bump_attribute_stats(self, hits: int = 0, misses: int = 0) -> None:
+        """Attribute-facet counterpart of :meth:`bump_neighbor_stats`."""
+        self.attribute_hits += hits
+        self.attribute_misses += misses
+
     @property
     def hits(self) -> int:
         """Total hits across both facets."""

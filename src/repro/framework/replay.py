@@ -1,0 +1,106 @@
+"""Replay a batched sampling result through the reference walk.
+
+The batched fast path and the per-node reference walk consume the RNG
+in different orders, so two live runs sample different layers and their
+``AccessSummary`` totals legitimately differ (ID-block bytes depend on
+which nodes got sampled). The equivalence contract is therefore stated
+*conditionally*: for any fixed sampled layers, the batched path's
+accounting — access counts, bytes, locality split, cache hit/miss
+counters, degraded fallbacks — is identical to the reference walk's.
+
+This module checks that contract mechanically: :class:`ReplaySelector`
+feeds the batched result's own picks back through
+:class:`~repro.framework.sampler.MultiHopSampler`'s per-node walk, so
+the walk reproduces the exact same layers and its store/cache counters
+can be compared 1:1 with the batched run's. Tests, the benchmark, and
+``repro bench-sampler`` all lean on it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.framework.cache import HotNodeCache
+from repro.framework.requests import SampleRequest, SampleResult
+from repro.framework.sampler import MultiHopSampler
+from repro.graph.csr import CSRGraph
+from repro.memstore.store import PartitionedStore
+
+
+class ReplaySelector:
+    """Selector that replays a prior result's picks in walk order.
+
+    The reference walk consults its selector once per frontier position
+    with a non-empty neighbor list, hop by hop in flat row-major order;
+    zero-degree positions take the self-loop fallback without a
+    selector call. This selector precomputes that call sequence from
+    ``result`` and hands each call its recorded row of picks, ignoring
+    the RNG. It deliberately has no ``weights`` parameter, so the
+    walk's weighted branch is bypassed.
+    """
+
+    def __init__(
+        self, result: SampleResult, request: SampleRequest, graph: CSRGraph
+    ) -> None:
+        self._rows = []
+        for hop, fanout in enumerate(request.fanouts):
+            parents = result.layers[hop].reshape(-1)
+            picks = result.layers[hop + 1].reshape(parents.size, fanout)
+            starts, stops = graph.neighbor_slices(parents)
+            degrees = stops - starts
+            for i in np.flatnonzero(degrees > 0):
+                self._rows.append(picks[i].astype(np.int64))
+        self._cursor = 0
+
+    def __call__(
+        self, neighbors: np.ndarray, fanout: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self._cursor >= len(self._rows):
+            raise ConfigurationError(
+                "replay exhausted: the walk consulted the selector more "
+                "often than the recorded result did"
+            )
+        row = self._rows[self._cursor]
+        self._cursor += 1
+        if row.size != fanout:
+            raise ConfigurationError(
+                f"replay fanout mismatch: recorded {row.size}, walk asked {fanout}"
+            )
+        return row
+
+
+def replay_reference(
+    result: SampleResult,
+    request: SampleRequest,
+    store: PartitionedStore,
+    worker_partition: Optional[int] = None,
+    cache: Optional[HotNodeCache] = None,
+) -> SampleResult:
+    """Re-run the reference walk pinned to ``result``'s sampled layers.
+
+    ``store`` should be a fresh store over the same graph/partitioner
+    (and typically no reliability path — replay assumes every position's
+    neighbor list has its full graph degree, which degraded completions
+    violate). After this returns, ``store.summary`` and ``cache``
+    counters hold exactly what the per-node reference walk charges for
+    those layers, ready to compare against the batched run's.
+    """
+    selector = ReplaySelector(result, request, store.graph)
+    sampler = MultiHopSampler(
+        store,
+        seed=0,
+        cache=cache,
+        worker_partition=worker_partition,
+        selector=selector,
+    )
+    replayed = sampler.sample(request)
+    for recorded, walked in zip(result.layers, replayed.layers):
+        if not np.array_equal(recorded, walked):
+            raise ConfigurationError(
+                "replay diverged from the recorded layers; the result was "
+                "not produced on this graph"
+            )
+    return replayed

@@ -23,7 +23,7 @@ from repro.framework.requests import (
     SampleRequest,
     SampleResult,
 )
-from repro.framework.selectors import select_uniform
+from repro.framework.selectors import get_bucket_selector, select_uniform
 from repro.memstore.store import PartitionedStore
 
 
@@ -56,6 +56,16 @@ class MultiHopSampler:
         self-loop fallback, attribute reads to zero rows. Each fallback
         is counted in ``degraded_fallbacks``. ``False`` (the default)
         propagates :class:`~repro.errors.ReplicaUnavailableError`.
+    batched:
+        Use the vectorized fast path: per-hop frontier dedup, one
+        store batch call per hop, per-degree-bucket selector
+        application, batched cache probes. Produces identical
+        ``AccessSummary`` totals, cache hit/miss counters, and
+        degraded-fallback counts as the per-node walk for the same
+        sampled layers, and statistically equivalent sample marginals
+        (the RNG consumption order differs, so the draws themselves are
+        not stream-identical). ``False`` (the default) keeps the
+        historical per-node reference walk bit-for-bit.
     """
 
     def __init__(
@@ -66,6 +76,7 @@ class MultiHopSampler:
         worker_partition: Optional[int] = None,
         selector=select_uniform,
         degraded_ok: bool = False,
+        batched: bool = False,
     ) -> None:
         self.store = store
         self.rng = np.random.default_rng(seed)
@@ -73,6 +84,7 @@ class MultiHopSampler:
         self.worker_partition = worker_partition
         self.selector = selector
         self.degraded_ok = degraded_ok
+        self.batched = batched
         #: Reads completed without data because a shard was unreachable.
         self.degraded_fallbacks = 0
         # Weighted selectors take an extra ``weights`` argument, fed
@@ -138,21 +150,215 @@ class MultiHopSampler:
         width = 1
         for fanout in request.fanouts:
             width *= fanout
-            sampled = np.empty((roots.size, width), dtype=np.int64)
-            flat = frontier.reshape(roots.size, -1)
-            for batch_index in range(roots.size):
-                row = [
-                    self._sample_neighbors(int(node), fanout)
-                    for node in flat[batch_index]
-                ]
-                sampled[batch_index] = np.concatenate(row)
+            if self.batched:
+                flat = frontier.reshape(-1)
+                sampled = self._sample_neighbors_batch(flat, fanout).reshape(
+                    roots.size, width
+                )
+            else:
+                sampled = np.empty((roots.size, width), dtype=np.int64)
+                flat = frontier.reshape(roots.size, -1)
+                for batch_index in range(roots.size):
+                    row = [
+                        self._sample_neighbors(int(node), fanout)
+                        for node in flat[batch_index]
+                    ]
+                    sampled[batch_index] = np.concatenate(row)
             result.layers.append(sampled)
             frontier = sampled
         if request.with_attributes:
-            result.attributes = [
-                self._fetch_attributes(layer) for layer in result.layers
-            ]
+            fetch = (
+                self._fetch_attributes_batched
+                if self.batched
+                else self._fetch_attributes
+            )
+            result.attributes = [fetch(layer) for layer in result.layers]
         return result
+
+    # ------------------------------------------------------- batched path
+    def _sample_neighbors_batch(self, flat: np.ndarray, fanout: int) -> np.ndarray:
+        """Sample ``fanout`` neighbors for every frontier position at once.
+
+        The flat frontier is deduplicated, adjacency is gathered in one
+        store batch call, and same-degree positions are selected
+        together through the bucket variant of the configured selector.
+        Zero-degree (and degraded) positions keep the self-loop
+        fallback of the per-node walk.
+        """
+        out = np.empty((flat.size, fanout), dtype=np.int64)
+        if flat.size == 0:
+            return out
+        unique, inverse, counts = np.unique(
+            flat, return_inverse=True, return_counts=True
+        )
+        values, offsets, _served = self._neighbors_batch(unique, counts)
+        degrees = offsets[1:] - offsets[:-1]
+        position_degrees = degrees[inverse]
+        zero = position_degrees == 0
+        if zero.any():
+            out[zero] = flat[zero, None]
+        nonzero = np.flatnonzero(~zero)
+        if nonzero.size == 0:
+            return out
+        graph = self.store.graph
+        use_weights = self._selector_takes_weights and graph.edge_attr is not None
+        bucket_selector = get_bucket_selector(self.selector)
+        if bucket_selector is None:
+            # Unknown (custom) selector: apply it per position. The
+            # adjacency fetch is still amortized across the frontier.
+            for i in nonzero:
+                u = inverse[i]
+                neighbors = values[offsets[u] : offsets[u + 1]]
+                if use_weights:
+                    start = int(graph.indptr[unique[u]])
+                    weights = graph.edge_attr[start : start + neighbors.size]
+                    out[i] = np.asarray(
+                        self.selector(neighbors, fanout, self.rng, weights=weights),
+                        dtype=np.int64,
+                    )
+                else:
+                    out[i] = np.asarray(
+                        self.selector(neighbors, fanout, self.rng), dtype=np.int64
+                    )
+            return out
+        # Group positions by degree so each bucket is a dense (k, d)
+        # matrix the vectorized selector consumes in one shot.
+        nonzero_degrees = position_degrees[nonzero]
+        order = np.argsort(nonzero_degrees, kind="stable")
+        sorted_positions = nonzero[order]
+        boundaries = np.flatnonzero(np.diff(nonzero_degrees[order])) + 1
+        for bucket in np.split(sorted_positions, boundaries):
+            d = int(position_degrees[bucket[0]])
+            u = inverse[bucket]
+            starts = offsets[u]
+            matrix = values[starts[:, None] + np.arange(d)]
+            if use_weights:
+                edge_starts = graph.indptr[unique[u]].astype(np.int64)
+                weights = graph.edge_attr[edge_starts[:, None] + np.arange(d)]
+                out[bucket] = bucket_selector(
+                    matrix, fanout, self.rng, weights=weights
+                )
+            else:
+                out[bucket] = bucket_selector(matrix, fanout, self.rng)
+        return out
+
+    def _neighbors_batch(self, unique: np.ndarray, counts: np.ndarray):
+        """Adjacency for deduplicated nodes: cache probe + one store batch.
+
+        Returns ``(values, offsets, served)`` in concatenated-CSR form.
+        Accounting matches the per-node walk occurrence for occurrence:
+        a cached node's ``c`` occurrences are ``c`` hits; an uncached
+        node that fetches is 1 miss + ``c - 1`` hits (the walk caches it
+        after the first occurrence) and touches the store once; a
+        degraded node is never cached, so all ``c`` occurrences miss and
+        retry the store.
+        """
+        if self.cache is None:
+            batch = self.store.get_neighbors_batch(
+                unique,
+                self.worker_partition,
+                counts=counts,
+                degraded_ok=self.degraded_ok,
+            )
+            self.degraded_fallbacks += batch.fallbacks
+            return batch.values, batch.offsets, batch.served
+        arrays: list = [None] * unique.size
+        hit_mask = np.zeros(unique.size, dtype=bool)
+        for j, node in enumerate(unique):
+            hit = self.cache.get_neighbors(int(node))
+            if hit is not None:
+                arrays[j] = hit
+                hit_mask[j] = True
+        if hit_mask.any():
+            self.cache.bump_neighbor_stats(hits=int((counts[hit_mask] - 1).sum()))
+        served = np.ones(unique.size, dtype=bool)
+        missing_indices = np.flatnonzero(~hit_mask)
+        if missing_indices.size:
+            missing = unique[missing_indices]
+            missing_counts = counts[missing_indices]
+            batch = self.store.get_neighbors_batch(
+                missing, self.worker_partition, degraded_ok=self.degraded_ok
+            )
+            self.degraded_fallbacks += batch.fallbacks
+            failed = ~batch.served
+            if failed.any():
+                # The walk retries (and fails) on every further
+                # occurrence of a node it could not cache.
+                extra = missing_counts[failed] - 1
+                retry_nodes = missing[failed][extra > 0]
+                if retry_nodes.size:
+                    retry = self.store.get_neighbors_batch(
+                        retry_nodes,
+                        self.worker_partition,
+                        counts=extra[extra > 0],
+                        degraded_ok=True,
+                    )
+                    self.degraded_fallbacks += retry.fallbacks
+            self.cache.bump_neighbor_stats(
+                hits=int((missing_counts[batch.served] - 1).sum()),
+                misses=int((missing_counts[failed] - 1).sum()),
+            )
+            for position, j in enumerate(missing_indices):
+                row = batch[position]
+                arrays[j] = row
+                served[j] = bool(batch.served[position])
+                if served[j]:
+                    self.cache.put_neighbors(int(unique[j]), row)
+        lengths = np.fromiter(
+            (a.size for a in arrays), dtype=np.int64, count=unique.size
+        )
+        offsets = np.zeros(unique.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        values = (
+            np.concatenate(arrays)
+            if arrays
+            else np.empty(0, dtype=np.int64)
+        )
+        return values.astype(np.int64, copy=False), offsets, served
+
+    def _fetch_attributes_batched(self, layer: np.ndarray) -> np.ndarray:
+        """Batched twin of :meth:`_fetch_attributes` (dedup + one store call).
+
+        Occurrence accounting matches the walk: attribute cache inserts
+        happen only after *all* lookups of a layer, so an uncached
+        node's ``c`` occurrences are ``c`` misses, and the store is
+        touched ``c`` times. Degraded rows stay zero and are never
+        cached (see the cache-poisoning regression in the walk path).
+        """
+        attr_len = self.store.graph.attr_len
+        flat = layer.reshape(-1)
+        if flat.size == 0:
+            return np.empty(layer.shape + (attr_len,), dtype=np.float32)
+        unique, inverse, counts = np.unique(
+            flat, return_inverse=True, return_counts=True
+        )
+        rows = np.empty((unique.size, attr_len), dtype=np.float32)
+        hit_mask = np.zeros(unique.size, dtype=bool)
+        if self.cache is not None:
+            for j, node in enumerate(unique):
+                hit = self.cache.get_attributes(int(node))
+                if hit is not None:
+                    rows[j] = hit
+                    hit_mask[j] = True
+            self.cache.bump_attribute_stats(
+                hits=int((counts[hit_mask] - 1).sum()),
+                misses=int((counts[~hit_mask] - 1).sum()),
+            )
+        missing_indices = np.flatnonzero(~hit_mask)
+        if missing_indices.size:
+            batch = self.store.get_attributes_batch(
+                unique[missing_indices],
+                self.worker_partition,
+                counts=counts[missing_indices],
+                degraded_ok=self.degraded_ok,
+            )
+            self.degraded_fallbacks += batch.fallbacks
+            rows[missing_indices] = batch.rows
+            if self.cache is not None:
+                for position, j in enumerate(missing_indices):
+                    if batch.served[position]:
+                        self.cache.put_attributes(int(unique[j]), batch.rows[position])
+        return rows[inverse].reshape(layer.shape + (attr_len,))
 
     def _fetch_attributes(self, layer: np.ndarray) -> np.ndarray:
         flat = layer.reshape(-1)
@@ -166,28 +372,44 @@ class MultiHopSampler:
                     served[i] = True
         missing = np.flatnonzero(~served)
         if missing.size:
-            rows[missing] = self._fetch_missing(flat[missing])
+            fetched_rows, fetched = self._fetch_missing(flat[missing])
+            rows[missing] = fetched_rows
             if self.cache is not None:
-                for i, node in zip(missing, flat[missing]):
-                    self.cache.put_attributes(int(node), rows[i])
+                # Cache only rows that were actually fetched: a
+                # degraded zero row must not outlive the outage (the
+                # shard may come back, and a poisoned entry would keep
+                # serving zeros forever).
+                for i, node, ok in zip(missing, flat[missing], fetched):
+                    if ok:
+                        self.cache.put_attributes(int(node), rows[i])
         return rows.reshape(layer.shape + (self.store.graph.attr_len,))
 
-    def _fetch_missing(self, nodes: np.ndarray) -> np.ndarray:
-        """Fetch uncached attribute rows, degrading per node if allowed."""
+    def _fetch_missing(self, nodes: np.ndarray):
+        """Fetch uncached attribute rows, degrading per node if allowed.
+
+        Returns ``(rows, fetched)`` where ``fetched[i]`` is False for
+        rows that degraded to zeros (shard unreachable) — those must
+        not be cached.
+        """
         if not self.degraded_ok or self.store.reliability is None:
-            return self.store.get_attributes(nodes, self.worker_partition)
+            return (
+                self.store.get_attributes(nodes, self.worker_partition),
+                np.ones(nodes.size, dtype=bool),
+            )
         # Fetch node-by-node so one dead shard only blanks its own rows
         # (zero vectors), not the whole batch. Per-node fetches record
         # the same access sequence as the batch path.
         rows = np.zeros((nodes.size, self.store.graph.attr_len), dtype=np.float32)
+        fetched = np.zeros(nodes.size, dtype=bool)
         for i, node in enumerate(nodes):
             try:
                 rows[i] = self.store.get_attributes(
                     np.asarray([node], dtype=np.int64), self.worker_partition
                 )[0]
+                fetched[i] = True
             except ReplicaUnavailableError:
                 self.degraded_fallbacks += 1
-        return rows
+        return rows, fetched
 
     # ------------------------------------------------------ negative sample
     def negative_sample(self, request: NegativeSampleRequest) -> np.ndarray:
@@ -201,15 +423,37 @@ class MultiHopSampler:
             raise ConfigurationError(
                 "negative sampling needs at least 2 nodes in the graph"
             )
-        out = np.empty((request.pairs.shape[0], request.rate), dtype=np.int64)
+        rate = request.rate
+        out = np.empty((request.pairs.shape[0], rate), dtype=np.int64)
+        # RNG consumption is row-by-row in pair order, drawn in
+        # rejection blocks per row; the draw stream therefore differs
+        # from the historical one-draw-at-a-time loop, but each row is
+        # still an independent uniform rejection sampler over the
+        # non-neighbor set.
         for row, (src, _dst) in enumerate(request.pairs):
-            forbidden = set(int(x) for x in self._neighbors(int(src)))
-            forbidden.add(int(src))
+            src = int(src)
+            forbidden = np.union1d(
+                self._neighbors(src), np.asarray([src], dtype=np.int64)
+            )
+            if forbidden.size >= num_nodes:
+                # Every node is forbidden: keep the historical escape of
+                # accepting any draw rather than looping forever.
+                out[row] = self.rng.integers(0, num_nodes, size=rate)
+                continue
+            accept_p = 1.0 - forbidden.size / num_nodes
             filled = 0
-            while filled < request.rate:
-                draw = int(self.rng.integers(0, num_nodes))
-                if draw in forbidden and len(forbidden) < num_nodes:
-                    continue
-                out[row, filled] = draw
-                filled += 1
+            while filled < rate:
+                need = rate - filled
+                # Oversize the block by the expected rejection rate so
+                # high-degree sources converge in O(1) rounds instead
+                # of degenerating draw-by-draw.
+                block = min(
+                    max(need * 2, int(need / accept_p) + 1),
+                    max(4 * rate, 1024),
+                )
+                draws = self.rng.integers(0, num_nodes, size=block)
+                accepted = draws[~np.isin(draws, forbidden)]
+                take = min(accepted.size, need)
+                out[row, filled : filled + take] = accepted[:take]
+                filled += take
         return out

@@ -144,6 +144,155 @@ def select_streaming_weighted(
     return out
 
 
+# --------------------------------------------------------------- batched
+# Bucket variants: the batched sampler groups frontier positions by
+# degree, so each variant selects for a whole ``(k, d)`` matrix of
+# same-degree neighbor lists at once. They draw from the same RNG with
+# the same per-row distributions as their scalar counterparts, but the
+# *consumption order* differs (row-blocked instead of per node), so the
+# equivalence contract is statistical, not stream-identical.
+
+
+def _validate_bucket(matrix: np.ndarray, fanout: int) -> None:
+    if fanout <= 0:
+        raise ConfigurationError(f"fanout must be positive, got {fanout}")
+    if matrix.ndim != 2 or matrix.shape[1] == 0:
+        raise ConfigurationError(
+            f"bucket matrix must be (k, d) with d > 0, got shape {matrix.shape}"
+        )
+
+
+def _validate_bucket_weights(matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != matrix.shape:
+        raise ConfigurationError(
+            f"weights shape {weights.shape} != matrix shape {matrix.shape}"
+        )
+    if (weights < 0).any() or (weights.sum(axis=1) <= 0).any():
+        raise ConfigurationError("weights must be non-negative with positive sum")
+    return weights
+
+
+def _rowwise_weighted_picks(
+    cdf: np.ndarray, draws: np.ndarray
+) -> np.ndarray:
+    """Inverse-CDF picks for many rows with one searchsorted call.
+
+    ``cdf`` is ``(k, d)`` row-normalized cumulative weights in [0, 1];
+    ``draws`` is ``(k, m)`` uniforms. Each row's CDF is shifted by
+    ``2 * row`` so all rows live on one strictly increasing axis.
+    """
+    k, d = cdf.shape
+    shift = 2.0 * np.arange(k, dtype=np.float64)[:, None]
+    flat_cdf = (cdf + shift).ravel()
+    flat_draws = (draws + shift).ravel()
+    picks = np.searchsorted(flat_cdf, flat_draws, side="right")
+    picks = picks.reshape(draws.shape) - np.arange(k)[:, None] * d
+    return np.clip(picks, 0, d - 1)
+
+
+def select_uniform_bucket(
+    matrix: np.ndarray, fanout: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Batched :func:`select_uniform`: sample each row of ``matrix``."""
+    matrix = np.asarray(matrix)
+    _validate_bucket(matrix, fanout)
+    picks = rng.integers(0, matrix.shape[1], size=(matrix.shape[0], fanout))
+    return np.take_along_axis(matrix, picks, axis=1)
+
+
+def select_streaming_bucket(
+    matrix: np.ndarray, fanout: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Batched :func:`select_streaming`: one pick per group per row."""
+    matrix = np.asarray(matrix)
+    _validate_bucket(matrix, fanout)
+    k, n = matrix.shape
+    out = np.empty((k, fanout), dtype=matrix.dtype)
+    rows = np.arange(k)
+    for group in range(fanout):
+        start = group * n // fanout
+        stop = (group + 1) * n // fanout
+        if stop <= start:
+            picks = rng.integers(0, n, size=k)
+        else:
+            picks = rng.integers(start, stop, size=k)
+        out[:, group] = matrix[rows, picks]
+    return out
+
+
+def select_weighted_bucket(
+    matrix: np.ndarray,
+    fanout: int,
+    rng: np.random.Generator,
+    weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Batched :func:`select_weighted` over a ``(k, d)`` weight matrix."""
+    matrix = np.asarray(matrix)
+    _validate_bucket(matrix, fanout)
+    if weights is None:
+        return select_uniform_bucket(matrix, fanout, rng)
+    weights = _validate_bucket_weights(matrix, weights)
+    cdf = np.cumsum(weights / weights.sum(axis=1, keepdims=True), axis=1)
+    draws = rng.random((matrix.shape[0], fanout))
+    picks = _rowwise_weighted_picks(cdf, draws)
+    return np.take_along_axis(matrix, picks, axis=1)
+
+
+def select_streaming_weighted_bucket(
+    matrix: np.ndarray,
+    fanout: int,
+    rng: np.random.Generator,
+    weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Batched :func:`select_streaming_weighted`: weighted pick per group."""
+    matrix = np.asarray(matrix)
+    _validate_bucket(matrix, fanout)
+    if weights is None:
+        return select_streaming_bucket(matrix, fanout, rng)
+    weights = _validate_bucket_weights(matrix, weights)
+    k, n = matrix.shape
+    out = np.empty((k, fanout), dtype=matrix.dtype)
+    rows = np.arange(k)
+    for group in range(fanout):
+        start = group * n // fanout
+        stop = (group + 1) * n // fanout
+        if stop <= start:
+            start, stop = 0, n
+        group_weights = weights[:, start:stop]
+        totals = group_weights.sum(axis=1)
+        picks = np.empty(k, dtype=np.int64)
+        weighted = totals > 0
+        if weighted.any():
+            cdf = np.cumsum(
+                group_weights[weighted] / totals[weighted, None], axis=1
+            )
+            draws = rng.random((int(weighted.sum()), 1))
+            picks[weighted] = _rowwise_weighted_picks(cdf, draws)[:, 0]
+        if (~weighted).any():
+            picks[~weighted] = rng.integers(
+                0, stop - start, size=int((~weighted).sum())
+            )
+        out[:, group] = matrix[rows, start + picks]
+    return out
+
+
+#: Scalar selector -> its vectorized bucket variant. Custom selectors
+#: without an entry fall back to per-position scalar application in the
+#: batched sampler (the fetch is still amortized).
+BUCKET_SELECTORS = {
+    select_uniform: select_uniform_bucket,
+    select_streaming: select_streaming_bucket,
+    select_weighted: select_weighted_bucket,
+    select_streaming_weighted: select_streaming_weighted_bucket,
+}
+
+
+def get_bucket_selector(selector):
+    """Bucket variant of a scalar selector, or ``None`` if unknown."""
+    return BUCKET_SELECTORS.get(selector)
+
+
 SELECTORS = {
     "uniform": select_uniform,
     "streaming": select_streaming,

@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import PartitionError
+from repro.errors import ConfigurationError, PartitionError, ReplicaUnavailableError
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import Partitioner
 
@@ -80,6 +80,56 @@ class AccessSummary:
         if self.total_bytes == 0:
             return 0.0
         return self.remote_bytes / self.total_bytes
+
+
+@dataclass
+class NeighborBatch:
+    """Result of one vectorized adjacency gather.
+
+    Indexing and iteration yield per-node adjacency arrays (views into
+    ``values``), so callers written against the old list-of-arrays
+    return type keep working.
+    """
+
+    #: The (typically deduplicated) nodes that were gathered.
+    nodes: np.ndarray
+    #: All neighbor IDs, concatenated in node order.
+    values: np.ndarray
+    #: Prefix offsets into ``values``; node ``i`` owns
+    #: ``values[offsets[i]:offsets[i + 1]]``. Degraded nodes own an
+    #: empty slice.
+    offsets: np.ndarray
+    #: False where every occurrence-attempt degraded (shard unreachable).
+    served: np.ndarray
+    #: Occurrence-attempts that completed without data.
+    fallbacks: int = 0
+
+    def __len__(self) -> int:
+        return int(self.nodes.size)
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        return self.values[self.offsets[i] : self.offsets[i + 1]]
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+
+@dataclass
+class AttributeBatch:
+    """Result of one vectorized attribute gather.
+
+    ``rows[i]`` is zero where ``served[i]`` is False (degraded
+    completion, mirroring the sampler's zero-row fallback).
+    """
+
+    nodes: np.ndarray
+    rows: np.ndarray
+    served: np.ndarray
+    fallbacks: int = 0
+
+    def __len__(self) -> int:
+        return int(self.nodes.size)
 
 
 class PartitionedStore:
@@ -160,6 +210,47 @@ class PartitionedStore:
         if self.tracing:
             self._trace.append(AccessRecord(kind, nbytes, local))
 
+    def _record_batch(
+        self,
+        kind: AccessKind,
+        nbytes: np.ndarray,
+        local: np.ndarray,
+        counts: Optional[np.ndarray] = None,
+    ) -> None:
+        """Record a whole group of same-kind accesses in O(1) summary updates.
+
+        ``nbytes``/``local`` are per-entry; ``counts`` is the number of
+        identical accesses each entry stands for (occurrence
+        multiplicity after dedup). Totals match issuing each access
+        through :meth:`_record`; only the trace *ordering* may differ
+        from the per-node walk.
+        """
+        nbytes = np.asarray(nbytes, dtype=np.int64)
+        local = np.asarray(local, dtype=bool)
+        if counts is None:
+            counts = np.ones(nbytes.shape, dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+        total = int(counts.sum())
+        if total == 0:
+            return
+        total_bytes = int((nbytes * counts).sum())
+        if kind is AccessKind.STRUCTURE:
+            self._summary.structure_count += total
+            self._summary.structure_bytes += total_bytes
+        else:
+            self._summary.attribute_count += total
+            self._summary.attribute_bytes += total_bytes
+        remote = ~local
+        if remote.any():
+            self._summary.remote_count += int(counts[remote].sum())
+            self._summary.remote_bytes += int((nbytes[remote] * counts[remote]).sum())
+        if self.tracing:
+            for b, loc, c in zip(nbytes, local, counts):
+                if c:
+                    record = AccessRecord(kind, int(b), bool(loc))
+                    self._trace.extend([record] * int(c))
+
     def _locality(self, nodes: np.ndarray, from_partition: Optional[int]) -> np.ndarray:
         if from_partition is None:
             return np.ones(nodes.shape, dtype=bool)
@@ -212,22 +303,207 @@ class PartitionedStore:
         return neighbors
 
     def get_neighbors_batch(
-        self, nodes: Sequence[int], from_partition: Optional[int] = None
-    ) -> List[np.ndarray]:
-        """Adjacency lists for a batch of nodes."""
-        return [self.get_neighbors(int(v), from_partition) for v in nodes]
+        self,
+        nodes: Sequence[int],
+        from_partition: Optional[int] = None,
+        counts: Optional[np.ndarray] = None,
+        degraded_ok: bool = False,
+    ) -> NeighborBatch:
+        """Vectorized adjacency gather for a batch of nodes.
+
+        Locality and ownership are computed once for the whole batch,
+        and accesses are recorded in bulk. Per node the accounting is
+        identical to ``counts[i]`` calls of :meth:`get_neighbors`
+        (``counts`` defaults to one each): an index lookup, an
+        offset-pair read, and — for non-isolated nodes — an ID-block
+        read, each per *successful* occurrence. On the reliable path a
+        failed occurrence records nothing; with ``degraded_ok`` it is
+        tallied in ``fallbacks`` instead of raising, and a node whose
+        every occurrence failed comes back with an empty slice and
+        ``served[i] == False``. Without ``degraded_ok`` the failure
+        flushes the accesses that did complete and re-raises, mirroring
+        the per-node walk stopping at the failing node.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if counts is None:
+            counts = np.ones(nodes.shape, dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+            if counts.shape != nodes.shape:
+                raise ConfigurationError(
+                    f"counts shape {counts.shape} != nodes shape {nodes.shape}"
+                )
+        starts, stops = self.graph.neighbor_slices(nodes)
+        degrees = (stops - starts).astype(np.int64)
+        locality = self._locality(nodes, from_partition)
+        served = np.ones(nodes.shape, dtype=bool)
+        recorded = counts.copy()
+        fallbacks = 0
+
+        def _emit(recorded: np.ndarray) -> None:
+            self._record_batch(
+                AccessKind.STRUCTURE,
+                np.full(nodes.shape, self.index_entry_bytes, dtype=np.int64),
+                locality,
+                recorded,
+            )
+            self._record_batch(
+                AccessKind.STRUCTURE,
+                np.full(nodes.shape, self.offset_entry_bytes, dtype=np.int64),
+                locality,
+                recorded,
+            )
+            has_block = degrees > 0
+            if has_block.any():
+                self._record_batch(
+                    AccessKind.STRUCTURE,
+                    degrees[has_block] * self.id_bytes,
+                    locality[has_block],
+                    recorded[has_block],
+                )
+
+        if self.reliability is not None and not locality.all():
+            owners = self.partitioner.partition_of(nodes)
+            for i in np.flatnonzero(~locality):
+                owner = int(owners[i])
+                successes = 0
+                for _ in range(int(counts[i])):
+                    try:
+                        self._remote_read(owner, self.index_entry_bytes)
+                        self._remote_read(owner, self.offset_entry_bytes)
+                        if degrees[i]:
+                            self._remote_read(owner, int(degrees[i]) * self.id_bytes)
+                    except ReplicaUnavailableError:
+                        if not degraded_ok:
+                            recorded[i] = successes
+                            recorded[i + 1 :] = 0
+                            _emit(recorded)
+                            raise
+                        fallbacks += 1
+                    else:
+                        successes += 1
+                recorded[i] = successes
+                served[i] = successes > 0
+        _emit(recorded)
+
+        effective = np.where(served, degrees, 0)
+        offsets = np.zeros(nodes.size + 1, dtype=np.int64)
+        np.cumsum(effective, out=offsets[1:])
+        total = int(offsets[-1])
+        positions = np.repeat(starts - offsets[:-1], effective) + np.arange(
+            total, dtype=np.int64
+        )
+        values = self.graph.indices[positions]
+        return NeighborBatch(nodes, values, offsets, served, fallbacks)
+
+    def get_attributes_batch(
+        self,
+        nodes: Sequence[int],
+        from_partition: Optional[int] = None,
+        counts: Optional[np.ndarray] = None,
+        degraded_ok: bool = False,
+    ) -> AttributeBatch:
+        """Vectorized attribute gather for a batch of nodes.
+
+        Per node the accounting is identical to ``counts[i]`` calls of
+        :meth:`get_attributes` on a single node: one index lookup plus
+        one attribute-row transfer per successful occurrence. Failure
+        handling mirrors :meth:`get_neighbors_batch`; a node whose every
+        occurrence failed comes back as a zero row with
+        ``served[i] == False``.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if counts is None:
+            counts = np.ones(nodes.shape, dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+            if counts.shape != nodes.shape:
+                raise ConfigurationError(
+                    f"counts shape {counts.shape} != nodes shape {nodes.shape}"
+                )
+        locality = self._locality(nodes, from_partition)
+        row_bytes = self.graph.attr_len * 4
+        served = np.ones(nodes.shape, dtype=bool)
+        recorded = counts.copy()
+        fallbacks = 0
+
+        def _emit(recorded: np.ndarray) -> None:
+            self._record_batch(
+                AccessKind.STRUCTURE,
+                np.full(nodes.shape, self.index_entry_bytes, dtype=np.int64),
+                locality,
+                recorded,
+            )
+            self._record_batch(
+                AccessKind.ATTRIBUTE,
+                np.full(nodes.shape, row_bytes, dtype=np.int64),
+                locality,
+                recorded,
+            )
+
+        if self.reliability is not None and not locality.all():
+            owners = self.partitioner.partition_of(nodes)
+            for i in np.flatnonzero(~locality):
+                owner = int(owners[i])
+                successes = 0
+                for _ in range(int(counts[i])):
+                    try:
+                        self._remote_read(owner, self.index_entry_bytes)
+                        self._remote_read(owner, row_bytes)
+                    except ReplicaUnavailableError:
+                        if not degraded_ok:
+                            recorded[i] = successes
+                            recorded[i + 1 :] = 0
+                            _emit(recorded)
+                            raise
+                        fallbacks += 1
+                    else:
+                        successes += 1
+                recorded[i] = successes
+                served[i] = successes > 0
+        _emit(recorded)
+
+        rows = np.zeros((nodes.size, self.graph.attr_len), dtype=np.float32)
+        if served.any():
+            rows[served] = self.graph.attributes(nodes[served])
+        return AttributeBatch(nodes, rows, served, fallbacks)
 
     def get_attributes(
-        self, nodes: Sequence[int], from_partition: Optional[int] = None
+        self,
+        nodes: Sequence[int],
+        from_partition: Optional[int] = None,
+        dedup: bool = False,
     ) -> np.ndarray:
         """Attribute rows for ``nodes``.
 
         Each node costs one index lookup (structure) plus one attribute
-        row transfer.
+        row transfer. With ``dedup`` the underlying row gather and the
+        accounting run once per *unique* node (with occurrence
+        multiplicity), producing the same summary totals as the plain
+        walk; the reliable remote path still walks node-by-node so its
+        failure ordering is preserved.
         """
         nodes = np.asarray(nodes, dtype=np.int64)
         locality = self._locality(nodes, from_partition)
         row_bytes = self.graph.attr_len * 4
+        if dedup and (self.reliability is None or locality.all()):
+            unique, inverse, counts = np.unique(
+                nodes, return_inverse=True, return_counts=True
+            )
+            unique_locality = self._locality(unique, from_partition)
+            self._record_batch(
+                AccessKind.STRUCTURE,
+                np.full(unique.shape, self.index_entry_bytes, dtype=np.int64),
+                unique_locality,
+                counts,
+            )
+            self._record_batch(
+                AccessKind.ATTRIBUTE,
+                np.full(unique.shape, row_bytes, dtype=np.int64),
+                unique_locality,
+                counts,
+            )
+            return self.graph.attributes(unique)[inverse]
         if self.reliability is not None and not locality.all():
             # Interleave reliable reads with records so a failure
             # mid-batch leaves earlier rows consistently accounted and

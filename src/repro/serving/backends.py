@@ -81,7 +81,10 @@ class SoftwareBackend(ServingBackend):
     Service time follows the same first-order cost model as
     :class:`repro.framework.service.ServiceConfig`: a fixed RPC/setup
     overhead plus a per-touched-key software cost, divided across the
-    worker pool's vCPU parallelism.
+    worker pool's vCPU parallelism. When the wrapped sampler runs the
+    batched fast path, the per-key cost is divided by
+    ``batched_speedup`` (the measured factor from
+    ``repro bench-sampler``).
     """
 
     def __init__(
@@ -92,6 +95,7 @@ class SoftwareBackend(ServingBackend):
         base_overhead_s: float = 150.0 * US,
         per_key_s: float = 3.0 * US,
         parallelism: int = 8,
+        batched_speedup: float = 5.0,
         name: str = "software",
     ) -> None:
         super().__init__(name=name, concurrency=concurrency)
@@ -101,17 +105,25 @@ class SoftwareBackend(ServingBackend):
             raise ConfigurationError(
                 f"parallelism must be positive, got {parallelism}"
             )
+        if batched_speedup < 1.0:
+            raise ConfigurationError(
+                f"batched_speedup must be >= 1, got {batched_speedup}"
+            )
         self.sampler = sampler
         self.functional = functional
         self.base_overhead_s = base_overhead_s
         self.per_key_s = per_key_s
         self.parallelism = parallelism
+        self.batched_speedup = batched_speedup
 
     def execute(
         self, roots: np.ndarray, fanouts: Tuple[int, ...]
     ) -> BackendResult:
         keys = int(roots.size) * nodes_per_root(fanouts)
-        service_s = self.base_overhead_s + keys * self.per_key_s / self.parallelism
+        per_key_s = self.per_key_s
+        if getattr(self.sampler, "batched", False):
+            per_key_s /= self.batched_speedup
+        service_s = self.base_overhead_s + keys * per_key_s / self.parallelism
         payload = None
         if self.functional:
             payload = self.sampler.sample(

@@ -160,3 +160,25 @@ class TestServingLevel:
                 include_hardware=False,
                 fail_hardware_at_s=0.05,
             )
+
+
+class TestBatchedSession:
+    def test_batched_session_samples(self):
+        graph = power_law_graph(300, 6.0, attr_len=4, seed=1)
+        session = GnnSession(graph, num_partitions=2, batched=True)
+        assert session.sampler.batched
+        result = session.sample(np.array([1, 2, 3]), (4, 2))
+        assert result.layers[2].shape == (3, 8)
+        for hop in range(2):
+            parents = result.layers[hop].reshape(-1)
+            picks = result.layers[hop + 1].reshape(parents.size, -1)
+            for i, parent in enumerate(parents):
+                neighbors = graph.neighbors(int(parent))
+                if neighbors.size == 0:
+                    assert (picks[i] == parent).all()
+                else:
+                    assert np.isin(picks[i], neighbors).all()
+
+    def test_default_is_reference_path(self):
+        graph = power_law_graph(100, 4.0, attr_len=2, seed=2)
+        assert not GnnSession(graph).sampler.batched

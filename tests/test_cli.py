@@ -136,3 +136,24 @@ class TestFaultsCommand:
 
     def test_parser_lists_faults(self):
         assert "faults" in build_parser().format_help()
+
+
+class TestBenchSamplerCommand:
+    def test_bench_sampler_smoke(self, capsys):
+        assert main([
+            "bench-sampler", "--max-nodes", "1200", "--batch-size", "32",
+            "--fanouts", "4,4", "--repeats", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "accounting match (replayed reference): yes" in out
+
+    def test_bench_sampler_with_cache(self, capsys):
+        assert main([
+            "bench-sampler", "--max-nodes", "800", "--batch-size", "16",
+            "--fanouts", "3,3", "--repeats", "1", "--cache-nodes", "4000",
+        ]) == 0
+        assert "accounting match (replayed reference): yes" in capsys.readouterr().out
+
+    def test_parser_lists_bench_sampler(self):
+        assert "bench-sampler" in build_parser().format_help()

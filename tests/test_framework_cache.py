@@ -144,3 +144,36 @@ class TestHotNodeCache:
                 if cache.get_neighbors(int(node)) is None:
                     cache.put_neighbors(int(node), np.empty(0, dtype=np.int64))
         assert cache.hit_rate < 0.01
+
+
+class TestAliasingRegression:
+    def test_put_copies_callers_array(self):
+        cache = HotNodeCache(capacity_nodes=4)
+        neighbors = np.array([1, 2, 3], dtype=np.int64)
+        cache.put_neighbors(0, neighbors)
+        neighbors[0] = 99  # caller mutates after insert
+        assert cache.get_neighbors(0).tolist() == [1, 2, 3]
+        row = np.array([1.0, 2.0], dtype=np.float32)
+        cache.put_attributes(1, row)
+        row[:] = 0.0
+        assert cache.get_attributes(1).tolist() == [1.0, 2.0]
+
+    def test_returned_arrays_are_read_only(self):
+        cache = HotNodeCache(capacity_nodes=4)
+        cache.put_neighbors(0, np.array([1, 2]))
+        cache.put_attributes(0, np.array([3.0], dtype=np.float32))
+        hit = cache.get_neighbors(0)
+        with pytest.raises(ValueError):
+            hit[0] = 7
+        with pytest.raises(ValueError):
+            cache.get_attributes(0)[0] = 7.0
+        # The cache itself is uncorrupted.
+        assert cache.get_neighbors(0).tolist() == [1, 2]
+
+    def test_bump_stats(self):
+        cache = HotNodeCache(capacity_nodes=4)
+        cache.bump_neighbor_stats(hits=3, misses=1)
+        cache.bump_attribute_stats(hits=2, misses=4)
+        assert cache.neighbor_hits == 3 and cache.neighbor_misses == 1
+        assert cache.attribute_hits == 2 and cache.attribute_misses == 4
+        assert cache.hits == 5 and cache.misses == 5

@@ -1,0 +1,385 @@
+"""Batched sampling fast path: equivalence with the reference walk.
+
+The contract under test: for any fixed sampled layers, the batched
+path's accounting (AccessSummary, cache hit/miss counters, degraded
+fallbacks, fault stats) is identical to the per-node reference walk's,
+and the samples themselves are statistically equivalent (chi-squared
+per fanout). Replay (:mod:`repro.framework.replay`) pins the walk to
+the batched result's layers so accounting can be compared exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.framework.cache import HotNodeCache
+from repro.framework.replay import replay_reference
+from repro.framework.requests import NegativeSampleRequest, SampleRequest
+from repro.framework.sampler import MultiHopSampler
+from repro.framework.selectors import SELECTORS
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import power_law_graph
+from repro.graph.partition import HashPartitioner, RangePartitioner
+from repro.memstore.faults import FaultInjector, ReliableReadPath
+from repro.memstore.replication import ReplicaPlacement
+from repro.memstore.retry import RetryPolicy
+from repro.memstore.store import PartitionedStore
+
+
+def chi2_critical(df: int, z: float = 4.5) -> float:
+    """Wilson-Hilferty approximation of a chi-squared quantile.
+
+    ``z`` is the standard-normal deviate; 4.5 keeps the false-positive
+    rate per test around 3e-6, so the statistical assertions are not
+    flaky, while still catching any systematic bias.
+    """
+    term = 1.0 - 2.0 / (9.0 * df) + z * np.sqrt(2.0 / (9.0 * df))
+    return df * term**3
+
+
+def star_graph(degree: int, attr_len: int = 4) -> CSRGraph:
+    """Node 0 has neighbors 1..degree; the leaves are isolated."""
+    num_nodes = degree + 1
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    indptr[1:] = degree
+    indices = np.arange(1, degree + 1, dtype=np.int64)
+    attr = (
+        np.arange(1, num_nodes + 1, dtype=np.float32)[:, None]
+        * np.ones(attr_len, dtype=np.float32)
+    )
+    return CSRGraph(indptr=indptr, indices=indices, node_attr=attr)
+
+
+def chain_graph(num_nodes: int = 10, attr_len: int = 4) -> CSRGraph:
+    """Every node has exactly one neighbor (the next, mod n), so the
+    sampled layers are deterministic regardless of RNG path."""
+    indptr = np.arange(num_nodes + 1, dtype=np.int64)
+    indices = ((np.arange(num_nodes) + 1) % num_nodes).astype(np.int64)
+    attr = (
+        np.arange(1, num_nodes + 1, dtype=np.float32)[:, None]
+        * np.ones(attr_len, dtype=np.float32)
+    )
+    return CSRGraph(indptr=indptr, indices=indices, node_attr=attr)
+
+
+def cache_stats(cache):
+    return (
+        cache.neighbor_hits,
+        cache.neighbor_misses,
+        cache.attribute_hits,
+        cache.attribute_misses,
+    )
+
+
+class TestAccountingEquivalence:
+    @pytest.mark.parametrize("selector_name", sorted(SELECTORS))
+    @pytest.mark.parametrize("cache_nodes", [0, 5000])
+    def test_summary_matches_replayed_reference(self, selector_name, cache_nodes):
+        graph = power_law_graph(1500, 8.0, attr_len=12, seed=1)
+        partitioner = HashPartitioner(4)
+        roots = np.random.default_rng(0).integers(0, 1500, size=48)
+        request = SampleRequest(roots=roots, fanouts=(5, 4), with_attributes=True)
+
+        batched_store = PartitionedStore(graph, partitioner)
+        batched_cache = HotNodeCache(cache_nodes) if cache_nodes else None
+        sampler = MultiHopSampler(
+            batched_store,
+            seed=7,
+            cache=batched_cache,
+            worker_partition=0,
+            selector=SELECTORS[selector_name],
+            batched=True,
+        )
+        result = sampler.sample(request)
+
+        replay_store = PartitionedStore(graph, partitioner)
+        replay_cache = HotNodeCache(cache_nodes) if cache_nodes else None
+        replay_reference(
+            result, request, replay_store, worker_partition=0, cache=replay_cache
+        )
+        assert batched_store.summary == replay_store.summary
+        if cache_nodes:
+            assert cache_stats(batched_cache) == cache_stats(replay_cache)
+
+    def test_summary_matches_with_edge_weights(self):
+        base = power_law_graph(800, 6.0, attr_len=6, seed=2)
+        rng = np.random.default_rng(3)
+        graph = CSRGraph(
+            indptr=base.indptr,
+            indices=base.indices,
+            node_attr=base.node_attr,
+            edge_attr=rng.random(base.indices.size).astype(np.float32),
+        )
+        partitioner = HashPartitioner(3)
+        roots = rng.integers(0, 800, size=32)
+        request = SampleRequest(roots=roots, fanouts=(4, 3), with_attributes=True)
+        store = PartitionedStore(graph, partitioner)
+        sampler = MultiHopSampler(
+            store,
+            seed=9,
+            worker_partition=1,
+            selector=SELECTORS["weighted"],
+            batched=True,
+        )
+        result = sampler.sample(request)
+        replay_store = PartitionedStore(graph, partitioner)
+        replay_reference(result, request, replay_store, worker_partition=1)
+        assert store.summary == replay_store.summary
+
+    def test_layer_shapes_and_membership(self):
+        graph = power_law_graph(600, 7.0, attr_len=5, seed=4)
+        store = PartitionedStore(graph, HashPartitioner(4))
+        sampler = MultiHopSampler(store, seed=3, batched=True)
+        request = SampleRequest(roots=np.array([1, 2, 3]), fanouts=(4, 3))
+        result = sampler.sample(request)
+        assert result.layers[0].shape == (3,)
+        assert result.layers[1].shape == (3, 4)
+        assert result.layers[2].shape == (3, 12)
+        for hop in range(2):
+            parents = result.layers[hop].reshape(-1)
+            picks = result.layers[hop + 1].reshape(parents.size, -1)
+            for i, parent in enumerate(parents):
+                neighbors = graph.neighbors(int(parent))
+                if neighbors.size == 0:
+                    assert (picks[i] == parent).all()
+                else:
+                    assert np.isin(picks[i], neighbors).all()
+
+    def test_attributes_match_node_attr(self):
+        graph = star_graph(6)
+        store = PartitionedStore(graph, HashPartitioner(2))
+        sampler = MultiHopSampler(store, seed=0, batched=True)
+        request = SampleRequest(
+            roots=np.array([0, 0]), fanouts=(3,), with_attributes=True
+        )
+        result = sampler.sample(request)
+        for layer, attrs in zip(result.layers, result.attributes):
+            expected = graph.node_attr[layer.reshape(-1)]
+            assert np.array_equal(attrs.reshape(-1, graph.attr_len), expected)
+
+    def test_custom_selector_falls_back_per_position(self):
+        def take_first(neighbors, fanout, rng):
+            return np.repeat(neighbors[0], fanout)
+
+        graph = power_law_graph(300, 5.0, attr_len=3, seed=5)
+        store = PartitionedStore(graph, HashPartitioner(2))
+        sampler = MultiHopSampler(store, seed=0, selector=take_first, batched=True)
+        result = sampler.sample(SampleRequest(roots=np.array([7, 9]), fanouts=(4,)))
+        for i, root in enumerate((7, 9)):
+            neighbors = graph.neighbors(root)
+            expected = neighbors[0] if neighbors.size else root
+            assert (result.layers[1][i] == expected).all()
+
+    def test_zero_degree_roots_self_loop(self):
+        graph = star_graph(5)  # leaves 1..5 are isolated
+        store = PartitionedStore(graph, HashPartitioner(2))
+        sampler = MultiHopSampler(store, seed=0, batched=True)
+        result = sampler.sample(
+            SampleRequest(roots=np.array([2, 4]), fanouts=(3,))
+        )
+        assert (result.layers[1] == np.array([[2], [4]])).all()
+
+
+class TestStatisticalEquivalence:
+    @pytest.mark.parametrize("selector_name", ["uniform", "streaming"])
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_uniform_marginals(self, selector_name, batched):
+        # Degree divisible by fanout: both selectors have an exactly
+        # uniform per-neighbor marginal, so one chi-squared test covers
+        # both. 200 repetitions x fanout 4 over 12 neighbors.
+        degree, fanout, repeats = 12, 4, 200
+        graph = star_graph(degree)
+        store = PartitionedStore(graph, HashPartitioner(2))
+        sampler = MultiHopSampler(
+            store,
+            seed=11,
+            selector=SELECTORS[selector_name],
+            batched=batched,
+        )
+        request = SampleRequest(
+            roots=np.zeros(repeats, dtype=np.int64), fanouts=(fanout,)
+        )
+        picks = sampler.sample(request).layers[1].reshape(-1)
+        observed = np.bincount(picks, minlength=degree + 1)[1:]
+        expected = repeats * fanout / degree
+        chi2 = float(((observed - expected) ** 2 / expected).sum())
+        assert chi2 < chi2_critical(degree - 1)
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_weighted_marginals(self, batched):
+        degree, fanout, repeats = 4, 5, 300
+        base = star_graph(degree)
+        weights = np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32)
+        graph = CSRGraph(
+            indptr=base.indptr,
+            indices=base.indices,
+            node_attr=base.node_attr,
+            edge_attr=weights,
+        )
+        store = PartitionedStore(graph, HashPartitioner(2))
+        sampler = MultiHopSampler(
+            store, seed=13, selector=SELECTORS["weighted"], batched=batched
+        )
+        request = SampleRequest(
+            roots=np.zeros(repeats, dtype=np.int64), fanouts=(fanout,)
+        )
+        picks = sampler.sample(request).layers[1].reshape(-1)
+        observed = np.bincount(picks, minlength=degree + 1)[1:]
+        expected = repeats * fanout * weights / weights.sum()
+        chi2 = float(((observed - expected) ** 2 / expected).sum())
+        assert chi2 < chi2_critical(degree - 1)
+
+
+def make_fault_run(batched, cache_nodes=0, graph=None, kill=True):
+    graph = graph if graph is not None else chain_graph(10)
+    partitioner = RangePartitioner(2, graph.num_nodes)
+    placement = ReplicaPlacement(num_partitions=2, replication_factor=1)
+    injector = FaultInjector()
+    # hedge=False + jitter_sigma=0 keeps the reliable path order-independent
+    # so both sampler paths see identical per-read outcomes.
+    path = ReliableReadPath(
+        placement, RetryPolicy(hedge=False), injector, seed=0, jitter_sigma=0.0
+    )
+    if kill:
+        injector.kill_replica(1, 0)
+    store = PartitionedStore(graph, partitioner, reliability=path)
+    cache = HotNodeCache(cache_nodes) if cache_nodes else None
+    sampler = MultiHopSampler(
+        store,
+        seed=5,
+        cache=cache,
+        worker_partition=0,
+        degraded_ok=True,
+        batched=batched,
+    )
+    return sampler, store, cache, injector
+
+
+class TestDegradedParity:
+    @pytest.mark.parametrize("cache_nodes", [0, 100])
+    def test_degraded_run_matches_reference(self, cache_nodes):
+        request = SampleRequest(
+            roots=np.array([0, 3, 7, 7, 8]), fanouts=(2, 2), with_attributes=True
+        )
+        ref_sampler, ref_store, ref_cache, _ = make_fault_run(False, cache_nodes)
+        ref_result = ref_sampler.sample(request)
+        bat_sampler, bat_store, bat_cache, _ = make_fault_run(True, cache_nodes)
+        bat_result = bat_sampler.sample(request)
+        # The chain graph pins the layers, so the two live runs are
+        # directly comparable, down to every fault counter.
+        for ref_layer, bat_layer in zip(ref_result.layers, bat_result.layers):
+            assert np.array_equal(ref_layer, bat_layer)
+        for ref_attr, bat_attr in zip(ref_result.attributes, bat_result.attributes):
+            assert np.array_equal(ref_attr, bat_attr)
+        assert ref_store.summary == bat_store.summary
+        assert ref_sampler.degraded_fallbacks == bat_sampler.degraded_fallbacks
+        ref_stats, bat_stats = ref_store.fault_stats, bat_store.fault_stats
+        for field in ("reads", "attempts", "retries", "timeouts", "failed_reads"):
+            assert getattr(ref_stats, field) == getattr(bat_stats, field)
+        if cache_nodes:
+            assert cache_stats(ref_cache) == cache_stats(bat_cache)
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_degraded_reads_degrade_not_raise(self, batched):
+        sampler, _store, _cache, _ = make_fault_run(batched)
+        request = SampleRequest(
+            roots=np.array([7, 8]), fanouts=(2,), with_attributes=True
+        )
+        result = sampler.sample(request)
+        assert sampler.degraded_fallbacks > 0
+        # Dead-shard roots degrade to self-loops and zero rows.
+        assert (result.layers[1] == request.roots[:, None]).all()
+        assert (result.attributes[1] == 0).all()
+
+
+class TestCachePoisoningRegression:
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_recovered_shard_serves_real_attributes(self, batched):
+        """Kill shard -> sample -> restore -> real attributes again.
+
+        Degraded zero rows must not be cached: before the fix the first
+        degraded run poisoned HotNodeCache and kept serving zeros after
+        the shard came back.
+        """
+        sampler, _store, cache, injector = make_fault_run(batched, cache_nodes=100)
+        graph = sampler.store.graph
+        request = SampleRequest(
+            roots=np.array([7, 8]), fanouts=(1,), with_attributes=True
+        )
+        degraded = sampler.sample(request)
+        assert (degraded.attributes[0] == 0).all()  # shard down: zero rows
+        injector.restore_replica(1, 0)
+        recovered = sampler.sample(request)
+        expected = graph.node_attr[request.roots]
+        assert np.array_equal(recovered.attributes[0], expected)
+        assert (recovered.attributes[0] != 0).any()
+        # And the cache now holds the real rows, not zeros.
+        for root in request.roots:
+            row = cache.get_attributes(int(root))
+            assert row is not None and (row != 0).any()
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_recovered_shard_serves_real_neighbors(self, batched):
+        sampler, _store, cache, injector = make_fault_run(batched, cache_nodes=100)
+        request = SampleRequest(roots=np.array([7]), fanouts=(2,))
+        degraded = sampler.sample(request)
+        assert (degraded.layers[1] == 7).all()  # self-loop fallback
+        injector.restore_replica(1, 0)
+        recovered = sampler.sample(request)
+        assert (recovered.layers[1] == 8).all()  # chain: 7 -> 8
+        assert cache.get_neighbors(7) is not None
+
+
+class TestNegativeSample:
+    def _sampler(self, batched=False, num_nodes=400, avg_degree=6.0):
+        graph = power_law_graph(num_nodes, avg_degree, attr_len=2, seed=8)
+        store = PartitionedStore(graph, HashPartitioner(2))
+        return MultiHopSampler(store, seed=2, batched=batched)
+
+    def test_rejects_neighbors_and_source(self):
+        sampler = self._sampler()
+        pairs = np.array([[3, 4], [10, 11], [50, 51]])
+        out = sampler.negative_sample(NegativeSampleRequest(pairs=pairs, rate=20))
+        assert out.shape == (3, 20)
+        graph = sampler.store.graph
+        for row, (src, _dst) in enumerate(pairs):
+            forbidden = set(graph.neighbors(int(src)).tolist()) | {int(src)}
+            assert not (set(out[row].tolist()) & forbidden)
+
+    def test_draws_in_range(self):
+        sampler = self._sampler()
+        pairs = np.array([[1, 2]])
+        out = sampler.negative_sample(NegativeSampleRequest(pairs=pairs, rate=64))
+        assert ((0 <= out) & (out < sampler.store.graph.num_nodes)).all()
+
+    def test_high_degree_source_terminates(self):
+        # A source adjacent to most of the graph: the old draw-by-draw
+        # loop degenerated here; the block sampler must still fill.
+        num_nodes = 50
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        indptr[1:] = num_nodes - 2
+        indices = np.arange(2, num_nodes, dtype=np.int64)
+        graph = CSRGraph(indptr=indptr, indices=indices)
+        store = PartitionedStore(graph, HashPartitioner(2))
+        sampler = MultiHopSampler(store, seed=3)
+        out = sampler.negative_sample(
+            NegativeSampleRequest(pairs=np.array([[0, 1]]), rate=32)
+        )
+        # Only node 1 and node 0 itself... node 0 forbids {0, 2..49};
+        # the sole legal negative is 1.
+        assert (out == 1).all()
+
+    def test_all_forbidden_escape(self):
+        # Source adjacent to every node (including itself): the
+        # historical escape accepts arbitrary draws instead of looping.
+        num_nodes = 8
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        indptr[1:] = num_nodes
+        indices = np.arange(num_nodes, dtype=np.int64)
+        graph = CSRGraph(indptr=indptr, indices=indices)
+        store = PartitionedStore(graph, HashPartitioner(2))
+        sampler = MultiHopSampler(store, seed=4)
+        out = sampler.negative_sample(
+            NegativeSampleRequest(pairs=np.array([[0, 1]]), rate=16)
+        )
+        assert out.shape == (1, 16)
+        assert ((0 <= out) & (out < num_nodes)).all()

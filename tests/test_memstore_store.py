@@ -97,3 +97,58 @@ class TestPartitionSizes:
         store = PartitionedStore(graph, HashPartitioner(4))
         sizes = store.partition_sizes()
         assert sizes.min() > 0.8 * sizes.mean()
+
+
+class TestVectorizedBatch:
+    def test_batch_neighbors_matches_per_node_accounting(self, store):
+        nodes = [0, 1, 7, 9]
+        batch = store.get_neighbors_batch(nodes, from_partition=0)
+        reference = PartitionedStore(store.graph, store.partitioner)
+        rows = [reference.get_neighbors(n, from_partition=0) for n in nodes]
+        assert store.summary == reference.summary
+        for got, want in zip(batch, rows):
+            assert np.array_equal(got, want)
+        assert batch.served.all()
+        assert batch.fallbacks == 0
+
+    def test_batch_neighbors_counts_multiplicity(self, store):
+        counts = np.array([3, 1])
+        store.get_neighbors_batch([0, 9], from_partition=0, counts=counts)
+        reference = PartitionedStore(store.graph, store.partitioner)
+        for _ in range(3):
+            reference.get_neighbors(0, from_partition=0)
+        reference.get_neighbors(9, from_partition=0)
+        assert store.summary == reference.summary
+
+    def test_batch_attributes_matches_per_node_accounting(self, store):
+        nodes = np.array([0, 6, 7])
+        batch = store.get_attributes_batch(nodes, from_partition=0)
+        reference = PartitionedStore(store.graph, store.partitioner)
+        rows = reference.get_attributes(nodes, from_partition=0)
+        assert store.summary == reference.summary
+        assert np.array_equal(batch.rows, rows)
+        assert len(batch) == 3
+
+    def test_attributes_dedup_same_totals_and_rows(self, store):
+        nodes = np.array([2, 5, 2, 2, 5])
+        rows = store.get_attributes(nodes, from_partition=0, dedup=True)
+        reference = PartitionedStore(store.graph, store.partitioner)
+        expected = reference.get_attributes(nodes, from_partition=0)
+        assert store.summary == reference.summary
+        assert np.array_equal(rows, expected)
+
+    def test_neighbor_batch_supports_indexing(self, store):
+        batch = store.get_neighbors_batch([0, 1])
+        assert len(batch) == 2
+        assert batch[1].tolist() == [4]
+        assert [b.tolist() for b in batch] == [batch[0].tolist(), batch[1].tolist()]
+
+    def test_batch_trace_totals_match(self, store):
+        store.tracing = True
+        store.get_neighbors_batch([0, 1, 9], from_partition=0, counts=np.array([2, 1, 1]))
+        reference = PartitionedStore(store.graph, store.partitioner)
+        reference.tracing = True
+        for node in (0, 0, 1, 9):
+            reference.get_neighbors(node, from_partition=0)
+        assert sorted((r.kind.value, r.nbytes, r.local) for r in store.trace) == \
+            sorted((r.kind.value, r.nbytes, r.local) for r in reference.trace)

@@ -106,3 +106,24 @@ class TestHardwareBackend:
             HardwareBackend(engine, concurrency=0)
         with pytest.raises(ConfigurationError):
             HardwareBackend(engine, dispatch_overhead_s=0)
+
+
+class TestBatchedSoftwareBackend:
+    def test_batched_sampler_cuts_per_key_cost(self, graph):
+        store = PartitionedStore(graph, HashPartitioner(2))
+        batched = MultiHopSampler(store, seed=0, batched=True)
+        roots = np.arange(16, dtype=np.int64)
+        slow = SoftwareBackend(
+            MultiHopSampler(store, seed=0), functional=False, batched_speedup=5.0
+        )
+        fast = SoftwareBackend(batched, functional=False, batched_speedup=5.0)
+        slow_s = slow.execute(roots, (4, 4)).service_s
+        fast_s = fast.execute(roots, (4, 4)).service_s
+        assert fast_s < slow_s
+        keys = 16 * nodes_per_root((4, 4))
+        expected = fast.base_overhead_s + keys * (fast.per_key_s / 5.0) / fast.parallelism
+        assert fast_s == pytest.approx(expected)
+
+    def test_invalid_speedup_rejected(self, sampler):
+        with pytest.raises(ConfigurationError):
+            SoftwareBackend(sampler, batched_speedup=0.5)
