@@ -1,0 +1,40 @@
+"""Static analysis enforcing the simulator's correctness contracts.
+
+The reproduction's headline results — replay-equivalent batched
+sampling, fault accounting, SLO latency distributions — all rest on
+unwritten invariants: randomness flows through injected seeded
+generators, no simulator code reads the host clock, unit conversions go
+through :mod:`repro.units`, and accounting counters are mutated only by
+their recording helpers. This package enforces those invariants
+mechanically with an AST-based rule engine, per-line suppressions
+(``# repro: allow[rule-id] reason``), and a committed baseline for
+grandfathered findings. See ``repro lint --list-rules``.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry, BaselineResult
+from repro.analysis.engine import (
+    AnalysisEngine,
+    AnalysisResult,
+    FileResult,
+    analyze_source,
+    derive_module_path,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES, Rule, all_rules, get_rule, register
+
+__all__ = [
+    "AnalysisEngine",
+    "AnalysisResult",
+    "Baseline",
+    "BaselineEntry",
+    "BaselineResult",
+    "FileResult",
+    "Finding",
+    "RULES",
+    "Rule",
+    "all_rules",
+    "analyze_source",
+    "derive_module_path",
+    "get_rule",
+    "register",
+]

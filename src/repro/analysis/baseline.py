@@ -1,0 +1,158 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the linter land with the tree not yet clean — every
+pre-existing finding is recorded (reviewed, committed) and only *new*
+findings fail the build. Entries key on the finding fingerprint (rule +
+module path + offending line text), so unrelated edits above a
+grandfathered line do not churn the baseline; entries carry a count so
+two identical lines in one file are tracked as two findings.
+
+A baseline entry whose finding has disappeared is *stale*: it is
+reported and fails the run until ``repro lint --update-baseline``
+removes it, so the baseline can only shrink silently, never grow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding (possibly with multiplicity)."""
+
+    rule: str
+    path: str
+    snippet: str
+    message: str
+    count: int = 1
+
+    def fingerprint(self) -> str:
+        return Finding(
+            path=self.path,
+            line=0,
+            col=0,
+            rule=self.rule,
+            message=self.message,
+            snippet=self.snippet,
+        ).fingerprint()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "snippet": self.snippet,
+            "message": self.message,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BaselineEntry":
+        return cls(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            snippet=str(data.get("snippet", "")),
+            message=str(data.get("message", "")),
+            count=int(data.get("count", 1)),
+        )
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of matching current findings against the baseline."""
+
+    new: List[Finding]
+    baselined_count: int
+    stale: List[BaselineEntry]
+
+
+class Baseline:
+    """A loaded (or empty) baseline file."""
+
+    def __init__(self, entries: List[BaselineEntry]) -> None:
+        self.entries = entries
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls([])
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version in {path}: "
+                f"{data.get('version')!r} (expected {BASELINE_VERSION})"
+            )
+        entries = [
+            BaselineEntry.from_dict(entry) for entry in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.snippet)
+                )
+            ],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        counts: Dict[str, BaselineEntry] = {}
+        multiplicity: Dict[str, int] = {}
+        for finding in findings:
+            fp = finding.fingerprint()
+            multiplicity[fp] = multiplicity.get(fp, 0) + 1
+            counts[fp] = BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                snippet=finding.snippet,
+                message=finding.message,
+                count=multiplicity[fp],
+            )
+        return cls(list(counts.values()))
+
+    def apply(self, findings: List[Finding]) -> BaselineResult:
+        """Partition ``findings`` into new vs grandfathered; find stale."""
+        budgets: Dict[str, int] = {}
+        for entry in self.entries:
+            budgets[entry.fingerprint()] = (
+                budgets.get(entry.fingerprint(), 0) + entry.count
+            )
+        new: List[Finding] = []
+        baselined = 0
+        for finding in sorted(findings):
+            fp = finding.fingerprint()
+            if budgets.get(fp, 0) > 0:
+                budgets[fp] -= 1
+                baselined += 1
+            else:
+                new.append(finding)
+        stale: List[BaselineEntry] = []
+        for entry in self.entries:
+            remaining = budgets.get(entry.fingerprint(), 0)
+            if remaining > 0:
+                budgets[entry.fingerprint()] = 0
+                stale.append(
+                    BaselineEntry(
+                        rule=entry.rule,
+                        path=entry.path,
+                        snippet=entry.snippet,
+                        message=entry.message,
+                        count=remaining,
+                    )
+                )
+        return BaselineResult(new=new, baselined_count=baselined, stale=stale)

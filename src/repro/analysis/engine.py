@@ -1,0 +1,234 @@
+"""The analysis engine: file walker, parse cache, rule driver.
+
+One :class:`AnalysisEngine` run walks a tree (or explicit files),
+parses each ``*.py`` once, runs every registered rule against the
+shared AST, applies per-line suppressions, and returns structured
+findings. Results are cached per file content hash, so re-linting an
+unchanged tree (locally or in CI via a cached ``.repro-lint-cache.json``)
+skips parsing and rule execution entirely.
+
+Fixture files under ``repro/analysis/fixtures/`` are deliberate rule
+violations used by the tests and ``repro lint --explain``; the walker
+skips them.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import (
+    MODULE_MARKER_RE,
+    FileContext,
+    Rule,
+    all_rules,
+)
+from repro.analysis.suppress import apply_suppressions, parse_suppressions
+
+#: Bump when engine semantics change in a way that invalidates caches.
+ENGINE_VERSION = "1"
+
+#: Module-path prefix of deliberate-violation fixture files.
+FIXTURE_PREFIX = "repro/analysis/fixtures/"
+
+
+def derive_module_path(path: Union[str, Path]) -> str:
+    """Module path (``repro/axe/core.py``) from a filesystem path.
+
+    Anchors on the last ``repro`` directory component so the result is
+    the same whether the file is addressed as ``src/repro/axe/core.py``
+    or ``/abs/checkout/src/repro/axe/core.py``. Files outside a
+    ``repro`` tree keep their path relative to the scan root.
+    """
+    parts = Path(path).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return Path(path).name
+
+
+@dataclass
+class FileResult:
+    """Per-file analysis outcome."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    from_cache: bool = False
+
+
+@dataclass
+class AnalysisResult:
+    """Aggregate outcome of one engine run (pre-baseline)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    cache_hits: int = 0
+
+
+def analyze_source(
+    source: str,
+    *,
+    path: str = "<memory>",
+    module_path: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> FileResult:
+    """Analyze one source string (the unit the tests drive directly).
+
+    ``module_path`` defaults to ``path``; a ``# repro-module:`` marker
+    in the first three lines overrides both.
+    """
+    active_rules = list(rules) if rules is not None else all_rules()
+    lines = source.splitlines()
+    resolved_module = module_path if module_path is not None else path
+    for raw in lines[:3]:
+        match = MODULE_MARKER_RE.match(raw.strip())
+        if match:
+            resolved_module = match.group(1)
+            break
+    result = FileResult(path=resolved_module)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                path=resolved_module,
+                line=int(exc.lineno or 1),
+                col=int(exc.offset or 0) + 1,
+                rule="parse-error",
+                message=f"syntax error: {exc.msg}",
+                snippet=(exc.text or "").strip(),
+            )
+        )
+        return result
+    ctx = FileContext(
+        path=path, module_path=resolved_module, tree=tree, lines=lines
+    )
+    raw_findings: List[Finding] = []
+    for rule in active_rules:
+        raw_findings.extend(rule.check(ctx))
+    by_line, bad_suppressions = parse_suppressions(
+        resolved_module, source, [rule.rule_id for rule in active_rules]
+    )
+    kept, suppressed = apply_suppressions(raw_findings, by_line)
+    kept.extend(bad_suppressions)
+    result.findings = sorted(kept)
+    result.suppressed = sorted(suppressed)
+    return result
+
+
+class AnalysisEngine:
+    """Walks files, caches per-content results, aggregates findings."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        cache_path: Optional[Path] = None,
+    ) -> None:
+        self.rules: List[Rule] = (
+            list(rules) if rules is not None else all_rules()
+        )
+        self.cache_path = cache_path
+        self._cache: Dict[str, Dict[str, object]] = {}
+        self._cache_dirty = False
+        if cache_path is not None:
+            self._cache = self._load_cache(cache_path)
+
+    # ------------------------------------------------------------- walking
+    @staticmethod
+    def iter_python_files(root: Path) -> List[Path]:
+        """All lintable ``*.py`` files under ``root``, sorted."""
+        files: List[Path] = []
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            if derive_module_path(path).startswith(FIXTURE_PREFIX):
+                continue
+            files.append(path)
+        return files
+
+    def expand_paths(self, paths: Iterable[Path]) -> List[Path]:
+        expanded: List[Path] = []
+        for path in paths:
+            if path.is_dir():
+                expanded.extend(self.iter_python_files(path))
+            else:
+                expanded.append(path)
+        return expanded
+
+    # ------------------------------------------------------------- running
+    def run(self, paths: Sequence[Path]) -> AnalysisResult:
+        result = AnalysisResult()
+        for path in self.expand_paths(paths):
+            file_result = self.analyze_file(path)
+            result.files_scanned += 1
+            if file_result.from_cache:
+                result.cache_hits += 1
+            result.findings.extend(file_result.findings)
+            result.suppressed.extend(file_result.suppressed)
+        result.findings.sort()
+        result.suppressed.sort()
+        if self.cache_path is not None and self._cache_dirty:
+            self._save_cache(self.cache_path)
+        return result
+
+    def analyze_file(self, path: Path) -> FileResult:
+        data = path.read_bytes()
+        digest = hashlib.sha1(data).hexdigest()
+        module_path = derive_module_path(path)
+        cached = self._cache.get(module_path)
+        if cached is not None and cached.get("sha") == digest:
+            result = FileResult(path=module_path, from_cache=True)
+            result.findings = [
+                Finding.from_dict(d) for d in cached.get("findings", [])  # type: ignore[union-attr]
+            ]
+            result.suppressed = [
+                Finding.from_dict(d) for d in cached.get("suppressed", [])  # type: ignore[union-attr]
+            ]
+            return result
+        result = analyze_source(
+            data.decode("utf-8"),
+            path=str(path),
+            module_path=module_path,
+            rules=self.rules,
+        )
+        self._cache[module_path] = {
+            "sha": digest,
+            "findings": [f.to_dict() for f in result.findings],
+            "suppressed": [f.to_dict() for f in result.suppressed],
+        }
+        self._cache_dirty = True
+        return result
+
+    # ------------------------------------------------------------- caching
+    def _rules_signature(self) -> str:
+        key = ENGINE_VERSION + ";" + ",".join(
+            sorted(rule.rule_id for rule in self.rules)
+        )
+        return hashlib.sha1(key.encode("utf-8")).hexdigest()
+
+    def _load_cache(self, path: Path) -> Dict[str, Dict[str, object]]:
+        if not path.exists():
+            return {}
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if data.get("rules_sig") != self._rules_signature():
+            return {}
+        files = data.get("files")
+        return dict(files) if isinstance(files, dict) else {}
+
+    def _save_cache(self, path: Path) -> None:
+        payload = {
+            "version": 1,
+            "rules_sig": self._rules_signature(),
+            "files": self._cache,
+        }
+        path.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")

@@ -1,0 +1,9 @@
+"""Fixture: acct-mutation fires on counter writes outside the owner."""
+
+from typing import Any
+
+
+def tamper(summary: Any, stats: Any, cache: Any) -> None:
+    summary.structure_count += 1
+    stats.failed_reads = 0
+    cache.neighbor_hits += 2

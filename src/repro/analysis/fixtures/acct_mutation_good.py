@@ -1,0 +1,13 @@
+# repro-module: repro/memstore/store.py
+"""Fixture: the owning module's recording helper may mutate counters."""
+
+from typing import Any
+
+
+class _Recorder:
+    def __init__(self, summary: Any) -> None:
+        self._summary = summary
+
+    def _record(self, nbytes: int) -> None:
+        self._summary.structure_count += 1
+        self._summary.structure_bytes += nbytes

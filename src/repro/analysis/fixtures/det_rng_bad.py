@@ -1,0 +1,11 @@
+"""Fixture: det-rng fires on unseeded / module-global randomness."""
+
+import random
+
+import numpy as np
+
+
+def sample_roots(n: int) -> "np.ndarray":
+    rng = np.random.default_rng()
+    np.random.seed(7)
+    return rng.integers(0, int(random.random() * 10) + 1, size=n)

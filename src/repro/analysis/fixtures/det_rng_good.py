@@ -1,0 +1,11 @@
+"""Fixture: randomness is an injected, explicitly-seeded Generator."""
+
+import numpy as np
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def sample_roots(rng: np.random.Generator, n: int) -> "np.ndarray":
+    return rng.integers(0, 10, size=n)

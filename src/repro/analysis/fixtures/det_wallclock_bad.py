@@ -1,0 +1,8 @@
+"""Fixture: det-wallclock fires on host-clock imports and calls."""
+
+import time
+
+
+def elapsed_since_start() -> float:
+    start = time.perf_counter()
+    return time.time() - start

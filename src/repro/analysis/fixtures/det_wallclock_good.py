@@ -1,0 +1,9 @@
+"""Fixture: benchmark timing goes through the allowlisted helper."""
+
+from repro.bench import bench_timer
+
+
+def measure() -> float:
+    with bench_timer() as timer:
+        sum(range(1000))
+    return timer.elapsed_s

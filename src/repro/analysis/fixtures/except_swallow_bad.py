@@ -1,0 +1,19 @@
+# repro-module: repro/memstore/reads_fixture.py
+"""Fixture: except-swallow fires on bare except and silent handlers."""
+
+from typing import Any, Iterable
+
+
+def read_all(reads: Iterable[Any]) -> None:
+    for read in reads:
+        try:
+            read()
+        except:  # noqa: E722
+            pass
+
+
+def read_quietly(read: Any) -> None:
+    try:
+        read()
+    except ValueError:
+        pass

@@ -1,0 +1,19 @@
+# repro-module: repro/memstore/reads_fixture.py
+"""Fixture: fault-path handlers re-raise or record to stats."""
+
+from typing import Any, Iterable
+
+
+def read_all(reads: Iterable[Any], stats: Any) -> None:
+    for read in reads:
+        try:
+            read()
+        except ValueError:
+            stats.record_failure()
+
+
+def read_or_raise(read: Any) -> None:
+    try:
+        read()
+    except ValueError:
+        raise

@@ -1,0 +1,14 @@
+"""Fixture: mutable-default fires on shared mutable default values."""
+
+from typing import Any, Dict, List
+
+
+def collect(items: List[int], seen: List[int] = []) -> List[int]:
+    seen.extend(items)
+    return seen
+
+
+def index_rows(rows: List[Any], table: Dict[str, Any] = {}) -> Dict[str, Any]:
+    for row in rows:
+        table[str(row)] = row
+    return table

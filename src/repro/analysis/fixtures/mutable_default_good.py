@@ -1,0 +1,18 @@
+"""Fixture: default to None, construct inside the function."""
+
+from typing import Any, Dict, List, Optional
+
+
+def collect(items: List[int], seen: Optional[List[int]] = None) -> List[int]:
+    out: List[int] = [] if seen is None else seen
+    out.extend(items)
+    return out
+
+
+def index_rows(
+    rows: List[Any], table: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    result: Dict[str, Any] = {} if table is None else table
+    for row in rows:
+        result[str(row)] = row
+    return result

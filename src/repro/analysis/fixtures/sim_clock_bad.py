@@ -1,0 +1,9 @@
+# repro-module: repro/serving/stamp_fixture.py
+"""Fixture: sim-clock fires when an event module imports host clocks."""
+
+import time
+from typing import Any
+
+
+def stamp(event: Any) -> None:
+    event.timestamp = time.time()

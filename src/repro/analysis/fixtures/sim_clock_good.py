@@ -1,0 +1,8 @@
+# repro-module: repro/serving/stamp_fixture.py
+"""Fixture: event timestamps come from the simulator clock."""
+
+from typing import Any
+
+
+def stamp(event: Any, sim: Any) -> None:
+    event.timestamp = sim.now

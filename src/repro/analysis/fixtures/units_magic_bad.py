@@ -1,0 +1,13 @@
+"""Fixture: units-magic fires on inline conversion arithmetic."""
+
+
+def link_bytes_per_s(gbps: float) -> float:
+    return gbps * 1e9 / 8.0
+
+
+def footprint_bytes(mib: int) -> int:
+    return mib * 1024 ** 2
+
+
+def show_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f} ms"

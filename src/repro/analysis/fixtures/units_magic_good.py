@@ -1,0 +1,15 @@
+"""Fixture: conversions go through repro.units names and helpers."""
+
+from repro.units import MB, MS_PER_S, gbps_to_bytes_per_s
+
+
+def link_bytes_per_s(gbps: float) -> float:
+    return gbps_to_bytes_per_s(gbps)
+
+
+def footprint_bytes(mib: int) -> int:
+    return mib * MB
+
+
+def show_ms(seconds: float) -> str:
+    return f"{seconds * MS_PER_S:.2f} ms"

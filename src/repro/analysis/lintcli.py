@@ -1,0 +1,212 @@
+"""Implementation of the ``repro lint`` CLI subcommand.
+
+Exit-code semantics:
+
+* ``0`` — no unsuppressed, unbaselined findings and no stale baseline
+  entries (also after a successful ``--update-baseline`` or for the
+  informational modes ``--explain`` / ``--list-rules``).
+* ``1`` — new findings, or stale baseline entries that need
+  ``--update-baseline``.
+
+Stale entries fail the run on purpose: the baseline is a reviewed
+artifact, and letting it rot silently would hide how much debt remains.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import repro
+from repro.analysis.baseline import Baseline, BaselineResult
+from repro.analysis.engine import AnalysisEngine, AnalysisResult
+from repro.analysis.rules import all_rules, get_rule
+
+#: File name of the committed baseline, looked up at the repo root.
+BASELINE_FILENAME = "lint-baseline.json"
+
+
+def default_scan_root() -> Path:
+    """The installed ``repro`` package directory."""
+    return Path(repro.__file__).resolve().parent
+
+
+def default_baseline_path(scan_root: Path) -> Path:
+    """Locate the committed baseline for ``scan_root``.
+
+    Prefers ``lint-baseline.json`` at the repo root (the directory
+    holding ``pyproject.toml`` two levels above ``src/repro``), falling
+    back to the current working directory.
+    """
+    repo_root = scan_root.parent.parent
+    if (repo_root / "pyproject.toml").exists():
+        return repo_root / BASELINE_FILENAME
+    return Path.cwd() / BASELINE_FILENAME
+
+
+def fixture_path(rule_id: str, kind: str) -> Path:
+    """Path of a rule's ``bad``/``good`` fixture file."""
+    name = f"{rule_id.replace('-', '_')}_{kind}.py"
+    return Path(__file__).resolve().parent / "fixtures" / name
+
+
+def explain_rule(rule_id: str, out: Any = None) -> int:
+    """Print a rule's documentation plus its bad/good fixture pair."""
+    out = out if out is not None else sys.stdout
+    rule = get_rule(rule_id)
+    if rule is None:
+        known = ", ".join(sorted(r.rule_id for r in all_rules()))
+        print(f"unknown rule id '{rule_id}' (known: {known})", file=out)
+        return 1
+    print(f"{rule.rule_id} — {rule.title}", file=out)
+    print(file=out)
+    print(rule.rationale, file=out)
+    for kind, label in (("bad", "fires on"), ("good", "clean")):
+        path = fixture_path(rule_id, kind)
+        if not path.exists():
+            continue
+        print(file=out)
+        print(f"--- {label} ({path.name}) ---", file=out)
+        print(path.read_text(encoding="utf-8").rstrip(), file=out)
+    return 0
+
+
+def list_rules(out: Any = None) -> int:
+    out = out if out is not None else sys.stdout
+    for rule in all_rules():
+        print(f"{rule.rule_id:<18} {rule.title}", file=out)
+    return 0
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` argument set to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=f"baseline file (default: {BASELINE_FILENAME} at the repo root)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="persist per-file results here keyed by content hash",
+    )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE_ID",
+        help="print a rule's doc plus its bad/good fixture pair",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace, out: Any = None) -> int:
+    """Execute ``repro lint`` for parsed ``args``; returns exit code."""
+    out = out if out is not None else sys.stdout
+    if args.explain is not None:
+        return explain_rule(args.explain, out=out)
+    if args.list_rules:
+        return list_rules(out=out)
+
+    scan_paths = (
+        [Path(p) for p in args.paths] if args.paths else [default_scan_root()]
+    )
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline is not None
+        else default_baseline_path(default_scan_root())
+    )
+    engine = AnalysisEngine(
+        cache_path=Path(args.cache) if args.cache else None
+    )
+    result = engine.run(scan_paths)
+
+    if args.update_baseline:
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(
+            f"baseline updated: {len(result.findings)} finding(s) recorded "
+            f"in {baseline_path}",
+            file=out,
+        )
+        return 0
+
+    baseline = Baseline.load(baseline_path)
+    applied = baseline.apply(result.findings)
+    exit_code = 1 if (applied.new or applied.stale) else 0
+
+    if args.format == "json":
+        print(json.dumps(_json_report(result, applied, exit_code)), file=out)
+    else:
+        _text_report(result, applied, exit_code, out)
+    return exit_code
+
+
+def _json_report(
+    result: AnalysisResult, applied: BaselineResult, exit_code: int
+) -> Dict[str, Any]:
+    return {
+        "files_scanned": result.files_scanned,
+        "cache_hits": result.cache_hits,
+        "findings": [f.to_dict() for f in applied.new],
+        "baselined": applied.baselined_count,
+        "suppressed": len(result.suppressed),
+        "stale_baseline": [e.to_dict() for e in applied.stale],
+        "exit_code": exit_code,
+    }
+
+
+def _text_report(
+    result: AnalysisResult,
+    applied: BaselineResult,
+    exit_code: int,
+    out: Any,
+) -> None:
+    for finding in applied.new:
+        print(finding.format(), file=out)
+        if finding.snippet:
+            print(f"    {finding.line} | {finding.snippet}", file=out)
+    for entry in applied.stale:
+        print(
+            f"stale baseline entry: [{entry.rule}] {entry.path} "
+            f"({entry.count}x) — fixed? run --update-baseline",
+            file=out,
+        )
+    summary = (
+        f"{len(applied.new)} finding(s), {applied.baselined_count} "
+        f"baselined, {len(result.suppressed)} suppressed, "
+        f"{len(applied.stale)} stale baseline entr(y/ies) across "
+        f"{result.files_scanned} file(s)"
+    )
+    if result.cache_hits:
+        summary += f" [{result.cache_hits} cached]"
+    print(summary, file=out)
+    if exit_code == 0:
+        print("lint: clean", file=out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis.lintcli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant linter for the repro package",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Accounting discipline: counters mutate only in their owning module.
+
+The access-accounting counters (``AccessSummary``), the hot-node-cache
+hit/miss counters, and the fault/retry counters are the measured
+quantities behind the Figure 2 access mix, the cache calibration, and
+the fault-tolerance reporting. They are only meaningful if every
+mutation goes through the owning module's recording helpers — a stray
+``summary.remote_count += 1`` elsewhere silently skews a published
+number.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import FileContext, Rule, register
+
+#: Counter attribute name -> modules allowed to mutate it.
+COUNTER_OWNERS: Dict[str, FrozenSet[str]] = {
+    # AccessSummary (repro/memstore/store.py): _record/_record_batch only.
+    "structure_count": frozenset({"repro/memstore/store.py"}),
+    "structure_bytes": frozenset({"repro/memstore/store.py"}),
+    "attribute_count": frozenset({"repro/memstore/store.py"}),
+    "attribute_bytes": frozenset({"repro/memstore/store.py"}),
+    "remote_count": frozenset({"repro/memstore/store.py"}),
+    "remote_bytes": frozenset({"repro/memstore/store.py"}),
+    # FaultStats (repro/memstore/faults.py); retry counters are shared
+    # with the closed-loop service model's own _RetryCounters.
+    "reads": frozenset({"repro/memstore/faults.py"}),
+    "attempts": frozenset({"repro/memstore/faults.py"}),
+    "retries": frozenset(
+        {"repro/memstore/faults.py", "repro/framework/service.py"}
+    ),
+    "timeouts": frozenset(
+        {"repro/memstore/faults.py", "repro/framework/service.py"}
+    ),
+    "hedges": frozenset(
+        {"repro/memstore/faults.py", "repro/framework/service.py"}
+    ),
+    "hedge_wins": frozenset(
+        {"repro/memstore/faults.py", "repro/framework/service.py"}
+    ),
+    "failovers": frozenset({"repro/memstore/faults.py"}),
+    "failed_reads": frozenset({"repro/memstore/faults.py"}),
+    # HotNodeCache hit/miss counters (repro/framework/cache.py).
+    "neighbor_hits": frozenset({"repro/framework/cache.py"}),
+    "neighbor_misses": frozenset({"repro/framework/cache.py"}),
+    "attribute_hits": frozenset({"repro/framework/cache.py"}),
+    "attribute_misses": frozenset({"repro/framework/cache.py"}),
+    # CoalescingCache stats (repro/axe/cache.py).
+    "line_hits": frozenset({"repro/axe/cache.py"}),
+    "line_misses": frozenset({"repro/axe/cache.py"}),
+    "element_accesses": frozenset({"repro/axe/cache.py"}),
+}
+
+
+class AccountingMutationRule(Rule):
+    rule_id = "acct-mutation"
+    title = "accounting counters mutate only via their recording helpers"
+    rationale = (
+        "AccessSummary, cache hit/miss, and fault counters back the "
+        "paper-facing characterization numbers and the replay-equivalence "
+        "checks. Mutations outside the owning module bypass the recording "
+        "helpers' occurrence accounting and corrupt those measurements."
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            elif isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                owners = COUNTER_OWNERS.get(target.attr)
+                if owners is None or ctx.module_path in owners:
+                    continue
+                findings.append(
+                    ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"accounting counter '.{target.attr}' may only be "
+                        f"mutated in {' or '.join(sorted(owners))} (its "
+                        "recording helpers); call the helper instead",
+                    )
+                )
+        return findings
+
+
+register(AccountingMutationRule())

@@ -1,0 +1,74 @@
+"""Mutable default arguments.
+
+A ``def f(xs=[])`` default is evaluated once at function definition and
+shared across calls — state leaks between requests, which in a serving
+system means cross-tenant leakage and in a simulator means run-order-
+dependent results. Use ``None`` plus an explicit ``Optional`` type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import FileContext, Rule, register
+
+#: No-arg constructor calls that produce a fresh-but-shared mutable.
+MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _mutable_default(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.List):
+        return "[]"
+    if isinstance(node, ast.Dict):
+        return "{}"
+    if isinstance(node, ast.Set):
+        return "{...}"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in MUTABLE_CONSTRUCTORS
+        and not node.args
+        and not node.keywords
+    ):
+        return f"{node.func.id}()"
+    return None
+
+
+class MutableDefaultRule(Rule):
+    rule_id = "mutable-default"
+    title = "no mutable default arguments"
+    rationale = (
+        "A mutable default is evaluated once and shared by every call: "
+        "requests contaminate each other and results depend on call "
+        "order, which breaks both serving isolation and simulator "
+        "determinism. Default to None and construct inside the function."
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                rendered = _mutable_default(default)
+                if rendered is not None:
+                    findings.append(
+                        ctx.finding(
+                            self.rule_id,
+                            default,
+                            f"mutable default argument {rendered} is shared "
+                            "across calls; default to None and build it "
+                            "inside the function",
+                        )
+                    )
+        return findings
+
+
+register(MutableDefaultRule())

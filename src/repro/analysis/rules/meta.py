@@ -1,0 +1,36 @@
+"""Engine-emitted meta rules.
+
+These two rule ids never run an AST check themselves; the engine emits
+their findings while reading and pre-processing a file. They are
+registered so suppressions referencing them validate and ``--explain``
+can document them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import MetaRule, register
+
+
+class ParseErrorRule(MetaRule):
+    rule_id = "parse-error"
+    title = "file must parse under the supported Python grammar"
+    rationale = (
+        "A file that does not parse cannot be checked at all, so a "
+        "syntax error is itself a finding rather than a crash: the lint "
+        "run stays total over the tree."
+    )
+
+
+class SuppressFormatRule(MetaRule):
+    rule_id = "suppress-format"
+    title = "suppression comments must name a known rule and give a reason"
+    rationale = (
+        "'# repro: allow[rule-id] reason' is a reviewed, greppable "
+        "exemption. A suppression without a reason (or naming an unknown "
+        "rule id) is indistinguishable from a typo and would silently "
+        "disable enforcement."
+    )
+
+
+register(ParseErrorRule())
+register(SuppressFormatRule())

@@ -1,0 +1,118 @@
+"""Units discipline: no magic conversion constants outside repro.units.
+
+All internal quantities are SI base units (bytes, seconds, hertz), and
+every conversion at a human boundary is supposed to go through the
+named constants and helpers in :mod:`repro.units`. Inline ``* 1e9``,
+``/ 8.0``, ``* 1024`` arithmetic is where silent unit bugs live — the
+memory-access characterization this reproduction is built on is only
+as good as its unit plumbing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import FileContext, Rule, register
+
+#: The one module allowed to spell conversion constants literally.
+UNITS_MODULE = "repro/units.py"
+
+#: Decimal scale factors that should be KILO/MEGA/GIGA/MS/US/NS/MS_PER_S.
+MAGIC_FLOATS = (1e9, 1e-9, 1e6, 1e-6, 1e3, 1e-3)
+
+#: Binary scale factor that should be KB/MB/GB/TB.
+MAGIC_INT = 1024
+
+#: Bits-per-byte divisor that should be gbps_to_bytes_per_s or friends.
+BITS_PER_BYTE = 8.0
+
+
+def _magic_float(node: ast.AST) -> Optional[float]:
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        for magic in MAGIC_FLOATS:
+            if node.value == magic:
+                return magic
+    return None
+
+
+def _is_int_1024(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and type(node.value) is int
+        and node.value == MAGIC_INT
+    )
+
+
+class UnitsMagicRule(Rule):
+    rule_id = "units-magic"
+    title = "unit conversions go through repro.units, not magic literals"
+    rationale = (
+        "Inline conversion arithmetic (* 1e9, / 8.0, * 1024**n) is "
+        "unreviewable: nothing says whether 1e9 meant GIGA, nanoseconds, "
+        "or a coincidence. repro.units names every conversion once; "
+        "call sites stay greppable and dimension-checked by eye."
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if ctx.module_path == UNITS_MODULE:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if isinstance(node.op, (ast.Mult, ast.Div)):
+                for operand in (node.left, node.right):
+                    magic = _magic_float(operand)
+                    if magic is not None:
+                        findings.append(
+                            ctx.finding(
+                                self.rule_id,
+                                operand,
+                                f"magic conversion constant {magic:g}; use "
+                                "the named repro.units constant "
+                                "(KILO/MEGA/GIGA, MS/US/NS, MS_PER_S) or a "
+                                "conversion helper",
+                            )
+                        )
+            if isinstance(node.op, ast.Mult):
+                for operand in (node.left, node.right):
+                    if _is_int_1024(operand):
+                        findings.append(
+                            ctx.finding(
+                                self.rule_id,
+                                operand,
+                                "magic binary scale 1024; use repro.units "
+                                "KB/MB/GB/TB",
+                            )
+                        )
+            elif isinstance(node.op, ast.Pow) and _is_int_1024(node.left):
+                findings.append(
+                    ctx.finding(
+                        self.rule_id,
+                        node.left,
+                        "magic binary scale 1024**n; use repro.units "
+                        "KB/MB/GB/TB",
+                    )
+                )
+            elif isinstance(node.op, ast.Div):
+                right = node.right
+                if (
+                    isinstance(right, ast.Constant)
+                    and type(right.value) is float
+                    and right.value == BITS_PER_BYTE
+                ):
+                    findings.append(
+                        ctx.finding(
+                            self.rule_id,
+                            right,
+                            "magic bits-per-byte divisor 8.0; use "
+                            "repro.units.gbps_to_bytes_per_s or a named "
+                            "constant",
+                        )
+                    )
+        return findings
+
+
+register(UnitsMagicRule())

@@ -1,0 +1,158 @@
+"""Per-line suppression comments.
+
+Syntax::
+
+    some_code()  # repro: allow[rule-id] reason text
+
+    # repro: allow[rule-id,other-rule] reason text
+    some_code()
+
+An inline suppression covers its own line; a comment-only suppression
+line covers the next non-blank, non-comment line. The reason is
+mandatory and the rule ids must be registered — a malformed suppression
+does not suppress anything and instead yields a ``suppress-format``
+finding, so a typo cannot silently disable enforcement.
+
+Suppressions are recognized only in *actual comments* (via
+:mod:`tokenize`), never in string literals or docstrings that merely
+mention the syntax.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\](.*)$")
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int  # line the suppression was written on (1-based)
+    applies_to: int  # line whose findings it suppresses
+    rules: Tuple[str, ...]
+    reason: str
+    #: Rules from this suppression that actually matched a finding.
+    used_rules: Set[str] = field(default_factory=set)
+
+
+def _iter_comments(source: str) -> List[Tuple[int, int, str]]:
+    """All ``(line, col, text)`` comment tokens in ``source``."""
+    comments: List[Tuple[int, int, str]] = []
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                comments.append(
+                    (token.start[0], token.start[1], token.string)
+                )
+    except (tokenize.TokenError, SyntaxError):
+        # The engine only parses suppressions after a successful
+        # ast.parse, so this is unreachable for lintable files; stay
+        # total anyway and treat the file as suppression-free.
+        return []
+    return comments
+
+
+def _is_comment_only(line: str) -> bool:
+    return line.strip().startswith("#")
+
+
+def _next_code_line(lines: List[str], start: int) -> int:
+    """First 1-based line after ``start`` that holds code (or ``start``)."""
+    for offset in range(start + 1, len(lines) + 1):
+        text = lines[offset - 1].strip()
+        if text and not text.startswith("#"):
+            return offset
+    return start
+
+
+def parse_suppressions(
+    path: str, source: str, known_rules: Iterable[str]
+) -> Tuple[Dict[int, List[Suppression]], List[Finding]]:
+    """Extract suppressions and malformed-suppression findings.
+
+    Returns ``(by_line, findings)`` where ``by_line`` maps the covered
+    source line to its suppressions.
+    """
+    known = set(known_rules)
+    lines = source.splitlines()
+    by_line: Dict[int, List[Suppression]] = {}
+    findings: List[Finding] = []
+    for lineno, col, text in _iter_comments(source):
+        match = SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rule_ids = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        reason = match.group(2).strip()
+        snippet = lines[lineno - 1].strip() if lineno <= len(lines) else text
+
+        def _bad(message: str) -> Finding:
+            return Finding(
+                path=path,
+                line=lineno,
+                col=col + match.start() + 1,
+                rule="suppress-format",
+                message=message,
+                snippet=snippet,
+            )
+
+        if not rule_ids:
+            findings.append(_bad("suppression names no rule ids"))
+            continue
+        unknown = [rule for rule in rule_ids if rule not in known]
+        if unknown:
+            findings.append(
+                _bad(
+                    "suppression names unknown rule id(s): "
+                    + ", ".join(sorted(unknown))
+                )
+            )
+            continue
+        if not reason:
+            findings.append(
+                _bad(
+                    "suppression must give a reason: "
+                    "'# repro: allow[rule-id] why it is safe'"
+                )
+            )
+            continue
+        applies_to = (
+            _next_code_line(lines, lineno)
+            if lineno <= len(lines) and _is_comment_only(lines[lineno - 1])
+            else lineno
+        )
+        suppression = Suppression(
+            line=lineno, applies_to=applies_to, rules=rule_ids, reason=reason
+        )
+        by_line.setdefault(applies_to, []).append(suppression)
+    return by_line, findings
+
+
+def apply_suppressions(
+    findings: List[Finding],
+    by_line: Dict[int, List[Suppression]],
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split ``findings`` into (kept, suppressed)."""
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        matched = False
+        for suppression in by_line.get(finding.line, ()):
+            if finding.rule in suppression.rules:
+                suppression.used_rules.add(finding.rule)
+                matched = True
+        if matched:
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    return kept, suppressed

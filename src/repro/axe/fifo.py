@@ -180,6 +180,8 @@ def get_neighbor_pipeline(
     """
     if avg_degree <= 0:
         raise ConfigurationError(f"avg_degree must be positive, got {avg_degree}")
+    # repro: allow[units-magic] 8 IDs per burst-line is the pipeline's
+    # initiation-interval heuristic, not a bits/bytes conversion
     id_stream_ii = max(1, int(round(avg_degree / 8.0)))
     stages = [
         PipelineStage("cmd_decode", initiation_interval=1, latency=1),

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.axe.resources import ResourceEstimate
+from repro.units import MEGA
 
 
 @dataclass(frozen=True)
@@ -101,7 +102,7 @@ class GemmEngine:
             clbs=macs * 0.01,
             luts=macs * 0.06,
             regs=macs * 0.12,
-            bram_mb=macs * 64 * 4 / 1e6,  # tile buffers
+            bram_mb=macs * 64 * 4 / MEGA,  # tile buffers
             uram_mb=0.0,
             dsp=macs * 2.0,
         )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.units import KILO, MEGA
 
 
 @dataclass(frozen=True)
@@ -73,9 +74,11 @@ def sampler_resources(kind: str, max_candidates: int = 4096) -> ResourceEstimate
             f"max_candidates must be positive, got {max_candidates}"
         )
     if kind in ("reservoir", "uniform", "conventional"):
-        luts = 3.0 * max_candidates / 1000.0 + 0.012
+        luts = 3.0 * max_candidates / KILO + 0.012
         regs = 3.0
-        return ResourceEstimate(luts=luts, regs=regs, bram_mb=max_candidates * 64 / 1e6)
+        return ResourceEstimate(
+            luts=luts, regs=regs, bram_mb=max_candidates * 64 / MEGA
+        )
     if kind == "streaming":
         conventional = sampler_resources("reservoir", max_candidates)
         return ResourceEstimate(

@@ -203,10 +203,15 @@ class MultiCardSystem:
             sub_shards = [shard[i :: len(cores)] for i in range(len(cores))]
             live = [core for core, sub in zip(cores, sub_shards) if sub.size]
 
-            def on_core_done(counter=[len(live)]):
-                counter[0] -= 1
-                if counter[0] == 0:
-                    done[0] += 1
+            def make_on_core_done(remaining):
+                def on_core_done():
+                    remaining[0] -= 1
+                    if remaining[0] == 0:
+                        done[0] += 1
+
+                return on_core_done
+
+            on_core_done = make_on_core_done([len(live)])
 
             for core, sub in zip(cores, sub_shards):
                 if sub.size:

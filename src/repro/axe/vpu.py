@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.axe.resources import ResourceEstimate
+from repro.units import MEGA
 
 _REDUCTIONS = {
     "sum": np.add.reduce,
@@ -105,7 +106,7 @@ class VectorUnit:
             clbs=lanes * 0.15,
             luts=lanes * 0.9,
             regs=lanes * 1.6,
-            bram_mb=lanes * 8 * 4 / 1e6,
+            bram_mb=lanes * 8 * 4 / MEGA,
             uram_mb=0.0,
             dsp=lanes * 5.0,
         )

@@ -14,6 +14,7 @@ Usage::
     python -m repro bench-sampler      # batched vs reference sampler speedup
     python -m repro serve              # online SLO-aware serving gateway
     python -m repro faults             # fault-tolerant remote-memory path
+    python -m repro lint               # AST-based invariant linter
 """
 
 from __future__ import annotations
@@ -22,7 +23,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.units import format_bytes
+from repro.analysis.lintcli import add_lint_arguments
+from repro.units import MS_PER_S, format_bytes
 
 
 def _cmd_footprint(_args) -> None:
@@ -68,7 +70,7 @@ def _cmd_e2e(_args) -> None:
     for phase, training in (("training", True), ("inference", False)):
         breakdown = model.breakdown(training)
         print(f"{phase:<10} sampling {100 * breakdown.sampling_fraction:5.1f}%"
-              f"  total {1e3 * breakdown.total_s:6.2f} ms/batch")
+              f"  total {MS_PER_S * breakdown.total_s:6.2f} ms/batch")
     print(f"storage ratio: {model.storage_ratio():.1e}")
 
 
@@ -148,8 +150,8 @@ def _cmd_service(_args) -> None:
     quiet = run_service(ServiceConfig(num_workers=1, batches_per_worker=6))
     loaded = run_service(ServiceConfig(num_workers=32, batches_per_worker=3))
     print("load    p50(ms)  p99(ms)")
-    print(f"quiet   {1e3 * quiet.p50:>7.2f}  {1e3 * quiet.p99:>7.2f}")
-    print(f"loaded  {1e3 * loaded.p50:>7.2f}  {1e3 * loaded.p99:>7.2f}")
+    print(f"quiet   {MS_PER_S * quiet.p50:>7.2f}  {MS_PER_S * quiet.p99:>7.2f}")
+    print(f"loaded  {MS_PER_S * loaded.p50:>7.2f}  {MS_PER_S * loaded.p99:>7.2f}")
     deadline = quiet.p99 * 1.2
     print(f"deadline misses at 1.2x quiet p99: "
           f"{100 * loaded.deadline_miss_rate(deadline):.0f}%")
@@ -224,10 +226,9 @@ def _cmd_faults(args) -> None:
 
 
 def _cmd_bench_sampler(args) -> None:
-    import time
-
     import numpy as np
 
+    from repro.bench import bench_timer
     from repro.framework.cache import HotNodeCache
     from repro.framework.replay import replay_reference
     from repro.framework.requests import SampleRequest
@@ -256,9 +257,9 @@ def _cmd_bench_sampler(args) -> None:
                 worker_partition=0,
                 batched=batched,
             )
-            start = time.perf_counter()
-            result = sampler.sample(request)
-            best = min(best, time.perf_counter() - start)
+            with bench_timer() as timer:
+                result = sampler.sample(request)
+            best = min(best, timer.elapsed_s)
         return best, result, store, sampler
 
     reference_s, _ref_result, _store, _ = run(batched=False)
@@ -273,8 +274,8 @@ def _cmd_bench_sampler(args) -> None:
     print(f"ll instance: {graph.num_nodes} nodes, batch {args.batch_size}, "
           f"fanouts {'x'.join(str(f) for f in fanouts)}, "
           f"{args.partitions} partitions (best of {args.repeats})")
-    print(f"reference: {reference_s * 1e3:8.2f} ms/batch")
-    print(f"batched:   {batched_s * 1e3:8.2f} ms/batch")
+    print(f"reference: {reference_s * MS_PER_S:8.2f} ms/batch")
+    print(f"batched:   {batched_s * MS_PER_S:8.2f} ms/batch")
     print(f"speedup:   {reference_s / batched_s:8.2f}x")
     print(f"accounting match (replayed reference): {'yes' if match else 'NO'}")
     if not match:
@@ -286,6 +287,14 @@ def _cmd_bench_sampler(args) -> None:
                 "larger capacity or --cache-nodes 0."
             )
         raise SystemExit(1)
+
+
+def _cmd_lint(args) -> None:
+    from repro.analysis.lintcli import run_lint
+
+    code = run_lint(args)
+    if code:
+        raise SystemExit(code)
 
 
 def _cmd_sampler(_args) -> None:
@@ -368,6 +377,11 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--batch-size", type=int, default=48)
     faults.add_argument("--seed", type=int, default=0)
     faults.set_defaults(fn=_cmd_faults)
+    lint = sub.add_parser(
+        "lint", help="AST-based invariant linter (repro.analysis)"
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(fn=_cmd_lint)
     return parser
 
 

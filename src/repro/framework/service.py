@@ -401,7 +401,7 @@ def run_service(config: Optional[ServiceConfig] = None, seed: int = 0) -> Servic
 
     for worker in range(config.num_workers):
         # Stagger worker starts to avoid an artificial convoy.
-        sim.at(worker * 1e-6, lambda w=worker: start_batch(w, config.batches_per_worker))
+        sim.at(worker * US, lambda w=worker: start_batch(w, config.batches_per_worker))
     sim.run()
     total_time_s = sim.now if config.retry is None else last_done[0]
     return ServiceReport(

@@ -22,7 +22,7 @@ from repro.errors import ConfigurationError
 from repro.framework.cpu_model import CpuSamplingModel, WorkloadShape
 from repro.graph.datasets import get_dataset
 from repro.memstore.layout import FootprintModel
-from repro.units import GB, GIGA
+from repro.units import GB, GIGA, KILO
 
 
 @dataclass(frozen=True)
@@ -171,7 +171,7 @@ class EndToEndModel:
     def nn_time(self, training: bool) -> float:
         """Dense NN time on GPU; backward costs 2x forward."""
         flops = self._nn_flops_forward(training) * (3.0 if training else 1.0)
-        return flops / (self.gpu_effective_tflops * 1e3 * GIGA)
+        return flops / (self.gpu_effective_tflops * KILO * GIGA)
 
     def breakdown(self, training: bool = True) -> StageBreakdown:
         """Figure 3: per-stage time breakdown for training or inference."""

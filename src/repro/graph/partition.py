@@ -106,6 +106,8 @@ class LdgPartitioner(Partitioner):
                     counts = np.bincount(placed, minlength=num_partitions)
                     scores = counts.astype(np.float64)
             penalty = 1.0 - sizes / capacity
+            # repro: allow[units-magic] deterministic tie-break epsilon on
+            # the placement score, not a unit conversion
             best = int(np.argmax(scores * np.maximum(penalty, 0.0) + 1e-9 * penalty))
             assignment[node] = best
             sizes[best] += 1.0

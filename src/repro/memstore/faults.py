@@ -39,6 +39,7 @@ from repro.axe.events import Simulator
 from repro.memstore.links import LinkModel, get_link
 from repro.memstore.replication import ReplicaId, ReplicaPlacement
 from repro.memstore.retry import RetryPolicy
+from repro.units import MS_PER_S
 
 
 @dataclass
@@ -344,6 +345,6 @@ class ReliableReadPath:
         self.stats.busy_s += injector.now - start_s
         raise ReplicaUnavailableError(
             f"partition {partition}: no replica answered within "
-            f"{policy.deadline_s * 1e3:.2f} ms "
+            f"{policy.deadline_s * MS_PER_S:.2f} ms "
             f"({policy.max_attempts} attempts)"
         )

@@ -13,6 +13,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.units import KB
 from repro.riscv import isa
 from repro.riscv.mmio import MmioBus
 from repro.riscv.qrch import Qrch
@@ -23,7 +24,7 @@ class RiscvCpu:
 
     def __init__(
         self,
-        memory_bytes: int = 64 * 1024,
+        memory_bytes: int = 64 * KB,
         qrch: Optional[Qrch] = None,
         mmio: Optional[MmioBus] = None,
         mmio_base: int = 0x4000_0000,

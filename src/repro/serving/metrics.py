@@ -16,6 +16,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.units import MS_PER_S
 
 
 def _percentile(samples: List[float], q: float) -> float:
@@ -171,8 +172,8 @@ class ServingReport:
     def format(self) -> str:
         """Multi-line human-readable summary (the CLI/report block)."""
         lines = [
-            f"window {self.duration_s * 1e3:.0f} ms"
-            f" (drained at {self.drain_s * 1e3:.0f} ms)"
+            f"window {self.duration_s * MS_PER_S:.0f} ms"
+            f" (drained at {self.drain_s * MS_PER_S:.0f} ms)"
             f"  offered {self.offered}  admitted {self.admitted}"
             f"  completed {self.completed}  retried {self.retried}",
             f"throughput: {self.completed_qps:,.0f} completed req/s"
@@ -180,8 +181,8 @@ class ServingReport:
         ]
         if self.latencies_s:
             lines.append(
-                f"p50 latency: {1e3 * self.p50:.3f} ms"
-                f"  p99 latency: {1e3 * self.p99:.3f} ms"
+                f"p50 latency: {MS_PER_S * self.p50:.3f} ms"
+                f"  p99 latency: {MS_PER_S * self.p99:.3f} ms"
                 f"  SLO miss rate: {100 * self.slo_miss_rate:.1f}%"
             )
         else:
@@ -216,14 +217,14 @@ class ServingReport:
             )
         for name, tenant in sorted(self.tenants.items()):
             tail = (
-                f"p99 {1e3 * tenant.p99:.3f} ms"
+                f"p99 {MS_PER_S * tenant.p99:.3f} ms"
                 if tenant.latencies_s
                 else "p99 n/a"
             )
             lines.append(
                 f"tenant {name}: offered {tenant.offered}"
                 f"  shed {100 * tenant.shed_rate:.1f}%  {tail}"
-                f"  (SLO {1e3 * tenant.slo_s:.1f} ms,"
+                f"  (SLO {MS_PER_S * tenant.slo_s:.1f} ms,"
                 f" miss {100 * tenant.slo_miss_rate:.1f}%)"
             )
         return "\n".join(lines)

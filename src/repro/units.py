@@ -20,6 +20,9 @@ US = 1e-6
 NS = 1e-9
 MS = 1e-3
 
+#: Milliseconds per second — multiply a seconds quantity for ms display.
+MS_PER_S = 1e3
+
 
 def gbps_to_bytes_per_s(gigabits_per_second: float) -> float:
     """Convert a link rate in Gb/s (decimal) to bytes/second."""

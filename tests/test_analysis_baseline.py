@@ -1,0 +1,159 @@
+"""Suppression-comment and baseline workflow tests.
+
+Covers the ISSUE contract: a suppressed finding doesn't fail the run, a
+stale baseline entry is reported, and ``--update-baseline`` round-trips
+to a clean exit.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import Baseline, BaselineEntry, analyze_source
+from repro.analysis.baseline import BASELINE_VERSION
+from repro.analysis.findings import Finding
+
+MODULE = "repro/framework/sampler.py"
+
+
+def findings_of(source, module_path=MODULE):
+    return analyze_source(source, module_path=module_path)
+
+
+# ------------------------------------------------------------- suppressions
+def test_inline_suppression_moves_finding_aside():
+    result = findings_of(
+        "import random  # repro: allow[det-rng] fixture for docs\n"
+    )
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["det-rng"]
+
+
+def test_comment_line_suppresses_next_code_line():
+    source = (
+        "# repro: allow[det-wallclock] measured on the host on purpose\n"
+        "import time\n"
+    )
+    result = findings_of(source)
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["det-wallclock"]
+
+
+def test_suppression_is_rule_scoped():
+    source = "import time  # repro: allow[det-rng] wrong rule id\n"
+    result = findings_of(source)
+    assert [f.rule for f in result.findings] == ["det-wallclock"]
+    assert result.suppressed == []
+
+
+def test_suppression_without_reason_is_invalid():
+    result = findings_of("import time  # repro: allow[det-wallclock]\n")
+    fired = {f.rule for f in result.findings}
+    assert "suppress-format" in fired
+    assert "det-wallclock" in fired  # malformed comment suppresses nothing
+
+
+def test_suppression_with_unknown_rule_is_invalid():
+    result = findings_of("x = 1  # repro: allow[no-such-rule] because\n")
+    assert [f.rule for f in result.findings] == ["suppress-format"]
+
+
+def test_string_literal_is_not_a_suppression():
+    source = 'note = "# repro: allow[det-wallclock] not a comment"\nimport time\n'
+    result = findings_of(source)
+    assert [f.rule for f in result.findings] == ["det-wallclock"]
+
+
+def test_multi_rule_suppression():
+    source = (
+        "import time, random"
+        "  # repro: allow[det-wallclock, det-rng] demo of both\n"
+    )
+    result = findings_of(source)
+    assert result.findings == []
+    assert sorted(f.rule for f in result.suppressed) == [
+        "det-rng",
+        "det-wallclock",
+    ]
+
+
+# ---------------------------------------------------------------- baselines
+def make_finding(rule="det-rng", line=3, snippet="import random"):
+    return Finding(
+        path=MODULE,
+        line=line,
+        col=1,
+        rule=rule,
+        message="msg",
+        snippet=snippet,
+    )
+
+
+def test_baselined_finding_is_not_new():
+    finding = make_finding()
+    baseline = Baseline.from_findings([finding])
+    result = baseline.apply([finding])
+    assert result.new == []
+    assert result.baselined_count == 1
+    assert result.stale == []
+
+
+def test_baseline_fingerprint_survives_line_moves():
+    baseline = Baseline.from_findings([make_finding(line=3)])
+    result = baseline.apply([make_finding(line=40)])
+    assert result.new == []
+    assert result.stale == []
+
+
+def test_fixed_finding_goes_stale():
+    baseline = Baseline.from_findings([make_finding()])
+    result = baseline.apply([])
+    assert result.new == []
+    assert len(result.stale) == 1
+    assert result.stale[0].rule == "det-rng"
+
+
+def test_count_budget_catches_regrowth():
+    finding = make_finding()
+    baseline = Baseline.from_findings([finding, finding])
+    result = baseline.apply([finding, finding, finding])
+    assert len(result.new) == 1
+    assert result.baselined_count == 2
+
+
+def test_save_load_round_trip(tmp_path):
+    path = tmp_path / "lint-baseline.json"
+    baseline = Baseline.from_findings(
+        [make_finding(), make_finding(rule="units-magic", snippet="x * 1e9")]
+    )
+    baseline.save(path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["version"] == BASELINE_VERSION
+    assert len(payload["entries"]) == 2
+
+    reloaded = Baseline.load(path)
+    result = reloaded.apply(
+        [make_finding(), make_finding(rule="units-magic", snippet="x * 1e9")]
+    )
+    assert result.new == [] and result.stale == []
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "nope.json")
+    result = baseline.apply([make_finding()])
+    assert len(result.new) == 1
+
+
+def test_entries_serialized_sorted(tmp_path):
+    path = tmp_path / "lint-baseline.json"
+    entries = [
+        BaselineEntry(
+            rule="units-magic", path="z.py", snippet="b", message="m", count=1
+        ),
+        BaselineEntry(
+            rule="det-rng", path="a.py", snippet="a", message="m", count=1
+        ),
+    ]
+    Baseline(entries).save(path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    rules = [entry["rule"] for entry in payload["entries"]]
+    assert rules == sorted(rules)

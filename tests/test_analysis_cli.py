@@ -1,0 +1,181 @@
+"""``repro lint`` CLI tests: exit codes, JSON output, --explain /
+--list-rules, the --update-baseline round trip, and the CI guarantee
+that a deliberately introduced violation fails the run."""
+
+import argparse
+import io
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.lintcli import add_lint_arguments, main, run_lint
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+
+def lint(argv, cwd_baseline=None):
+    """Parse ``argv`` like the CLI and run; return (exit_code, output)."""
+    parser = argparse.ArgumentParser()
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    out = io.StringIO()
+    code = run_lint(args, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def empty_baseline(tmp_path):
+    path = tmp_path / "lint-baseline.json"
+    path.write_text('{"version": 1, "entries": []}', encoding="utf-8")
+    return path
+
+
+# ------------------------------------------------------------ happy paths
+def test_repo_is_lint_clean():
+    code, output = lint([str(SRC_ROOT)])
+    assert code == 0, output
+    assert "lint: clean" in output
+
+
+def test_json_report_shape(tmp_path, empty_baseline):
+    target = tmp_path / "clean.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    code, output = lint(
+        [str(target), "--format", "json", "--baseline", str(empty_baseline)]
+    )
+    assert code == 0
+    report = json.loads(output)
+    assert report["exit_code"] == 0
+    assert report["files_scanned"] == 1
+    assert report["findings"] == []
+    assert report["stale_baseline"] == []
+
+
+def test_new_finding_exits_one(tmp_path, empty_baseline):
+    target = tmp_path / "bad.py"
+    target.write_text("import random\n", encoding="utf-8")
+    code, output = lint([str(target), "--baseline", str(empty_baseline)])
+    assert code == 1
+    assert "[det-rng]" in output
+
+
+def test_stale_baseline_exits_one(tmp_path, empty_baseline):
+    stale = {
+        "version": 1,
+        "entries": [
+            {
+                "rule": "det-rng",
+                "path": "repro/ghost.py",
+                "snippet": "import random",
+                "message": "gone",
+                "count": 1,
+            }
+        ],
+    }
+    empty_baseline.write_text(json.dumps(stale), encoding="utf-8")
+    target = tmp_path / "clean.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    code, output = lint([str(target), "--baseline", str(empty_baseline)])
+    assert code == 1
+    assert "stale baseline entry" in output
+
+
+def test_update_baseline_round_trips(tmp_path):
+    target = tmp_path / "bad.py"
+    target.write_text("import random\n", encoding="utf-8")
+    baseline = tmp_path / "lint-baseline.json"
+
+    code, output = lint(
+        [str(target), "--update-baseline", "--baseline", str(baseline)]
+    )
+    assert code == 0
+    assert "baseline updated: 1 finding(s)" in output
+
+    code, output = lint([str(target), "--baseline", str(baseline)])
+    assert code == 0, output
+    assert "1 baselined" in output
+
+    # Fixing the violation leaves a stale entry, which fails the run
+    # until the baseline is refreshed.
+    target.write_text("x = 1\n", encoding="utf-8")
+    code, _ = lint([str(target), "--baseline", str(baseline)])
+    assert code == 1
+    code, _ = lint(
+        [str(target), "--update-baseline", "--baseline", str(baseline)]
+    )
+    assert code == 0
+    code, output = lint([str(target), "--baseline", str(baseline)])
+    assert code == 0, output
+
+
+# ---------------------------------------------------- informational modes
+def test_explain_prints_fixture_pair():
+    code, output = lint(["--explain", "det-rng"])
+    assert code == 0
+    assert "det-rng" in output
+    assert "fires on" in output and "clean" in output
+    assert "default_rng" in output
+
+
+def test_explain_unknown_rule_exits_one():
+    code, output = lint(["--explain", "not-a-rule"])
+    assert code == 1
+    assert "unknown rule id" in output
+
+
+def test_list_rules_names_the_rule_pack():
+    code, output = lint(["--list-rules"])
+    assert code == 0
+    for rule_id in (
+        "det-wallclock",
+        "det-rng",
+        "units-magic",
+        "acct-mutation",
+        "except-swallow",
+        "mutable-default",
+        "sim-clock",
+    ):
+        assert rule_id in output
+
+
+def test_standalone_main_entry_point(tmp_path, empty_baseline):
+    target = tmp_path / "clean.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    assert main([str(target), "--baseline", str(empty_baseline)]) == 0
+
+
+# ------------------------------------------------------- the CI guarantee
+@pytest.mark.parametrize(
+    "payload, rule",
+    [
+        ("rng = np.random.default_rng()\n", "det-rng"),
+        ("import time\n\n_T0 = time.time()\n", "det-wallclock"),
+    ],
+)
+def test_injected_violation_fails_lint(tmp_path, empty_baseline, payload, rule):
+    """Introducing a seedless RNG or wall-clock call into a copy of
+    ``repro/framework`` makes ``repro lint`` exit nonzero — the check CI
+    relies on."""
+    framework = tmp_path / "repro" / "framework"
+    framework.parent.mkdir()
+    shutil.copytree(SRC_ROOT / "framework", framework)
+
+    sampler = framework / "sampler.py"
+    source = sampler.read_text(encoding="utf-8")
+    assert "import numpy as np" in source
+    sampler.write_text(source + "\n" + payload, encoding="utf-8")
+
+    code, output = lint(
+        [str(framework), "--baseline", str(empty_baseline)]
+    )
+    assert code == 1
+    assert f"[{rule}]" in output
+    assert "repro/framework/sampler.py" in output
+
+    # The pristine copy minus the injection is clean.
+    sampler.write_text(source, encoding="utf-8")
+    code, output = lint([str(framework), "--baseline", str(empty_baseline)])
+    assert code == 0, output

@@ -1,0 +1,123 @@
+"""Engine-level tests: file walking, module-path derivation, the
+parse cache, and the ``# repro-module:`` marker override."""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import AnalysisEngine, analyze_source, derive_module_path
+from repro.analysis.engine import FIXTURE_PREFIX
+
+SRC_ROOT = Path(repro.__file__).parent
+
+
+# ------------------------------------------------------ module-path mapping
+def test_derive_module_path_anchors_on_repro():
+    assert derive_module_path("/x/src/repro/units.py") == "repro/units.py"
+    assert (
+        derive_module_path("src/repro/memstore/store.py")
+        == "repro/memstore/store.py"
+    )
+
+
+def test_derive_module_path_without_anchor_keeps_name():
+    assert derive_module_path("/tmp/scratch/thing.py") == "thing.py"
+
+
+def test_marker_overrides_derived_path(tmp_path):
+    target = tmp_path / "scratch.py"
+    target.write_text(
+        "# repro-module: repro/serving/stamp.py\nimport time\n",
+        encoding="utf-8",
+    )
+    engine = AnalysisEngine()
+    result = engine.analyze_file(target)
+    assert {f.rule for f in result.findings} >= {"sim-clock"}
+    assert all(f.path == "repro/serving/stamp.py" for f in result.findings)
+
+
+# --------------------------------------------------------------- the walker
+def test_walker_skips_fixtures_and_pycache():
+    engine = AnalysisEngine()
+    files = list(engine.iter_python_files(SRC_ROOT))
+    assert files, "walker found no files under src/repro"
+    for path in files:
+        module = derive_module_path(str(path))
+        assert not module.startswith(FIXTURE_PREFIX), module
+        assert "__pycache__" not in str(path)
+
+
+def test_expand_paths_accepts_file_and_directory(tmp_path):
+    (tmp_path / "a.py").write_text("x = 1\n", encoding="utf-8")
+    sub = tmp_path / "pkg"
+    sub.mkdir()
+    (sub / "b.py").write_text("y = 2\n", encoding="utf-8")
+    (sub / "notes.txt").write_text("skip me\n", encoding="utf-8")
+    engine = AnalysisEngine()
+    found = engine.expand_paths([tmp_path / "a.py", sub])
+    assert sorted(p.name for p in found) == ["a.py", "b.py"]
+
+
+# ----------------------------------------------------------------- caching
+def test_cache_round_trip(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("import random\n", encoding="utf-8")
+    cache = tmp_path / "cache.json"
+
+    first = AnalysisEngine(cache_path=cache).run([target])
+    assert first.cache_hits == 0
+    assert [f.rule for f in first.findings] == ["det-rng"]
+    assert cache.exists()
+
+    second = AnalysisEngine(cache_path=cache).run([target])
+    assert second.cache_hits == 1
+    assert [f.to_dict() for f in second.findings] == [
+        f.to_dict() for f in first.findings
+    ]
+
+    # Editing the file invalidates its entry (content-hash keyed).
+    target.write_text("import random  # still bad\nx = 1\n", encoding="utf-8")
+    third = AnalysisEngine(cache_path=cache).run([target])
+    assert third.cache_hits == 0
+    assert [f.rule for f in third.findings] == ["det-rng"]
+
+
+def test_cache_ignores_other_engine_versions(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    cache = tmp_path / "cache.json"
+    cache.write_text('{"rules_sig": "bogus", "files": {}}', encoding="utf-8")
+    result = AnalysisEngine(cache_path=cache).run([target])
+    assert result.cache_hits == 0
+    assert result.files_scanned == 1
+
+
+def test_corrupt_cache_is_not_fatal(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    cache = tmp_path / "cache.json"
+    cache.write_text("{not json", encoding="utf-8")
+    result = AnalysisEngine(cache_path=cache).run([target])
+    assert result.files_scanned == 1
+    assert result.findings == []
+
+
+# -------------------------------------------------------------- error paths
+def test_syntax_error_becomes_parse_error_finding(tmp_path):
+    target = tmp_path / "broken.py"
+    target.write_text("def broken(:\n", encoding="utf-8")
+    result = AnalysisEngine().run([target])
+    assert [f.rule for f in result.findings] == ["parse-error"]
+
+
+def test_findings_sorted_by_location():
+    source = (
+        "import random\n"
+        "import time\n"
+        "\n"
+        "def f(xs=[]):\n"
+        "    return xs\n"
+    )
+    result = analyze_source(source, module_path="repro/framework/sampler.py")
+    locations = [(f.line, f.col) for f in result.findings]
+    assert locations == sorted(locations)
+    assert len(result.findings) == 3
