@@ -1,0 +1,77 @@
+"""Append ``repro bench-sampler --json`` reports to ``BENCH_sampler.json``.
+
+Seeds the perf trajectory the bench-smoke CI job can diff against: each
+run appends one record (the CLI's JSON report plus an optional label,
+e.g. a git revision) to a JSON array file kept at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python -m repro bench-sampler --json \
+        | python benchmarks/bench_record.py --label "$(git rev-parse --short HEAD)"
+
+    # or record an already-saved report
+    python benchmarks/bench_record.py --label pr5 report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+DEFAULT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_sampler.json")
+
+
+def load_records(path: str) -> List[dict]:
+    """Existing records, or an empty list for a fresh file."""
+    if not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as fh:
+        records = json.load(fh)
+    if not isinstance(records, list):
+        raise ValueError(f"{path} must hold a JSON array of records")
+    return records
+
+
+def append_record(
+    record: dict, path: str = DEFAULT_PATH, label: Optional[str] = None
+) -> List[dict]:
+    """Append one bench report to the trajectory file; returns all records."""
+    if not isinstance(record, dict):
+        raise ValueError(f"record must be a JSON object, got {type(record).__name__}")
+    if label is not None:
+        record = dict(record, label=label)
+    records = load_records(path)
+    records.append(record)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(records, fh, indent=2)
+        fh.write("\n")
+    return records
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="append a bench-sampler JSON report to BENCH_sampler.json"
+    )
+    parser.add_argument(
+        "report",
+        nargs="?",
+        help="path to a saved --json report (default: read stdin)",
+    )
+    parser.add_argument("--path", default=DEFAULT_PATH, help="trajectory file")
+    parser.add_argument("--label", default=None, help="tag for this record")
+    args = parser.parse_args(argv)
+    if args.report:
+        with open(args.report, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    else:
+        record = json.load(sys.stdin)
+    records = append_record(record, path=args.path, label=args.label)
+    print(f"{args.path}: {len(records)} record(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

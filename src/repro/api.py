@@ -32,6 +32,7 @@ from repro.gnn.models import GraphSageEncoder
 from repro.gnn.train import Trainer
 from repro.memstore.faults import ReliableReadPath
 from repro.memstore.store import PartitionedStore
+from repro.parallel.engine import ParallelSampler
 from repro.serving.backends import HardwareBackend, SoftwareBackend
 from repro.serving.gateway import GatewayConfig, serve_workload
 from repro.serving.metrics import ServingReport
@@ -66,6 +67,17 @@ class GnnSession:
         frontier dedup + batch store calls). Same access accounting,
         statistically equivalent samples, large constant-factor
         speedup; see ``repro bench-sampler``.
+    workers:
+        Shard worker processes for the parallel execution engine
+        (:class:`~repro.parallel.ParallelSampler`). ``0`` (the
+        default) keeps the single-process sampler. Any ``workers >= 1``
+        replaces the software sampler with the sharded engine —
+        results and access accounting are bit-identical at every
+        worker count, including the in-process reference. Parallel
+        mode always runs batched and is incompatible with
+        ``cache_nodes`` and ``reliability`` (shard workers run the
+        zero-fault fast path). Call :meth:`close` (or use the session
+        as a context manager) to shut the pool down.
     """
 
     def __init__(
@@ -78,24 +90,41 @@ class GnnSession:
         seed: int = 0,
         reliability: Optional["ReliableReadPath"] = None,
         batched: bool = False,
+        workers: int = 0,
     ) -> None:
         if cache_nodes < 0:
             raise ConfigurationError(
                 f"cache_nodes must be non-negative, got {cache_nodes}"
             )
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
         self.graph = graph
         self.store = PartitionedStore(
             graph, HashPartitioner(num_partitions), reliability=reliability
         )
-        cache = HotNodeCache(cache_nodes) if cache_nodes else None
-        self.sampler = MultiHopSampler(
-            self.store,
-            seed=seed,
-            cache=cache,
-            selector=get_selector(sampling_method),
-            degraded_ok=reliability is not None,
-            batched=batched,
-        )
+        self.workers = workers
+        if workers > 0:
+            if cache_nodes:
+                raise ConfigurationError(
+                    "workers and cache_nodes are mutually exclusive; the "
+                    "parallel engine accounts shard accesses without a cache"
+                )
+            self.sampler = ParallelSampler(
+                self.store,
+                workers=workers,
+                seed=seed,
+                sampling_method=sampling_method,
+            )
+        else:
+            cache = HotNodeCache(cache_nodes) if cache_nodes else None
+            self.sampler = MultiHopSampler(
+                self.store,
+                seed=seed,
+                cache=cache,
+                selector=get_selector(sampling_method),
+                degraded_ok=reliability is not None,
+                batched=batched,
+            )
         if engine_config is None:
             engine_config = EngineConfig(
                 num_cores=2,
@@ -104,6 +133,19 @@ class GnnSession:
             )
         self.engine = AxeEngine(graph, engine_config)
         self._seed = seed
+
+    # --------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release session resources (shard workers, plane, arenas)."""
+        closer = getattr(self.sampler, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "GnnSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------ accelerator operator level
     def set_csr(self, index: int, value: int) -> None:

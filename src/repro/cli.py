@@ -226,9 +226,12 @@ def _cmd_faults(args) -> None:
 
 
 def _cmd_bench_sampler(args) -> None:
+    import json
+
     import numpy as np
 
     from repro.bench import bench_timer
+    from repro.errors import ConfigurationError
     from repro.framework.cache import HotNodeCache
     from repro.framework.replay import replay_reference
     from repro.framework.requests import SampleRequest
@@ -236,8 +239,14 @@ def _cmd_bench_sampler(args) -> None:
     from repro.graph.datasets import instantiate_dataset
     from repro.graph.partition import HashPartitioner
     from repro.memstore.store import PartitionedStore
+    from repro.parallel.engine import ParallelSampler
 
     fanouts = tuple(int(f) for f in args.fanouts.split(","))
+    if args.workers and args.cache_nodes:
+        raise ConfigurationError(
+            "--workers and --cache-nodes are mutually exclusive "
+            "(the parallel engine runs cache-free)"
+        )
     graph = instantiate_dataset("ll", max_nodes=args.max_nodes, seed=args.seed)
     partitioner = HashPartitioner(args.partitions)
     rng = np.random.default_rng(args.seed)
@@ -262,6 +271,23 @@ def _cmd_bench_sampler(args) -> None:
             best = min(best, timer.elapsed_s)
         return best, result, store, sampler
 
+    def run_parallel(workers: int):
+        best = float("inf")
+        store = result = None
+        for _ in range(args.repeats):
+            store = PartitionedStore(graph, partitioner)
+            with ParallelSampler(
+                store, workers=workers, seed=args.seed, worker_partition=0
+            ) as engine:
+                # Warm the pool outside the timed region (process
+                # startup is a one-time cost, not per-batch).
+                engine.collect(engine.submit(request))
+                store.reset_trace()
+                with bench_timer() as timer:
+                    result = engine.sample(request)
+            best = min(best, timer.elapsed_s)
+        return best, result, store
+
     reference_s, _ref_result, _store, _ = run(batched=False)
     batched_s, result, store, _ = run(batched=True)
     replay_store = PartitionedStore(graph, partitioner)
@@ -271,15 +297,54 @@ def _cmd_bench_sampler(args) -> None:
     )
     match = store.summary == replay_store.summary
 
-    print(f"ll instance: {graph.num_nodes} nodes, batch {args.batch_size}, "
-          f"fanouts {'x'.join(str(f) for f in fanouts)}, "
-          f"{args.partitions} partitions (best of {args.repeats})")
-    print(f"reference: {reference_s * MS_PER_S:8.2f} ms/batch")
-    print(f"batched:   {batched_s * MS_PER_S:8.2f} ms/batch")
-    print(f"speedup:   {reference_s / batched_s:8.2f}x")
-    print(f"accounting match (replayed reference): {'yes' if match else 'NO'}")
-    if not match:
-        if args.cache_nodes:
+    parallel_s = parallel_match = None
+    if args.workers:
+        parallel_s, parallel_result, parallel_store = run_parallel(args.workers)
+        parallel_replay = PartitionedStore(graph, partitioner)
+        replay_reference(
+            parallel_result, request, parallel_replay, worker_partition=0
+        )
+        parallel_match = parallel_store.summary == parallel_replay.summary
+
+    report = {
+        "dataset": "ll",
+        "num_nodes": int(graph.num_nodes),
+        "batch_size": args.batch_size,
+        "fanouts": list(fanouts),
+        "partitions": args.partitions,
+        "cache_nodes": args.cache_nodes,
+        "repeats": args.repeats,
+        "seed": args.seed,
+        "reference_s": reference_s,
+        "batched_s": batched_s,
+        "speedup": reference_s / batched_s,
+        "accounting_match": bool(match),
+        "workers": args.workers,
+        "parallel_s": parallel_s,
+        "parallel_speedup": (
+            None if parallel_s is None else batched_s / parallel_s
+        ),
+        "parallel_match": parallel_match,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"ll instance: {graph.num_nodes} nodes, batch {args.batch_size}, "
+              f"fanouts {'x'.join(str(f) for f in fanouts)}, "
+              f"{args.partitions} partitions (best of {args.repeats})")
+        print(f"reference: {reference_s * MS_PER_S:8.2f} ms/batch")
+        print(f"batched:   {batched_s * MS_PER_S:8.2f} ms/batch")
+        print(f"speedup:   {reference_s / batched_s:8.2f}x")
+        print(f"accounting match (replayed reference): {'yes' if match else 'NO'}")
+        if parallel_s is not None:
+            print(f"parallel:  {parallel_s * MS_PER_S:8.2f} ms/batch "
+                  f"({args.workers} workers, "
+                  f"{batched_s / parallel_s:.2f}x vs batched)")
+            print(f"parallel accounting match (replayed reference): "
+                  f"{'yes' if parallel_match else 'NO'}")
+    failed = not match or parallel_match is False
+    if failed:
+        if args.cache_nodes and not args.json:
             print(
                 "note: cache-counter parity assumes a non-thrashing cache; "
                 f"--cache-nodes {args.cache_nodes} may be evicting within a "
@@ -344,6 +409,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3,
                        help="take the best of this many runs per path")
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--workers", type=int, default=0,
+                       help="also bench the sharded parallel engine at "
+                            "this worker count (0 = skip)")
+    bench.add_argument("--json", action="store_true",
+                       help="emit the report as JSON (see "
+                            "benchmarks/bench_record.py)")
     bench.set_defaults(fn=_cmd_bench_sampler)
     system = sub.add_parser("system", help="multi-card scaling")
     system.add_argument("--max-nodes", type=int, default=6000)

@@ -27,6 +27,10 @@ class ReplicaUnavailableError(PartitionError):
     """No replica of a partition could serve a read before its deadline."""
 
 
+class ParallelExecutionError(ReproError):
+    """A shard worker failed or the parallel execution engine desynced."""
+
+
 class SimulationError(ReproError):
     """The event-driven simulator reached an inconsistent state."""
 

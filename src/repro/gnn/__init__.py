@@ -1,6 +1,14 @@
 """Mini-batch GNN compute: layers, models, training, end-to-end model."""
 
-from repro.gnn.layers import Dense, MaxPoolAggregator, MeanAggregator, SageLayer
+from repro.gnn.layers import (
+    Dense,
+    MaxPoolAggregator,
+    MeanAggregator,
+    SageLayer,
+    ragged_segment_sum,
+    segment_mean,
+    segment_sum,
+)
 from repro.gnn.models import DSSM, GraphSageEncoder
 from repro.gnn.gcn import GcnEncoder, GcnLayer
 from repro.gnn.embedding import EmbeddingTable
@@ -14,6 +22,9 @@ from repro.gnn.e2e import EndToEndModel, StageBreakdown
 
 __all__ = [
     "Dense",
+    "segment_sum",
+    "segment_mean",
+    "ragged_segment_sum",
     "MaxPoolAggregator",
     "MeanAggregator",
     "SageLayer",

@@ -8,11 +8,10 @@ mini-batch workflow needs.
 
 from __future__ import annotations
 
-from typing import Dict
-
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.gnn.layers import segment_sum
 
 
 class EmbeddingTable:
@@ -26,7 +25,8 @@ class EmbeddingTable:
         self.table = rng.uniform(-scale, scale, size=(num_nodes, dim)).astype(
             np.float32
         )
-        self._pending: Dict[int, np.ndarray] = {}
+        self._pending_nodes = np.empty(0, dtype=np.int64)
+        self._pending_grads = np.empty((0, dim), dtype=np.float32)
 
     @property
     def num_nodes(self) -> int:
@@ -47,7 +47,10 @@ class EmbeddingTable:
         """Accumulate gradients for the looked-up rows.
 
         Duplicate node IDs within a batch sum their gradients, matching
-        dense autograd semantics.
+        dense autograd semantics. The merge is one segment-sum scatter
+        over the pending rows plus the batch — no per-row Python loop
+        (``np.add.at`` applies additions in occurrence order, so the
+        float32 sums match the historical loop bit for bit).
         """
         nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
         grads = np.asarray(grads, dtype=np.float32).reshape(-1, self.dim)
@@ -55,20 +58,23 @@ class EmbeddingTable:
             raise ConfigurationError(
                 f"{nodes.size} indices but {grads.shape[0]} gradient rows"
             )
-        for node, grad in zip(nodes, grads):
-            key = int(node)
-            if key in self._pending:
-                self._pending[key] = self._pending[key] + grad
-            else:
-                self._pending[key] = grad.copy()
+        all_nodes = np.concatenate([self._pending_nodes, nodes])
+        all_grads = np.concatenate([self._pending_grads, grads])
+        unique, inverse = np.unique(all_nodes, return_inverse=True)
+        self._pending_nodes = unique
+        self._pending_grads = segment_sum(all_grads, inverse, unique.size)
 
     def step(self, lr: float) -> None:
-        """Apply pending sparse SGD updates."""
-        for node, grad in self._pending.items():
-            self.table[node] -= lr * grad
-        self._pending.clear()
+        """Apply pending sparse SGD updates.
+
+        Pending node IDs are unique (deduplicated at accumulation), so
+        the scatter-subtract is a plain fancy-index update.
+        """
+        self.table[self._pending_nodes] -= lr * self._pending_grads
+        self._pending_nodes = np.empty(0, dtype=np.int64)
+        self._pending_grads = np.empty((0, self.dim), dtype=np.float32)
 
     @property
     def pending_rows(self) -> int:
         """Number of rows with accumulated (unapplied) gradients."""
-        return len(self._pending)
+        return int(self._pending_nodes.size)

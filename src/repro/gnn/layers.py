@@ -20,6 +20,82 @@ import numpy as np
 from repro.errors import ConfigurationError
 
 
+def segment_sum(
+    values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Sum ``values`` rows into ``num_segments`` buckets by ``segment_ids``.
+
+    The vectorized neighbor-aggregation primitive (``np.add.at`` is an
+    unbuffered scatter-add, so duplicate segment IDs accumulate —
+    unlike plain fancy-index assignment which silently drops them).
+    Row ``i`` of the result is ``sum(values[segment_ids == i])``; empty
+    segments are zero.
+    """
+    values = np.asarray(values)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64).reshape(-1)
+    if segment_ids.size != values.shape[0]:
+        raise ConfigurationError(
+            f"{segment_ids.size} segment ids for {values.shape[0]} rows"
+        )
+    if segment_ids.size and (
+        segment_ids.min() < 0 or segment_ids.max() >= num_segments
+    ):
+        raise ConfigurationError("segment ids outside [0, num_segments)")
+    out = np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
+    np.add.at(out, segment_ids, values)
+    return out
+
+
+def segment_mean(
+    values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Per-segment mean of ``values`` rows; empty segments are zero."""
+    totals = segment_sum(values, segment_ids, num_segments)
+    counts = np.bincount(
+        np.asarray(segment_ids, dtype=np.int64).reshape(-1),
+        minlength=num_segments,
+    )
+    counts = counts.reshape((num_segments,) + (1,) * (totals.ndim - 1))
+    return np.divide(
+        totals,
+        counts,
+        out=np.zeros_like(totals, dtype=np.result_type(totals, np.float32)),
+        where=counts > 0,
+    )
+
+
+def ragged_segment_sum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Sum contiguous ragged segments: row ``i`` covers
+    ``values[offsets[i]:offsets[i + 1]]``.
+
+    The CSR-adjacency form of :func:`segment_sum` (one reduction per
+    neighborhood, as produced by
+    :meth:`~repro.memstore.store.PartitionedStore.get_neighbors_batch`),
+    computed in one ``np.add.reduceat`` sweep. Empty segments are zero.
+    """
+    values = np.asarray(values)
+    offsets = np.asarray(offsets, dtype=np.int64).reshape(-1)
+    if offsets.size < 1 or offsets[0] != 0 or offsets[-1] != values.shape[0]:
+        raise ConfigurationError(
+            "offsets must run from 0 to len(values) inclusive"
+        )
+    if np.any(np.diff(offsets) < 0):
+        raise ConfigurationError("offsets must be non-decreasing")
+    num_segments = offsets.size - 1
+    out = np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
+    if values.shape[0] == 0 or num_segments == 0:
+        return out
+    # reduceat misbehaves on empty segments (offsets[i] == offsets[i+1]
+    # yields values[offsets[i]] instead of the identity) and rejects a
+    # start index equal to len(values); reduce over the non-empty
+    # segments only and scatter back.
+    lengths = np.diff(offsets)
+    nonempty = np.flatnonzero(lengths > 0)
+    if nonempty.size:
+        out[nonempty] = np.add.reduceat(values, offsets[nonempty], axis=0)
+    return out
+
+
 def relu(x: np.ndarray) -> np.ndarray:
     """Elementwise rectifier."""
     return np.maximum(x, 0.0)

@@ -53,6 +53,22 @@ class AccessSummary:
     remote_count: int = 0
     remote_bytes: int = 0
 
+    def add(self, other: "AccessSummary") -> "AccessSummary":
+        """Accumulate ``other`` into this summary (shard-merge support).
+
+        Accounting counters only ever mutate inside this module; shard
+        workers therefore ship their local :class:`AccessSummary` back
+        to the coordinator, which merges through here (or through
+        :meth:`PartitionedStore.absorb_summary`).
+        """
+        self.structure_count += other.structure_count
+        self.structure_bytes += other.structure_bytes
+        self.attribute_count += other.attribute_count
+        self.attribute_bytes += other.attribute_bytes
+        self.remote_count += other.remote_count
+        self.remote_bytes += other.remote_bytes
+        return self
+
     @property
     def total_count(self) -> int:
         return self.structure_count + self.attribute_count
@@ -196,6 +212,19 @@ class PartitionedStore:
     def summary(self) -> AccessSummary:
         """Aggregated access statistics since the last reset."""
         return self._summary
+
+    def absorb_summary(self, delta: AccessSummary) -> None:
+        """Merge a shard worker's access totals into this store's summary.
+
+        The parallel execution engine runs per-shard samplers in worker
+        processes, each over its own store attached to the shared graph
+        plane; their summaries come back as deltas and are folded into
+        the coordinator store here, so ``store.summary`` stays the
+        single merged view of a run. Per-access traces do not cross the
+        process boundary (``tracing`` captures coordinator accesses
+        only).
+        """
+        self._summary.add(delta)
 
     def _record(self, kind: AccessKind, nbytes: int, local: bool) -> None:
         if kind is AccessKind.STRUCTURE:

@@ -1,0 +1,428 @@
+"""Sharded parallel sampling engine (coordinator side).
+
+:class:`ParallelSampler` duck-types :class:`~repro.framework.sampler.
+MultiHopSampler` — same ``sample``/``negative_sample`` surface, same
+``store`` accounting — but fans every micro-batch out across shards:
+the partitioner splits the roots by owning partition, each shard slice
+becomes a :class:`~repro.parallel.worker.ShardTask` executed by a
+persistent worker process (or in-process at ``workers=0``), hop layers
+come back through zero-copy arenas, and the coordinator merges them,
+absorbs each shard's access delta, and gathers attributes.
+
+This is the software analogue of the paper's AxE outstanding-request
+pipeline: ``submit``/``collect`` decouple issuing a micro-batch from
+consuming it, so shard workers sample batch *k+1* while the
+coordinator runs attribute gather + GNN forward for batch *k* (see
+:mod:`repro.parallel.pipeline`).
+
+Determinism: shard membership is owner-based and the per-task RNG
+stream is a pure function of ``(seed, shard, seq)``, so results and
+merged :class:`~repro.memstore.store.AccessSummary` totals are
+bit-identical at every worker count — ``workers=0`` runs the exact
+same shard tasks inline.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GraphError, ParallelExecutionError
+from repro.framework.requests import NegativeSampleRequest, SampleRequest, SampleResult
+from repro.framework.sampler import MultiHopSampler
+from repro.framework.selectors import get_selector
+from repro.memstore.store import PartitionedStore
+from repro.parallel.shm import GraphPlane, SharedBlock
+from repro.parallel.worker import (
+    ShardDone,
+    ShardRuntime,
+    ShardTask,
+    WorkerConfig,
+    hop_elements,
+    read_layers,
+    worker_main,
+)
+
+#: How long one poll of the done queue blocks before re-checking that
+#: every worker is still alive (guards against hanging on a dead pool).
+DONE_POLL_S = 1.0
+#: Consecutive empty polls tolerated before declaring the pool wedged.
+MAX_IDLE_POLLS = 120
+
+
+@dataclass
+class _Pending:
+    """Coordinator-side state of one in-flight micro-batch."""
+
+    request: SampleRequest
+    slot: int
+    members: Dict[int, np.ndarray]
+    remaining: Set[int]
+    layers: List[np.ndarray] = field(default_factory=list)
+
+
+class ParallelSampler:
+    """Multi-hop sampler that executes micro-batches across shard workers.
+
+    Parameters
+    ----------
+    store:
+        The coordinator's :class:`PartitionedStore`. All accounting —
+        shard structure deltas and coordinator attribute gathers —
+        lands in this store's summary. Must not carry a ``reliability``
+        path (shard workers run the zero-fault fast path only).
+    workers:
+        Worker process count. ``0`` executes the identical shard tasks
+        inline (no processes, no shared memory) — the determinism
+        reference for any ``workers >= 1`` run.
+    seed:
+        Root entropy for the per-(shard, batch) RNG streams.
+    sampling_method:
+        Selector name (``uniform``/``streaming``/``weighted``).
+    worker_partition:
+        Locality attribution, as on :class:`MultiHopSampler`.
+    slots:
+        Result-arena slots, i.e. micro-batches that may be in flight
+        at once. 2 = double buffering.
+    plane_backend:
+        Shard-plane transport: ``"shm"``, ``"mmap"``, or ``"auto"``.
+    """
+
+    def __init__(
+        self,
+        store: PartitionedStore,
+        workers: int = 0,
+        seed: int = 0,
+        sampling_method: str = "uniform",
+        worker_partition: Optional[int] = None,
+        slots: int = 2,
+        plane_backend: str = "auto",
+    ) -> None:
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        if slots < 1:
+            raise ConfigurationError(f"slots must be >= 1, got {slots}")
+        if store.reliability is not None:
+            raise ConfigurationError(
+                "parallel execution does not support a reliability path; "
+                "shard workers run the zero-fault fast path only"
+            )
+        self.store = store
+        self.workers = workers
+        self.seed = seed
+        self.sampling_method = sampling_method
+        self.worker_partition = worker_partition
+        self.slots = slots
+        self.plane_backend = plane_backend
+        #: MultiHopSampler interface: the engine always runs batched.
+        self.batched = True
+        #: Parallel mode forbids caches/reliability, so never degrades.
+        self.degraded_fallbacks = 0
+        self.cache = None
+        self._seq = 0
+        self._pending: Dict[int, _Pending] = {}
+        # Serial delegate for negative sampling (runs on the
+        # coordinator; its accesses account to the coordinator store).
+        self._negative = MultiHopSampler(
+            store,
+            seed=derive_negative_seed(seed),
+            worker_partition=worker_partition,
+            selector=get_selector(sampling_method),
+        )
+        # In-process shard runtime (workers=0) — built lazily so the
+        # zero-worker engine costs nothing beyond the store it wraps.
+        self._inline: Optional[ShardRuntime] = None
+        # Process-pool state (workers >= 1).
+        self._plane: Optional[GraphPlane] = None
+        self._arenas: List[SharedBlock] = []
+        self._procs: List[multiprocessing.process.BaseProcess] = []
+        self._tasks = None
+        self._done = None
+        self._shard_region_bytes = 0
+        self._closed = False
+
+    # ------------------------------------------------------------ interface
+    @property
+    def fault_stats(self):
+        return self.store.fault_stats
+
+    @property
+    def num_shards(self) -> int:
+        return self.store.num_partitions
+
+    def __enter__(self) -> "ParallelSampler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- lifecycle
+    def _mp_context(self):
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+
+    def _ensure_pool(self, region_bytes: int) -> None:
+        """(Re)start the worker pool with arenas of ``region_bytes``/shard.
+
+        The pool persists across micro-batches; it only restarts when a
+        request needs larger arena regions than were provisioned.
+        """
+        if self.workers == 0:
+            if self._inline is None:
+                self._inline = ShardRuntime.from_store(
+                    self.store, self.sampling_method
+                )
+            return
+        if self._procs and region_bytes <= self._shard_region_bytes:
+            return
+        if self._pending:
+            raise ParallelExecutionError(
+                "cannot resize arenas with micro-batches in flight"
+            )
+        self._stop_pool()
+        if self._plane is None:
+            self._plane = GraphPlane(self.store.graph, backend=self.plane_backend)
+        self._shard_region_bytes = region_bytes
+        arena_bytes = max(region_bytes * self.num_shards, 64)
+        self._arenas = [
+            SharedBlock(arena_bytes, backend=self.plane_backend)
+            for _ in range(self.slots)
+        ]
+        ctx = self._mp_context()
+        self._tasks = ctx.Queue()
+        self._done = ctx.Queue()
+        config = WorkerConfig(
+            graph=self._plane.handle,
+            arenas=tuple(a.handle for a in self._arenas),
+            shard_region_bytes=region_bytes,
+            partitioner=self.store.partitioner,
+            index_entry_bytes=self.store.index_entry_bytes,
+            offset_entry_bytes=self.store.offset_entry_bytes,
+            id_bytes=self.store.id_bytes,
+            seed=self.seed,
+            sampling_method=self.sampling_method,
+            worker_partition=self.worker_partition,
+        )
+        self._procs = [
+            ctx.Process(
+                target=worker_main,
+                args=(config, self._tasks, self._done),
+                daemon=True,
+                name=f"repro-shard-worker-{i}",
+            )
+            for i in range(self.workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    def _stop_pool(self) -> None:
+        if self._procs:
+            for _ in self._procs:
+                self._tasks.put(None)
+            for proc in self._procs:
+                proc.join(timeout=10)
+            for proc in self._procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5)
+        self._procs = []
+        self._tasks = None
+        self._done = None
+        for arena in self._arenas:
+            arena.close()
+            arena.unlink()
+        self._arenas = []
+
+    def close(self) -> None:
+        """Shut down workers and release the shard plane + arenas."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pending.clear()
+        self._stop_pool()
+        if self._plane is not None:
+            self._plane.close()
+            self._plane.unlink()
+            self._plane = None
+
+    # ------------------------------------------------------------ submission
+    def submit(self, request: SampleRequest) -> int:
+        """Dispatch a micro-batch to the shard workers; returns its seq.
+
+        At most ``slots`` micro-batches may be un-merged at once; a
+        submit that would reuse a busy arena slot blocks until that
+        slot's shards finish.
+        """
+        if self._closed:
+            raise ParallelExecutionError("engine is closed")
+        roots = request.roots
+        if (
+            roots.max(initial=-1) >= self.store.graph.num_nodes
+            or roots.min(initial=0) < 0
+        ):
+            raise GraphError("request roots outside [0, num_nodes)")
+        region = roots.size * hop_elements(request.fanouts) * np.dtype(np.int64).itemsize
+        self._ensure_pool(region)
+        seq = self._seq
+        self._seq += 1
+        slot = seq % self.slots
+        # Wait out the previous occupant of this arena slot (its
+        # regions are free once every shard has been merged).
+        while any(
+            p.slot == slot and p.remaining for p in self._pending.values()
+        ):
+            self._pump(block=True)
+        owners = self.store.partitioner.partition_of(roots)
+        members = {
+            shard: np.flatnonzero(owners == shard)
+            for shard in range(self.num_shards)
+        }
+        members = {s: idx for s, idx in members.items() if idx.size}
+        width = 1
+        layers = []
+        for fanout in request.fanouts:
+            width *= fanout
+            layers.append(np.empty((roots.size, width), dtype=np.int64))
+        entry = _Pending(
+            request=request,
+            slot=slot,
+            members=members,
+            remaining=set(members),
+            layers=layers,
+        )
+        self._pending[seq] = entry
+        for shard in sorted(members):
+            task = ShardTask(
+                seq=seq,
+                shard=shard,
+                slot=slot,
+                roots=roots[members[shard]],
+                fanouts=tuple(request.fanouts),
+            )
+            if self.workers == 0:
+                self._run_inline(task, entry)
+            else:
+                self._tasks.put(task)
+        return seq
+
+    def _run_inline(self, task: ShardTask, entry: _Pending) -> None:
+        layers, summary = self._inline.run_shard(
+            task, self.seed, self.worker_partition
+        )
+        rows = entry.members[task.shard]
+        for hop, layer in enumerate(layers):
+            entry.layers[hop][rows] = layer
+        self.store.absorb_summary(summary)
+        entry.remaining.discard(task.shard)
+
+    # ------------------------------------------------------------ collection
+    def _check_alive(self) -> None:
+        dead = [p.name for p in self._procs if not p.is_alive()]
+        if dead:
+            raise ParallelExecutionError(
+                f"shard worker(s) died unexpectedly: {', '.join(dead)}"
+            )
+
+    def _pump(self, block: bool = True) -> bool:
+        """Process one ShardDone message; returns whether one arrived."""
+        if self.workers == 0:
+            return False  # inline tasks complete during submit
+        idle = 0
+        while True:
+            try:
+                msg: ShardDone = self._done.get(
+                    timeout=DONE_POLL_S if block else 0.001
+                )
+                break
+            except queue_mod.Empty:
+                if not block:
+                    return False
+                self._check_alive()
+                idle += 1
+                if idle >= MAX_IDLE_POLLS:
+                    raise ParallelExecutionError(
+                        "timed out waiting for shard workers"
+                    )
+        if msg.error is not None:
+            raise ParallelExecutionError(
+                f"shard {msg.shard} of micro-batch {msg.seq} failed:\n{msg.error}"
+            )
+        entry = self._pending.get(msg.seq)
+        if entry is None or msg.shard not in entry.remaining:
+            raise ParallelExecutionError(
+                f"unexpected completion for micro-batch {msg.seq}, "
+                f"shard {msg.shard}"
+            )
+        rows = entry.members[msg.shard]
+        views = read_layers(
+            self._arenas[entry.slot].buf,
+            msg.shard * self._shard_region_bytes,
+            msg.count,
+            tuple(entry.request.fanouts),
+        )
+        for hop, view in enumerate(views):
+            entry.layers[hop][rows] = view
+        self.store.absorb_summary(msg.summary)
+        entry.remaining.discard(msg.shard)
+        return True
+
+    def collect(self, seq: int) -> SampleResult:
+        """Merge micro-batch ``seq``: hop layers + attribute gather."""
+        entry = self._pending.get(seq)
+        if entry is None:
+            raise ParallelExecutionError(f"unknown micro-batch {seq}")
+        while entry.remaining:
+            self._pump(block=True)
+        del self._pending[seq]
+        result = SampleResult()
+        result.layers.append(entry.request.roots.copy())
+        result.layers.extend(entry.layers)
+        if entry.request.with_attributes:
+            result.attributes = [
+                self._gather_attributes(layer) for layer in result.layers
+            ]
+        return result
+
+    def _gather_attributes(self, layer: np.ndarray) -> np.ndarray:
+        """Coordinator-side attribute gather, occurrence-accounted.
+
+        Mirrors the batched sampler's per-layer dedup + one store batch
+        call, so the coordinator store's summary accrues exactly what a
+        serial sampler would have recorded for the same layers.
+        """
+        attr_len = self.store.graph.attr_len
+        flat = layer.reshape(-1)
+        if flat.size == 0:
+            return np.empty(layer.shape + (attr_len,), dtype=np.float32)
+        unique, inverse, counts = np.unique(
+            flat, return_inverse=True, return_counts=True
+        )
+        batch = self.store.get_attributes_batch(
+            unique, self.worker_partition, counts=counts
+        )
+        return batch.rows[inverse].reshape(layer.shape + (attr_len,))
+
+    # -------------------------------------------------------------- sampling
+    def sample(self, request: SampleRequest) -> SampleResult:
+        """Execute one request across the shard workers (submit+collect)."""
+        return self.collect(self.submit(request))
+
+    def negative_sample(self, request: NegativeSampleRequest) -> np.ndarray:
+        """Negative sampling runs serially on the coordinator.
+
+        Rejection sampling is root-local and cheap relative to hop
+        sampling; the delegate uses a dedicated SeedSequence stream so
+        it never perturbs the shard streams.
+        """
+        return self._negative.negative_sample(request)
+
+
+def derive_negative_seed(seed: int) -> np.random.SeedSequence:
+    """SeedSequence stream reserved for coordinator-side negative sampling."""
+    return np.random.SeedSequence(entropy=seed, spawn_key=(2**31,))

@@ -1,0 +1,316 @@
+"""Zero-copy shard plane: graph arrays shared across worker processes.
+
+The parallel execution engine must hand every shard worker the full
+CSR structure and attribute matrix *without* pickling the graph — on
+the paper's graphs that is hundreds of gigabytes, and even on the
+scaled instances a per-worker copy would erase the point of persistent
+workers. The plane exports the coordinator's arrays once into a shared
+block (POSIX shared memory via :mod:`multiprocessing.shared_memory`,
+or a memory-mapped temp file when ``/dev/shm`` is unavailable or too
+small) and gives workers a tiny picklable :class:`GraphHandle`; they
+attach and reconstruct a :class:`~repro.graph.csr.CSRGraph` whose
+arrays are views straight into the shared block.
+
+The same block machinery backs the engine's **result arenas**: per
+pipeline slot, workers write their sampled hop layers directly into a
+preassigned region, so a finished micro-batch crosses the process
+boundary as a few-byte completion message instead of a pickled layer
+stack.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GraphError
+from repro.graph.csr import CSRGraph
+
+#: Region alignment inside a shared block (cache-line friendly).
+BLOCK_ALIGN = 64
+
+
+def align_up(nbytes: int) -> int:
+    """Round ``nbytes`` up to the block alignment."""
+    if nbytes < 0:
+        raise ConfigurationError(f"nbytes must be non-negative, got {nbytes}")
+    return (nbytes + BLOCK_ALIGN - 1) // BLOCK_ALIGN * BLOCK_ALIGN
+
+
+@dataclass(frozen=True)
+class BlockHandle:
+    """Picklable address of one shared block.
+
+    ``backend`` selects the attach strategy: ``"shm"`` names a POSIX
+    shared-memory segment, ``"mmap"`` names a file path to map.
+    """
+
+    backend: str
+    name: str
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Layout of one array inside a shared block."""
+
+    key: str
+    shape: Tuple[int, ...]
+    dtype: str
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class GraphHandle:
+    """Everything a worker needs to attach the shared graph."""
+
+    block: BlockHandle
+    arrays: Tuple[ArraySpec, ...]
+    num_dst_nodes: Optional[int]
+
+
+class SharedBlock:
+    """One shared byte range, created by the owner process.
+
+    ``backend="auto"`` prefers POSIX shared memory and falls back to a
+    memory-mapped temp file when the shm mount refuses the allocation
+    (containers commonly cap ``/dev/shm`` at 64 MB).
+    """
+
+    def __init__(self, nbytes: int, backend: str = "auto") -> None:
+        if nbytes <= 0:
+            raise ConfigurationError(f"block size must be positive, got {nbytes}")
+        if backend not in ("auto", "shm", "mmap"):
+            raise ConfigurationError(f"unknown shard-plane backend {backend!r}")
+        self.nbytes = nbytes
+        self._shm = None
+        self._mmap: Optional[mmap.mmap] = None
+        self._file_path: Optional[str] = None
+        self._dir: Optional[str] = None
+        self._unlinked = False
+        if backend in ("auto", "shm"):
+            try:
+                from multiprocessing import shared_memory
+
+                self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            except OSError:
+                if backend == "shm":
+                    raise
+        if self._shm is None:
+            self._dir = tempfile.mkdtemp(prefix="repro-plane-")
+            self._file_path = os.path.join(self._dir, "block.bin")
+            with open(self._file_path, "wb") as fh:
+                fh.truncate(nbytes)
+            fd = os.open(self._file_path, os.O_RDWR)
+            try:
+                self._mmap = mmap.mmap(fd, nbytes)
+            finally:
+                os.close(fd)
+
+    @property
+    def buf(self) -> memoryview:
+        if self._shm is not None:
+            return self._shm.buf
+        if self._mmap is None:
+            raise ConfigurationError("block is closed")
+        return memoryview(self._mmap)
+
+    @property
+    def handle(self) -> BlockHandle:
+        if self._shm is not None:
+            return BlockHandle("shm", self._shm.name, self.nbytes)
+        if self._file_path is None:
+            raise ConfigurationError("block is closed")
+        return BlockHandle("mmap", self._file_path, self.nbytes)
+
+    def close(self) -> None:
+        """Release this process's mapping (the block may live on)."""
+        if self._shm is not None:
+            self._shm.close()
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+
+    def unlink(self) -> None:
+        """Destroy the backing segment/file (owner-side teardown)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        if self._shm is not None:
+            self._shm.unlink()
+        if self._file_path is not None and os.path.exists(self._file_path):
+            os.remove(self._file_path)
+        if self._dir is not None and os.path.isdir(self._dir):
+            os.rmdir(self._dir)
+
+    def __enter__(self) -> "SharedBlock":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+        self.unlink()
+
+
+class AttachedBlock:
+    """A shared block mapped into an attaching (worker) process."""
+
+    def __init__(self, handle: BlockHandle) -> None:
+        self.handle = handle
+        self._shm = None
+        self._mmap: Optional[mmap.mmap] = None
+        if handle.backend == "shm":
+            from multiprocessing import shared_memory
+
+            # Workers are always multiprocessing children of the
+            # coordinator, so they share its resource tracker: the
+            # attach-side registration lands in the same name set the
+            # owner's create registered, and the owner's unlink clears
+            # it exactly once. No unregister workaround needed (or
+            # wanted — it would race the owner's teardown).
+            self._shm = shared_memory.SharedMemory(name=handle.name)
+        elif handle.backend == "mmap":
+            fd = os.open(handle.name, os.O_RDWR)
+            try:
+                self._mmap = mmap.mmap(fd, handle.nbytes)
+            finally:
+                os.close(fd)
+        else:
+            raise ConfigurationError(
+                f"unknown shard-plane backend {handle.backend!r}"
+            )
+
+    @property
+    def buf(self) -> memoryview:
+        if self._shm is not None:
+            return self._shm.buf
+        if self._mmap is None:
+            raise ConfigurationError("block is closed")
+        return memoryview(self._mmap)
+
+    def close(self) -> None:
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+
+
+def view_array(buf: memoryview, spec: ArraySpec) -> np.ndarray:
+    """Zero-copy ndarray view of one packed array."""
+    return np.ndarray(
+        spec.shape, dtype=np.dtype(spec.dtype), buffer=buf, offset=spec.offset
+    )
+
+
+def pack_arrays(
+    arrays: Dict[str, np.ndarray], backend: str = "auto"
+) -> Tuple[SharedBlock, Tuple[ArraySpec, ...]]:
+    """Copy ``arrays`` once into a freshly created shared block.
+
+    Returns the owning block plus the layout specs needed to view each
+    array back out (here or in an attaching process).
+    """
+    specs = []
+    offset = 0
+    for key, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        specs.append(ArraySpec(key, array.shape, array.dtype.str, offset))
+        offset = align_up(offset + array.nbytes)
+    block = SharedBlock(max(offset, BLOCK_ALIGN), backend=backend)
+    for key, spec in zip(arrays, specs):
+        if spec.nbytes:
+            view_array(block.buf, spec)[...] = arrays[key]
+    return block, tuple(specs)
+
+
+class GraphPlane:
+    """Owner-side export of one graph onto the shard plane."""
+
+    def __init__(self, graph: CSRGraph, backend: str = "auto") -> None:
+        arrays: Dict[str, np.ndarray] = {
+            "indptr": graph.indptr,
+            "indices": graph.indices,
+        }
+        if graph.node_attr is not None:
+            arrays["node_attr"] = graph.node_attr
+        if graph.edge_attr is not None:
+            arrays["edge_attr"] = graph.edge_attr
+        self._block, specs = pack_arrays(arrays, backend=backend)
+        self.handle = GraphHandle(
+            block=self._block.handle,
+            arrays=specs,
+            num_dst_nodes=graph._num_dst_nodes,
+        )
+
+    @property
+    def backend(self) -> str:
+        return self._block.handle.backend
+
+    @property
+    def nbytes(self) -> int:
+        return self._block.nbytes
+
+    def close(self) -> None:
+        self._block.close()
+
+    def unlink(self) -> None:
+        self._block.unlink()
+
+    def __enter__(self) -> "GraphPlane":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+        self.unlink()
+
+
+class AttachedGraph:
+    """Worker-side view of an exported graph.
+
+    ``graph`` is a fully functional :class:`CSRGraph` whose arrays
+    alias the shared block — attaching performs no array copies.
+    """
+
+    def __init__(self, handle: GraphHandle) -> None:
+        self._block = AttachedBlock(handle.block)
+        views = {
+            spec.key: view_array(self._block.buf, spec) for spec in handle.arrays
+        }
+        if "indptr" not in views or "indices" not in views:
+            raise GraphError("graph handle is missing CSR arrays")
+        self.graph = CSRGraph(
+            views["indptr"],
+            views["indices"],
+            node_attr=views.get("node_attr"),
+            edge_attr=views.get("edge_attr"),
+            num_dst_nodes=handle.num_dst_nodes,
+        )
+
+    def close(self) -> None:
+        # Drop array references before unmapping: an exported buffer
+        # with live views would refuse (or crash on) the close.
+        self.graph = None  # type: ignore[assignment]
+        self._block.close()
+
+
+def export_graph(graph: CSRGraph, backend: str = "auto") -> GraphPlane:
+    """Export ``graph`` onto the shard plane (see :class:`GraphPlane`)."""
+    return GraphPlane(graph, backend=backend)
+
+
+def attach_graph(handle: GraphHandle) -> AttachedGraph:
+    """Attach a worker process to an exported graph."""
+    return AttachedGraph(handle)

@@ -84,7 +84,10 @@ class SoftwareBackend(ServingBackend):
     worker pool's vCPU parallelism. When the wrapped sampler runs the
     batched fast path, the per-key cost is divided by
     ``batched_speedup`` (the measured factor from
-    ``repro bench-sampler``).
+    ``repro bench-sampler``). A sharded parallel sampler
+    (:class:`~repro.parallel.ParallelSampler` with ``workers >= 1``)
+    additionally divides by its worker count, discounted by
+    ``parallel_efficiency`` for merge/gather time on the coordinator.
     """
 
     def __init__(
@@ -96,6 +99,7 @@ class SoftwareBackend(ServingBackend):
         per_key_s: float = 3.0 * US,
         parallelism: int = 8,
         batched_speedup: float = 5.0,
+        parallel_efficiency: float = 0.85,
         name: str = "software",
     ) -> None:
         super().__init__(name=name, concurrency=concurrency)
@@ -109,20 +113,33 @@ class SoftwareBackend(ServingBackend):
             raise ConfigurationError(
                 f"batched_speedup must be >= 1, got {batched_speedup}"
             )
+        if not 0.0 < parallel_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"parallel_efficiency must be in (0, 1], got {parallel_efficiency}"
+            )
         self.sampler = sampler
         self.functional = functional
         self.base_overhead_s = base_overhead_s
         self.per_key_s = per_key_s
         self.parallelism = parallelism
         self.batched_speedup = batched_speedup
+        self.parallel_efficiency = parallel_efficiency
+
+    def sampling_speedup(self) -> float:
+        """Modeled speedup of the wrapped sampler over the reference walk."""
+        speedup = 1.0
+        if getattr(self.sampler, "batched", False):
+            speedup *= self.batched_speedup
+        workers = getattr(self.sampler, "workers", 0)
+        if workers >= 1:
+            speedup *= max(1.0, workers * self.parallel_efficiency)
+        return speedup
 
     def execute(
         self, roots: np.ndarray, fanouts: Tuple[int, ...]
     ) -> BackendResult:
         keys = int(roots.size) * nodes_per_root(fanouts)
-        per_key_s = self.per_key_s
-        if getattr(self.sampler, "batched", False):
-            per_key_s /= self.batched_speedup
+        per_key_s = self.per_key_s / self.sampling_speedup()
         service_s = self.base_overhead_s + keys * per_key_s / self.parallelism
         payload = None
         if self.functional:

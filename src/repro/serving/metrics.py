@@ -73,7 +73,14 @@ class TenantReport:
 
 @dataclass
 class BackendReport:
-    """Per-backend utilization slice of a serving run."""
+    """Per-backend utilization slice of a serving run.
+
+    Every derived statistic is total — not NaN, not a crash — for a
+    backend that finished zero batches: a registered-but-idle backend
+    (e.g. hardware that failed before its first dispatch, or software
+    that never overflowed) is a normal outcome of a serving run, and
+    report plumbing must survive it.
+    """
 
     name: str
     concurrency: int
@@ -82,9 +89,24 @@ class BackendReport:
     busy_s: float = 0.0
 
     def utilization(self, duration_s: float) -> float:
-        if duration_s <= 0:
+        """Busy fraction of slot-time; 0.0 for empty windows/slots."""
+        if duration_s <= 0 or self.concurrency <= 0:
             return 0.0
         return self.busy_s / (duration_s * self.concurrency)
+
+    @property
+    def mean_service_s(self) -> float:
+        """Mean slot time per dispatched batch; 0.0 with zero batches."""
+        if self.batches == 0:
+            return 0.0
+        return self.busy_s / self.batches
+
+    @property
+    def mean_batch_requests(self) -> float:
+        """Mean requests coalesced per batch; 0.0 with zero batches."""
+        if self.batches == 0:
+            return 0.0
+        return self.requests / self.batches
 
 
 @dataclass
@@ -210,9 +232,14 @@ class ServingReport:
                 f"  degraded {self.store_degraded_reads}"
             )
         for name, backend in sorted(self.backends.items()):
+            service = (
+                f" mean service {MS_PER_S * backend.mean_service_s:.3f} ms,"
+                if backend.batches
+                else " idle,"
+            )
             lines.append(
                 f"backend {name}: {backend.batches} batches,"
-                f" {backend.requests} requests,"
+                f" {backend.requests} requests,{service}"
                 f" {100 * backend.utilization(self.drain_s):.1f}% busy"
             )
         for name, tenant in sorted(self.tenants.items()):

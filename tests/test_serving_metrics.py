@@ -1,6 +1,7 @@
 """Tests for repro.serving.metrics (registry and ServingReport)."""
 
 import math
+import re
 
 import pytest
 
@@ -101,3 +102,47 @@ class TestReportEdges:
         report = metrics.snapshot(duration_s=0.1, drain_s=0.1)
         metrics.on_completed("a", 9.0)
         assert len(report.latencies_s) == 3
+
+
+class TestZeroBatchBackends:
+    """Regression: a backend that finishes zero batches must not poison
+    the report with division-by-zero or NaN (satellite of the parallel
+    engine PR — idle backends are routine when the sharded software
+    path absorbs the whole load)."""
+
+    def test_idle_backend_fields_are_finite(self):
+        metrics = populated_registry()  # "sw" never dispatches
+        report = metrics.snapshot(duration_s=0.1, drain_s=0.12)
+        idle = report.backends["sw"]
+        assert idle.batches == 0
+        assert idle.mean_service_s == 0.0
+        assert idle.mean_batch_requests == 0.0
+        assert idle.utilization(report.drain_s) == 0.0
+        assert not math.isnan(idle.mean_service_s)
+
+    def test_busy_backend_means(self):
+        report = populated_registry().snapshot(duration_s=0.1, drain_s=0.12)
+        busy = report.backends["hw"]
+        assert busy.mean_service_s == pytest.approx(2e-3)
+        assert busy.mean_batch_requests == pytest.approx(3.0)
+
+    def test_zero_concurrency_guarded(self):
+        from repro.serving.metrics import BackendReport
+
+        report = BackendReport(name="x", concurrency=0, busy_s=1.0)
+        assert report.utilization(1.0) == 0.0
+
+    def test_format_survives_idle_backend(self):
+        text = populated_registry().snapshot(0.1, 0.12).format()
+        assert "backend sw: 0 batches, 0 requests, idle, 0.0% busy" in text
+        assert "mean service" in text  # the busy backend still reports it
+        # Whole-token match: "tenant" legitimately contains "nan".
+        assert not re.search(r"\bnan\b", text.lower())
+
+    def test_empty_report_has_no_nan_in_backends(self):
+        metrics = MetricsRegistry()
+        metrics.register_backend("sw", concurrency=4)
+        report = metrics.snapshot(duration_s=0.0, drain_s=0.0)
+        text = report.format()
+        assert report.backends["sw"].utilization(0.0) == 0.0
+        assert "backend sw" in text
