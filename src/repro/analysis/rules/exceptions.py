@@ -21,6 +21,7 @@ from repro.analysis.rules import FileContext, Rule, register
 FAULT_PATH_PREFIXES = (
     "repro/memstore/",
     "repro/serving/",
+    "repro/cluster/",
 )
 FAULT_PATH_MODULES = frozenset(
     {

@@ -18,7 +18,7 @@ from repro.analysis.findings import Finding
 from repro.analysis.rules import FileContext, Rule, register
 
 #: Event-driven modules whose clocks are simulated.
-SIM_MODULE_PREFIXES = ("repro/serving/",)
+SIM_MODULE_PREFIXES = ("repro/serving/", "repro/cluster/")
 SIM_MODULES = frozenset(
     {
         "repro/framework/service.py",

@@ -11,7 +11,7 @@ or the AxE hardware model.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +37,11 @@ from repro.serving.backends import HardwareBackend, SoftwareBackend
 from repro.serving.gateway import GatewayConfig, serve_workload
 from repro.serving.metrics import ServingReport
 from repro.serving.workload import TenantSpec, default_tenants
+
+if TYPE_CHECKING:
+    from repro.cluster.report import ClusterReport
+    from repro.cluster.sim import ClusterConfig
+    from repro.cluster.trace import TraceConfig
 
 
 class GnnSession:
@@ -265,6 +270,44 @@ class GnnSession:
             config=config,
             fail_backend_at=fail_backend_at,
         )
+
+    def serve_cluster(
+        self,
+        trace: Optional["TraceConfig"] = None,
+        config: Optional["ClusterConfig"] = None,
+        duration_s: float = 2.0,
+        users: int = 100_000,
+        functional: bool = True,
+    ) -> "ClusterReport":
+        """Run the multi-replica cluster with session-backed replicas.
+
+        Every replica's gateway dispatches onto *this* session's
+        sampler (the sharded parallel engine when the session was built
+        with ``workers=k``), so micro-batches really sample the graph
+        instead of charging the flavors' analytical service model.
+        Root ids in the trace are clamped to this session's graph.
+        """
+        from dataclasses import replace
+
+        from repro.cluster import (
+            ClusterConfig,
+            ClusterSim,
+            flash_crowd_day,
+            session_backends,
+        )
+
+        if trace is None:
+            trace = flash_crowd_day(duration_s=duration_s, users=users)
+        if trace.num_nodes > self.graph.num_nodes:
+            trace = replace(trace, num_nodes=self.graph.num_nodes)
+        if config is None:
+            config = ClusterConfig()
+        factory = session_backends(self, functional=functional)
+        return ClusterSim(
+            trace,
+            config=config,
+            backend_factories={arch: factory for arch in config.archs},
+        ).run()
 
     # ------------------------------------------------------ fixed model API
     def graphsage(

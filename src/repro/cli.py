@@ -178,6 +178,60 @@ def _cmd_serve(args) -> None:
     print(report.format())
 
 
+def _cmd_cluster(args) -> None:
+    import json
+
+    from repro.cluster import (
+        ClusterConfig,
+        ClusterSim,
+        CostModelPolicy,
+        ReactivePolicy,
+        SCALING_POLICIES,
+        StaticPolicy,
+        flash_crowd_day,
+        format_comparison,
+        get_policy,
+    )
+
+    trace = flash_crowd_day(
+        duration_s=args.duration_s, users=args.users, seed=args.seed
+    )
+    names = sorted(SCALING_POLICIES) if args.compare else [args.policy]
+    kills = tuple(args.kill_at or ())
+    reports = []
+    for name in names:
+        policy = get_policy(name)
+        if args.replicas:
+            # One knob, per-policy meaning: fixed fleet size for
+            # static, fleet-size cap for the adaptive policies.
+            if name == "static":
+                policy = StaticPolicy(replicas=args.replicas)
+            elif name == "least-loaded":
+                policy = ReactivePolicy(max_replicas=args.replicas)
+            else:
+                policy = CostModelPolicy(max_replicas=args.replicas)
+        config = ClusterConfig(
+            policy=name, router=args.router, kill_at_s=kills
+        )
+        reports.append(ClusterSim(trace, config, policy=policy).run())
+    if args.json:
+        if len(reports) == 1:
+            payload = reports[0].to_json()
+        else:
+            payload = {"reports": [r.to_json() for r in reports]}
+        print(json.dumps(payload, indent=2))
+        return
+    print(
+        f"cluster: {args.users:,} users, {args.duration_s:.0f}s compressed "
+        f"day (diurnal + flash crowds), router={args.router}"
+        + (f", kills at {list(kills)}" if kills else "")
+    )
+    if len(reports) == 1:
+        print(reports[0].format())
+    else:
+        print(format_comparison(reports))
+
+
 def _cmd_faults(args) -> None:
     from repro.graph.datasets import instantiate_dataset
     from repro.graph.partition import HashPartitioner
@@ -432,6 +486,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timing-only backends (skip real sampling)")
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(fn=_cmd_serve)
+    cluster = sub.add_parser(
+        "cluster", help="multi-replica cluster with cost-driven autoscaling"
+    )
+    cluster.add_argument("--policy", type=str, default="cost",
+                         choices=["static", "least-loaded", "cost"],
+                         help="scaling policy")
+    cluster.add_argument("--router", type=str, default="least-loaded",
+                         choices=["consistent-hash", "least-loaded"],
+                         help="request routing policy")
+    cluster.add_argument("--replicas", type=int, default=0,
+                         help="fleet size (static) or fleet-size cap "
+                              "(adaptive policies); 0 = policy default")
+    cluster.add_argument("--duration-s", type=float, default=10.0,
+                         help="compressed-day window in virtual seconds")
+    cluster.add_argument("--users", type=int, default=1_000_000,
+                         help="user population behind the trace")
+    cluster.add_argument("--kill-at", type=float, action="append",
+                         default=None, metavar="T",
+                         help="kill the most-loaded replica at this "
+                              "virtual time (repeatable)")
+    cluster.add_argument("--compare", action="store_true",
+                         help="run all scaling policies over the same "
+                              "trace and print the comparison table")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--json", action="store_true",
+                         help="emit the report(s) as JSON (see "
+                              "benchmarks/bench_record.py)")
+    cluster.set_defaults(fn=_cmd_cluster)
     faults = sub.add_parser(
         "faults", help="fault-tolerant remote-memory path demo"
     )

@@ -1,0 +1,399 @@
+"""Scaling policies and the reconcile loop that applies them.
+
+Three policies frame the cluster experiment (ROADMAP item 1):
+
+* **static** — the null hypothesis: N identical replicas sized for the
+  *mean* load, never touched. Cheap to reason about, and exactly wrong
+  twice a day: over-provisioned in the trough, under-provisioned at the
+  crest and during every flash crowd.
+* **least-loaded** — classic reactive scaling: watch the observed
+  demand (and queue pressure), keep ``ceil(demand * headroom /
+  capacity)`` replicas of one fixed flavor. Reacts to *load*, knows
+  nothing about *price*.
+* **cost** — the paper's Section 7.2 argument operationalized: the
+  FaaS architecture models (:mod:`repro.faas`) rate each Table 8
+  design's roots/s and the fitted pricing model (:mod:`repro.cost`)
+  prices it, so the policy can solve a tiny covering problem each tick
+  — pick the replica *mix* that covers forecast demand at minimum
+  $/hr. Different points of the day are served by different hardware.
+
+The :class:`Autoscaler` wraps a policy with up/down asymmetry (scale
+up immediately, scale down only after ``scale_down_cooldown_s`` of
+sustained surplus) and turns target deltas into spawn/drain plans.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.cluster.replica import ReplicaFlavor
+from repro.serving.gateway import GatewayLoad
+
+
+@dataclass(frozen=True)
+class DemandForecast:
+    """What provisioning knows before the first request arrives."""
+
+    mean_roots_per_s: float
+    peak_roots_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.mean_roots_per_s <= 0:
+            raise ConfigurationError(
+                f"mean_roots_per_s must be positive, got "
+                f"{self.mean_roots_per_s}"
+            )
+        if self.peak_roots_per_s < self.mean_roots_per_s:
+            raise ConfigurationError(
+                "peak_roots_per_s must be at least the mean"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterSnapshot:
+    """What a policy is allowed to see at one control tick."""
+
+    time_s: float
+    #: Windowed offered sampling demand (roots/s over the last window).
+    observed_roots_per_s: float
+    #: Active replica name -> flavor arch, in spawn order.
+    active: Tuple[Tuple[str, str], ...]
+    loads: Mapping[str, GatewayLoad]
+
+    def count_by_arch(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for _name, arch in self.active:
+            counts[arch] = counts.get(arch, 0) + 1
+        return counts
+
+    def mean_load_score(self) -> float:
+        if not self.active:
+            return 0.0
+        total = 0
+        for name, _arch in self.active:
+            load = self.loads.get(name)
+            total += 0 if load is None else load.score
+        return total / len(self.active)
+
+
+class ScalingPolicy(abc.ABC):
+    """Maps an observation snapshot to a target fleet (arch -> count)."""
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def initial_target(
+        self, forecast: DemandForecast, catalog: Mapping[str, ReplicaFlavor]
+    ) -> Dict[str, int]:
+        """Fleet to launch before any observation exists."""
+
+    @abc.abstractmethod
+    def decide(
+        self,
+        snapshot: ClusterSnapshot,
+        catalog: Mapping[str, ReplicaFlavor],
+    ) -> Dict[str, int]:
+        """Target fleet for the next control interval."""
+
+
+class StaticPolicy(ScalingPolicy):
+    """Fixed fleet, sized once for the mean load, never adjusted."""
+
+    name = "static"
+
+    def __init__(self, arch: str = "base.tc", replicas: int = 0) -> None:
+        if replicas < 0:
+            raise ConfigurationError(
+                f"replicas must be non-negative, got {replicas}"
+            )
+        self.arch = arch
+        #: 0 means "size for the forecast peak at launch".
+        self.replicas = replicas
+
+    def initial_target(
+        self, forecast: DemandForecast, catalog: Mapping[str, ReplicaFlavor]
+    ) -> Dict[str, int]:
+        flavor = catalog[self.arch]
+        count = self.replicas
+        if count == 0:
+            # A fleet that never scales must survive the worst case.
+            count = max(
+                1,
+                math.ceil(
+                    forecast.peak_roots_per_s / flavor.roots_per_second
+                ),
+            )
+        return {self.arch: count}
+
+    def decide(
+        self,
+        snapshot: ClusterSnapshot,
+        catalog: Mapping[str, ReplicaFlavor],
+    ) -> Dict[str, int]:
+        return dict(snapshot.count_by_arch()) or {
+            self.arch: max(1, self.replicas)
+        }
+
+
+class ReactivePolicy(ScalingPolicy):
+    """Demand-tracking scaler over one fixed flavor.
+
+    Target count covers the observed windowed demand with ``headroom``;
+    a queue-pressure kick adds one replica whenever the mean load score
+    exceeds ``kick_score`` (demand is rising faster than the window
+    average admits).
+    """
+
+    name = "least-loaded"
+
+    def __init__(
+        self,
+        arch: str = "base.tc",
+        headroom: float = 1.25,
+        kick_score: float = 64.0,
+        max_replicas: int = 64,
+    ) -> None:
+        if headroom < 1.0:
+            raise ConfigurationError(
+                f"headroom must be at least 1, got {headroom}"
+            )
+        if max_replicas < 1:
+            raise ConfigurationError(
+                f"max_replicas must be at least 1, got {max_replicas}"
+            )
+        self.arch = arch
+        self.headroom = headroom
+        self.kick_score = kick_score
+        self.max_replicas = max_replicas
+
+    def _target_count(
+        self, roots_per_s: float, catalog: Mapping[str, ReplicaFlavor]
+    ) -> int:
+        flavor = catalog[self.arch]
+        count = math.ceil(
+            roots_per_s * self.headroom / flavor.roots_per_second
+        )
+        return min(self.max_replicas, max(1, count))
+
+    def initial_target(
+        self, forecast: DemandForecast, catalog: Mapping[str, ReplicaFlavor]
+    ) -> Dict[str, int]:
+        return {
+            self.arch: self._target_count(forecast.mean_roots_per_s, catalog)
+        }
+
+    def decide(
+        self,
+        snapshot: ClusterSnapshot,
+        catalog: Mapping[str, ReplicaFlavor],
+    ) -> Dict[str, int]:
+        count = self._target_count(snapshot.observed_roots_per_s, catalog)
+        if snapshot.mean_load_score() > self.kick_score:
+            count = min(self.max_replicas, count + 1)
+        return {self.arch: count}
+
+
+def plan_min_cost_fleet(
+    required_roots_per_s: float,
+    catalog: Mapping[str, ReplicaFlavor],
+    max_replicas: int = 64,
+) -> Dict[str, int]:
+    """Cheapest replica mix covering ``required_roots_per_s``.
+
+    Greedy over the best perf-per-dollar flavor, then the remainder is
+    topped off by whichever single replica covers it cheapest — and the
+    homogeneous alternative (one more primary) is kept if it wins. With
+    Table 8's handful of flavors this is exact enough to beat any fixed
+    single-flavor fleet, and it is trivially deterministic.
+    """
+    if not catalog:
+        raise ConfigurationError("flavor catalog is empty")
+    flavors = sorted(
+        catalog.values(), key=lambda f: (f.price_per_capacity, f.arch)
+    )
+    primary = flavors[0]
+    demand = max(required_roots_per_s, 0.0)
+    base_count = int(demand // primary.roots_per_second)
+    base_count = min(base_count, max_replicas)
+    remainder = demand - base_count * primary.roots_per_second
+    target = {primary.arch: base_count} if base_count else {}
+    if remainder <= 0 and base_count >= 1:
+        return target
+    # Cheapest single replica covering the remainder, vs one more primary.
+    topper: Optional[ReplicaFlavor] = primary
+    topper_price = primary.price_per_hour
+    for flavor in flavors:
+        if flavor.roots_per_second >= remainder and (
+            flavor.price_per_hour < topper_price
+            or (
+                flavor.price_per_hour == topper_price
+                and flavor.arch < topper.arch
+            )
+        ):
+            topper = flavor
+            topper_price = flavor.price_per_hour
+    if sum(target.values()) < max_replicas:
+        target[topper.arch] = target.get(topper.arch, 0) + 1
+    return target
+
+
+class CostModelPolicy(ScalingPolicy):
+    """Architecture-model-driven min-cost covering of forecast demand."""
+
+    name = "cost"
+
+    def __init__(
+        self, headroom: float = 1.5, max_replicas: int = 64
+    ) -> None:
+        if headroom < 1.0:
+            raise ConfigurationError(
+                f"headroom must be at least 1, got {headroom}"
+            )
+        if max_replicas < 1:
+            raise ConfigurationError(
+                f"max_replicas must be at least 1, got {max_replicas}"
+            )
+        self.headroom = headroom
+        self.max_replicas = max_replicas
+
+    def initial_target(
+        self, forecast: DemandForecast, catalog: Mapping[str, ReplicaFlavor]
+    ) -> Dict[str, int]:
+        return plan_min_cost_fleet(
+            forecast.mean_roots_per_s * self.headroom,
+            catalog,
+            max_replicas=self.max_replicas,
+        )
+
+    def decide(
+        self,
+        snapshot: ClusterSnapshot,
+        catalog: Mapping[str, ReplicaFlavor],
+    ) -> Dict[str, int]:
+        return plan_min_cost_fleet(
+            snapshot.observed_roots_per_s * self.headroom,
+            catalog,
+            max_replicas=self.max_replicas,
+        )
+
+
+#: Scaling policy name -> zero-argument constructor.
+SCALING_POLICIES = {
+    "static": StaticPolicy,
+    "least-loaded": ReactivePolicy,
+    "cost": CostModelPolicy,
+}
+
+
+def get_policy(name: str) -> ScalingPolicy:
+    try:
+        factory = SCALING_POLICIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scaling policy {name!r}; expected one of "
+            f"{sorted(SCALING_POLICIES)}"
+        ) from None
+    return factory()
+
+
+@dataclass
+class ScalePlan:
+    """Concrete actions the cluster should take this tick."""
+
+    spawn: List[str] = field(default_factory=list)  # flavor archs
+    drain: List[str] = field(default_factory=list)  # replica names
+
+
+class Autoscaler:
+    """Applies a policy with scale-up/scale-down asymmetry.
+
+    Scale-up is immediate (capacity shortfalls cost SLO violations
+    now); scale-down of any given surplus must persist for
+    ``scale_down_cooldown_s`` before replicas are drained (flash crowds
+    have trailing edges, and draining into a rebound is the classic
+    reactive-scaler failure mode).
+    """
+
+    def __init__(
+        self,
+        policy: ScalingPolicy,
+        catalog: Mapping[str, ReplicaFlavor],
+        scale_down_cooldown_s: float = 0.5,
+    ) -> None:
+        if scale_down_cooldown_s < 0:
+            raise ConfigurationError(
+                f"scale_down_cooldown_s must be non-negative, got "
+                f"{scale_down_cooldown_s}"
+            )
+        self.policy = policy
+        self.catalog = dict(catalog)
+        self.scale_down_cooldown_s = scale_down_cooldown_s
+        self._surplus_since: Optional[float] = None
+        self.decisions = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+
+    def initial_fleet(self, forecast: DemandForecast) -> List[str]:
+        """Flavor arch per replica to launch at cluster start."""
+        target = self.policy.initial_target(forecast, self.catalog)
+        fleet: List[str] = []
+        for arch in sorted(target):
+            fleet.extend([arch] * target[arch])
+        return fleet
+
+    def plan(self, snapshot: ClusterSnapshot) -> ScalePlan:
+        """Diff the policy's target against the active fleet."""
+        self.decisions += 1
+        target = self.policy.decide(snapshot, self.catalog)
+        current = snapshot.count_by_arch()
+        plan = ScalePlan()
+
+        for arch in sorted(target):
+            deficit = target[arch] - current.get(arch, 0)
+            if deficit > 0:
+                plan.spawn.extend([arch] * deficit)
+
+        surplus_by_arch = {
+            arch: count - target.get(arch, 0)
+            for arch, count in current.items()
+            if count > target.get(arch, 0)
+        }
+        if not surplus_by_arch:
+            self._surplus_since = None
+        else:
+            if self._surplus_since is None:
+                self._surplus_since = snapshot.time_s
+            held = snapshot.time_s - self._surplus_since
+            if held >= self.scale_down_cooldown_s:
+                plan.drain = self._pick_drains(snapshot, surplus_by_arch)
+                self._surplus_since = None
+
+        if plan.spawn:
+            self.scale_ups += 1
+        if plan.drain:
+            self.scale_downs += 1
+        return plan
+
+    def _pick_drains(
+        self,
+        snapshot: ClusterSnapshot,
+        surplus_by_arch: Mapping[str, int],
+    ) -> List[str]:
+        """Surplus members: costliest-per-capacity arch, newest first."""
+
+        def arch_key(arch: str) -> Tuple[float, str]:
+            flavor = self.catalog.get(arch)
+            price = (
+                float("inf") if flavor is None else -flavor.price_per_capacity
+            )
+            return (price, arch)
+
+        drains: List[str] = []
+        for arch in sorted(surplus_by_arch, key=arch_key):
+            members = [name for name, a in snapshot.active if a == arch]
+            drains.extend(reversed(members[-surplus_by_arch[arch]:]))
+        return drains

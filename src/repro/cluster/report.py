@@ -1,0 +1,297 @@
+"""Cluster-level accounting and the policy-comparison report.
+
+The cluster owns its request ledger instead of summing replica
+gateway registries: replicas hot-restart with fresh gateways (their
+registries reset), and a request that is evacuated off a failed
+replica completes on a different gateway than the one that admitted
+it. Every offered request is accounted exactly once here —
+``offered == completed + shed + in flight at horizon`` — which is what
+the no-lost-requests invariant in the kill test checks.
+
+The headline artifact is :func:`format_comparison`: SLO attainment
+against fleet $/hr for each scaling policy over the same trace — the
+ROADMAP item 1 deliverable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.cluster.replica import ReplicaFlavor
+from repro.serving.metrics import _percentile
+from repro.units import MS_PER_S, S_PER_HOUR
+
+
+@dataclass
+class TenantLedger:
+    """Per-tenant request accounting across the whole cluster."""
+
+    name: str
+    slo_s: float
+    offered: int = 0
+    completed: int = 0
+    within_slo: int = 0
+    shed_requests: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of *offered* requests completed inside their SLO."""
+        if self.offered == 0:
+            return 1.0
+        return self.within_slo / self.offered
+
+    def p50(self) -> float:
+        return _percentile(self.latencies_s, 50.0)
+
+    def p99(self) -> float:
+        return _percentile(self.latencies_s, 99.0)
+
+
+class ClusterMetrics:
+    """Mutable accumulator the cluster simulation writes into."""
+
+    def __init__(self) -> None:
+        self.tenants: Dict[str, TenantLedger] = {}
+        self.offered = 0
+        self.completed = 0
+        self.within_slo = 0
+        self.shed_requests = 0
+        self.shed_reasons: Dict[str, int] = {}
+        #: Router chose a dead-but-undetected replica; instantly re-routed.
+        self.redirected_requests = 0
+        #: Admitted work pulled off a failed replica and re-routed.
+        self.evacuated_requests = 0
+        self.replica_launches = 0
+        self.replica_failures = 0
+        self.replica_restarts = 0
+        self.replica_drains = 0
+        #: arch -> accumulated active replica-seconds (billing basis).
+        self.replica_seconds: Dict[str, float] = {}
+        #: (time_s, active replica count) at each control tick.
+        self.fleet_samples: List[Tuple[float, int]] = []
+
+    def register_tenant(self, name: str, slo_s: float) -> None:
+        if name in self.tenants:
+            raise ConfigurationError(f"tenant {name!r} already registered")
+        self.tenants[name] = TenantLedger(name=name, slo_s=slo_s)
+
+    # ------------------------------------------------------------- requests
+    def on_offered(self, tenant: str) -> None:
+        self.offered += 1
+        self.tenants[tenant].offered += 1
+
+    def on_shed(self, tenant: str, reason: str) -> None:
+        self.shed_requests += 1
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+        self.tenants[tenant].shed_requests += 1
+
+    def on_completed(self, tenant: str, latency_s: float, slo_s: float) -> None:
+        ledger = self.tenants[tenant]
+        ledger.completed += 1
+        ledger.latencies_s.append(latency_s)
+        self.completed += 1
+        if latency_s <= slo_s:
+            self.within_slo += 1
+            ledger.within_slo += 1
+
+    # -------------------------------------------------------------- billing
+    def on_replica_active_s(self, arch: str, seconds: float) -> None:
+        self.replica_seconds[arch] = (
+            self.replica_seconds.get(arch, 0.0) + seconds
+        )
+
+    def total_cost(self, catalog: Mapping[str, ReplicaFlavor]) -> float:
+        """Dollars spent over the run, per the fitted pricing model."""
+        cost = 0.0
+        for arch, seconds in self.replica_seconds.items():
+            cost += catalog[arch].price_per_hour * seconds / S_PER_HOUR
+        return cost
+
+
+@dataclass(frozen=True)
+class TenantSummary:
+    name: str
+    slo_ms: float
+    offered: int
+    completed: int
+    shed_requests: int
+    attainment: float
+    p50_ms: float
+    p99_ms: float
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """One policy's run over one trace, fully reduced."""
+
+    policy: str
+    router: str
+    duration_s: float
+    offered: int
+    completed: int
+    within_slo: int
+    shed_requests: int
+    redirected_requests: int
+    evacuated_requests: int
+    replica_launches: int
+    replica_failures: int
+    replica_restarts: int
+    replica_drains: int
+    min_replicas: int
+    peak_replicas: int
+    replica_seconds: Mapping[str, float]
+    total_cost: float
+    tenants: Tuple[TenantSummary, ...]
+
+    @property
+    def attainment(self) -> float:
+        """Completed-within-SLO over offered — shed requests count
+        against the cluster, not against the client."""
+        if self.offered == 0:
+            return 1.0
+        return self.within_slo / self.offered
+
+    @property
+    def dollars_per_hour(self) -> float:
+        """Mean fleet burn rate over the run window."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.total_cost * S_PER_HOUR / self.duration_s
+
+    @property
+    def lost_requests(self) -> int:
+        """Offered requests neither completed nor explicitly shed.
+
+        Must be zero even across replica kills: accepted work is
+        evacuated and re-routed, never dropped.
+        """
+        return self.offered - self.completed - self.shed_requests
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "router": self.router,
+            "duration_s": self.duration_s,
+            "offered": self.offered,
+            "completed": self.completed,
+            "within_slo": self.within_slo,
+            "shed_requests": self.shed_requests,
+            "redirected_requests": self.redirected_requests,
+            "evacuated_requests": self.evacuated_requests,
+            "replica_launches": self.replica_launches,
+            "replica_failures": self.replica_failures,
+            "replica_restarts": self.replica_restarts,
+            "replica_drains": self.replica_drains,
+            "min_replicas": self.min_replicas,
+            "peak_replicas": self.peak_replicas,
+            "replica_seconds": dict(self.replica_seconds),
+            "total_cost": self.total_cost,
+            "dollars_per_hour": self.dollars_per_hour,
+            "slo_attainment": self.attainment,
+            "lost_requests": self.lost_requests,
+            "tenants": [
+                {
+                    "name": t.name,
+                    "slo_ms": t.slo_ms,
+                    "offered": t.offered,
+                    "completed": t.completed,
+                    "shed_requests": t.shed_requests,
+                    "attainment": t.attainment,
+                    "p50_ms": t.p50_ms,
+                    "p99_ms": t.p99_ms,
+                }
+                for t in self.tenants
+            ],
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"cluster run: policy={self.policy} router={self.router} "
+            f"duration={self.duration_s:.1f}s",
+            f"  requests: offered {self.offered:,}  completed "
+            f"{self.completed:,}  shed {self.shed_requests:,}  "
+            f"lost {self.lost_requests}",
+            f"  SLO attainment: {self.attainment:.1%}   fleet cost: "
+            f"${self.total_cost:.4f} (${self.dollars_per_hour:.2f}/hr)",
+            f"  fleet: {self.min_replicas}-{self.peak_replicas} replicas  "
+            f"launches {self.replica_launches}  failures "
+            f"{self.replica_failures}  restarts {self.replica_restarts}  "
+            f"drains {self.replica_drains}",
+            f"  recovery: redirected {self.redirected_requests:,}  "
+            f"evacuated {self.evacuated_requests:,}",
+        ]
+        for t in self.tenants:
+            lines.append(
+                f"  tenant {t.name:<8} slo {t.slo_ms:5.1f}ms  offered "
+                f"{t.offered:>7,}  attain {t.attainment:6.1%}  p50 "
+                f"{t.p50_ms:6.2f}ms  p99 {t.p99_ms:7.2f}ms"
+            )
+        return "\n".join(lines)
+
+
+def build_report(
+    metrics: ClusterMetrics,
+    policy: str,
+    router: str,
+    duration_s: float,
+    catalog: Mapping[str, ReplicaFlavor],
+) -> ClusterReport:
+    counts = [count for _t, count in metrics.fleet_samples]
+    tenants = tuple(
+        TenantSummary(
+            name=ledger.name,
+            slo_ms=ledger.slo_s * MS_PER_S,
+            offered=ledger.offered,
+            completed=ledger.completed,
+            shed_requests=ledger.shed_requests,
+            attainment=ledger.attainment,
+            p50_ms=ledger.p50() * MS_PER_S,
+            p99_ms=ledger.p99() * MS_PER_S,
+        )
+        for ledger in metrics.tenants.values()
+    )
+    return ClusterReport(
+        policy=policy,
+        router=router,
+        duration_s=duration_s,
+        offered=metrics.offered,
+        completed=metrics.completed,
+        within_slo=metrics.within_slo,
+        shed_requests=metrics.shed_requests,
+        redirected_requests=metrics.redirected_requests,
+        evacuated_requests=metrics.evacuated_requests,
+        replica_launches=metrics.replica_launches,
+        replica_failures=metrics.replica_failures,
+        replica_restarts=metrics.replica_restarts,
+        replica_drains=metrics.replica_drains,
+        min_replicas=min(counts) if counts else 0,
+        peak_replicas=max(counts) if counts else 0,
+        replica_seconds=dict(metrics.replica_seconds),
+        total_cost=metrics.total_cost(catalog),
+        tenants=tenants,
+    )
+
+
+def format_comparison(reports: Sequence[ClusterReport]) -> str:
+    """The headline table: SLO attainment vs $/hr across policies."""
+    if not reports:
+        raise ConfigurationError("no reports to compare")
+    header = (
+        f"{'policy':<14} {'attain':>7} {'$/hr':>8} {'cost':>9} "
+        f"{'replicas':>9} {'shed':>7} {'lost':>5} {'p99 ms':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for report in reports:
+        p99s = [t.p99_ms for t in report.tenants if t.completed]
+        worst_p99 = max(p99s) if p99s else float("nan")
+        lines.append(
+            f"{report.policy:<14} {report.attainment:>7.1%} "
+            f"{report.dollars_per_hour:>8.2f} {report.total_cost:>9.4f} "
+            f"{report.min_replicas:>4}-{report.peak_replicas:<4} "
+            f"{report.shed_requests:>7,} {report.lost_requests:>5} "
+            f"{worst_p99:>8.2f}"
+        )
+    return "\n".join(lines)

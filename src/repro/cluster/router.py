@@ -1,0 +1,152 @@
+"""Pluggable request routers over the replica pool.
+
+Two policies, each solving a different routing problem:
+
+* **Consistent hash** — tenant affinity. A tenant's requests land on
+  the same replica as long as that replica lives, and replica churn
+  moves only ``~1/N`` of the key space (each replica contributes
+  ``vnodes`` points to a shared hash ring, so its departure hands its
+  arcs to many successors instead of one). Affinity is what makes
+  per-replica caches and per-tenant batching coalesce.
+* **Least loaded** — instantaneous balance. Every request goes to the
+  member with the smallest load score (queue depth + in-flight roots),
+  ties broken toward the earliest-added member so a quiet cluster
+  routes deterministically.
+
+Hashing uses BLAKE2b digests, not Python ``hash()`` — the interpreter
+salts ``hash()`` per process, which would make routing (and therefore
+every cluster metric) differ run to run.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+import hashlib
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.serving.gateway import GatewayLoad
+
+
+def _hash_point(key: str) -> int:
+    """Deterministic 64-bit ring coordinate for ``key``."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class Router(abc.ABC):
+    """Membership plus a routing decision per request."""
+
+    #: Policy name the CLI/report use.
+    policy: str = ""
+
+    def __init__(self) -> None:
+        self._members: List[str] = []
+
+    @property
+    def members(self) -> Tuple[str, ...]:
+        """Replicas currently eligible for new traffic, in add order."""
+        return tuple(self._members)
+
+    def add_replica(self, name: str) -> None:
+        if name in self._members:
+            raise ConfigurationError(f"replica {name!r} already routed")
+        self._members.append(name)
+
+    def remove_replica(self, name: str) -> None:
+        if name not in self._members:
+            raise ConfigurationError(f"replica {name!r} not routed")
+        self._members.remove(name)
+
+    def _require_members(self) -> None:
+        if not self._members:
+            raise SimulationError("routing with no eligible replicas")
+
+    @abc.abstractmethod
+    def route(self, tenant: str, loads: Mapping[str, GatewayLoad]) -> str:
+        """Pick the member that should serve this tenant's request."""
+
+
+class ConsistentHashRouter(Router):
+    """Tenant-affine routing on a virtual-node hash ring."""
+
+    policy = "consistent-hash"
+
+    def __init__(self, vnodes: int = 64) -> None:
+        super().__init__()
+        if vnodes <= 0:
+            raise ConfigurationError(
+                f"vnodes must be positive, got {vnodes}"
+            )
+        self.vnodes = vnodes
+        self._ring: List[Tuple[int, str]] = []
+        self._points: List[int] = []
+
+    def _rebuild_points(self) -> None:
+        self._points = [point for point, _name in self._ring]
+
+    def add_replica(self, name: str) -> None:
+        super().add_replica(name)
+        for index in range(self.vnodes):
+            entry = (_hash_point(f"{name}#{index}"), name)
+            bisect.insort(self._ring, entry)
+        self._rebuild_points()
+
+    def remove_replica(self, name: str) -> None:
+        super().remove_replica(name)
+        self._ring = [entry for entry in self._ring if entry[1] != name]
+        self._rebuild_points()
+
+    def route(self, tenant: str, loads: Mapping[str, GatewayLoad]) -> str:
+        self._require_members()
+        point = _hash_point(tenant)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+    def assignment(self, keys: Sequence[str]) -> Dict[str, str]:
+        """Snapshot key -> member mapping (the churn-stability probe)."""
+        empty: Dict[str, GatewayLoad] = {}
+        return {key: self.route(key, empty) for key in keys}
+
+
+class LeastLoadedRouter(Router):
+    """Route to the member with the smallest instantaneous load."""
+
+    policy = "least-loaded"
+
+    def route(self, tenant: str, loads: Mapping[str, GatewayLoad]) -> str:
+        self._require_members()
+        best = self._members[0]
+        best_score = self._score(best, loads)
+        for name in self._members[1:]:
+            score = self._score(name, loads)
+            if score < best_score:
+                best, best_score = name, score
+        return best
+
+    @staticmethod
+    def _score(name: str, loads: Mapping[str, GatewayLoad]) -> int:
+        load = loads.get(name)
+        return 0 if load is None else load.score
+
+
+#: Router policy name -> constructor.
+ROUTER_POLICIES = {
+    "consistent-hash": ConsistentHashRouter,
+    "least-loaded": LeastLoadedRouter,
+}
+
+
+def get_router(policy: str) -> Router:
+    """Instantiate a router by policy name."""
+    try:
+        factory = ROUTER_POLICIES[policy]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown router policy {policy!r}; expected one of "
+            f"{sorted(ROUTER_POLICIES)}"
+        ) from None
+    return factory()

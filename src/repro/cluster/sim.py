@@ -1,0 +1,451 @@
+"""The multi-replica serving cluster, end to end.
+
+One deterministic event kernel (:class:`repro.axe.events.Simulator`)
+drives everything: the trace's arrivals, every replica gateway's
+coalescing timers and batch completions, health probes, autoscaler
+ticks, drain checks, and injected replica kills. The cluster layer
+sits where a real front door would:
+
+* **admission** — per-tenant token buckets at the cluster edge
+  (replica gateways attach with ``admission=False``; admitting per
+  replica would multiply every tenant's contract by the replica
+  count);
+* **routing** — a pluggable :class:`~repro.cluster.router.Router` over
+  the healthy members, with connection-level redirect when the router
+  picks a dead-but-undetected replica and queue-pressure spill when the
+  picked member is full;
+* **scaling** — an :class:`~repro.cluster.autoscaler.Autoscaler`
+  reconciling a policy's target fleet with spawn/drain actions;
+* **recovery** — the health monitor detects kills, stranded work is
+  :meth:`~repro.serving.gateway.ServingGateway.evacuate`\\ d onto
+  survivors, and the replica hot-restarts with a fresh gateway.
+
+The no-loss invariant the kill test pins down: every offered request
+is either completed or explicitly shed with a retry-after hint —
+``offered == completed + shed`` once the queue runs dry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.axe.events import Simulator
+from repro.cluster.autoscaler import (
+    Autoscaler,
+    ClusterSnapshot,
+    DemandForecast,
+    ScalingPolicy,
+    get_policy,
+)
+from repro.cluster.health import HealthConfig, HealthMonitor
+from repro.cluster.replica import (
+    BackendFactory,
+    ClusterReplica,
+    ReplicaFlavor,
+    flavor_catalog,
+)
+from repro.cluster.report import ClusterMetrics, ClusterReport, build_report
+from repro.cluster.router import Router, get_router
+from repro.cluster.trace import TraceConfig, generate_trace
+from repro.serving.gateway import GatewayConfig, GatewayLoad, MicroBatch
+from repro.serving.scheduler import TokenBucket
+from repro.serving.workload import Arrival
+
+#: Architectures offered to the autoscaler as replica flavors.
+DEFAULT_ARCHS = (
+    "base.tc",
+    "base.decp",
+    "cost-opt.tc",
+    "cost-opt.decp",
+    "comm-opt.tc",
+    "comm-opt.decp",
+    "mem-opt.tc",
+    "mem-opt.decp",
+)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything a cluster run is a pure function of (plus the trace)."""
+
+    policy: str = "cost"
+    router: str = "least-loaded"
+    archs: Tuple[str, ...] = DEFAULT_ARCHS
+    size: str = "medium"
+    dataset: str = "ss"
+    #: Maps fleet-scale architecture throughput onto the compressed
+    #: trace's demand scale (same factor for every flavor).
+    capacity_scale: float = 0.03
+    gateway: GatewayConfig = field(default_factory=GatewayConfig)
+    #: Cluster-edge admission: tokens at ``headroom x`` each tenant's
+    #: mean rate. Generous by design — it is overload protection, not a
+    #: rate plan; the autoscaler is supposed to absorb the diurnal swing.
+    admission_headroom: float = 4.0
+    admission_burst: float = 64.0
+    #: Autoscaler control loop cadence (also the observation window).
+    tick_interval_s: float = 0.25
+    #: Cold-start delay before a spawned replica turns healthy.
+    startup_delay_s: float = 0.15
+    #: Delay between failure detection and the hot restart.
+    restart_delay_s: float = 0.2
+    health: HealthConfig = field(default_factory=HealthConfig)
+    scale_down_cooldown_s: float = 0.5
+    #: Inject a replica kill at each listed virtual time.
+    kill_at_s: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.archs:
+            raise ConfigurationError("at least one architecture is required")
+        if self.capacity_scale <= 0:
+            raise ConfigurationError(
+                f"capacity_scale must be positive, got {self.capacity_scale}"
+            )
+        if self.admission_headroom <= 0:
+            raise ConfigurationError(
+                f"admission_headroom must be positive, got "
+                f"{self.admission_headroom}"
+            )
+        if self.tick_interval_s <= 0:
+            raise ConfigurationError(
+                f"tick_interval_s must be positive, got "
+                f"{self.tick_interval_s}"
+            )
+        if self.startup_delay_s < 0 or self.restart_delay_s < 0:
+            raise ConfigurationError("delays must be non-negative")
+        for at_s in self.kill_at_s:
+            if at_s < 0:
+                raise ConfigurationError(
+                    f"kill_at_s must be non-negative, got {at_s}"
+                )
+
+
+class ClusterSim:
+    """One policy's run over one trace on one shared event kernel."""
+
+    def __init__(
+        self,
+        trace_config: TraceConfig,
+        config: Optional[ClusterConfig] = None,
+        policy: Optional[ScalingPolicy] = None,
+        router: Optional[Router] = None,
+        backend_factories: Optional[Dict[str, BackendFactory]] = None,
+    ) -> None:
+        self.trace_config = trace_config
+        self.config = config or ClusterConfig()
+        self.policy = policy or get_policy(self.config.policy)
+        self.router = router or get_router(self.config.router)
+        self.catalog: Dict[str, ReplicaFlavor] = flavor_catalog(
+            self.config.archs,
+            size=self.config.size,
+            dataset=self.config.dataset,
+            capacity_scale=self.config.capacity_scale,
+        )
+        #: Optional per-arch backend factory override (session-backed
+        #: replicas); default is the flavor's modeled backend.
+        self.backend_factories = backend_factories or {}
+        self.autoscaler = Autoscaler(
+            self.policy,
+            self.catalog,
+            scale_down_cooldown_s=self.config.scale_down_cooldown_s,
+        )
+        self.metrics = ClusterMetrics()
+        self.sim = Simulator()
+        self.replicas: Dict[str, ClusterReplica] = {}
+        self._spawn_order: List[str] = []
+        self._spawn_counter = 0
+        self.health = HealthMonitor(self.config.health)
+        self._tenant_slo: Dict[str, float] = {}
+        self._admission: Dict[str, TokenBucket] = {}
+        self._parked: List[Arrival] = []
+        self._window_roots = 0
+        self._active_since: Dict[str, float] = {}
+        self._horizon_s = trace_config.duration_s
+        self._ran = False
+
+        for spec in trace_config.tenant_specs():
+            self.metrics.register_tenant(spec.name, spec.slo_s)
+            self._tenant_slo[spec.name] = spec.slo_s
+            self._admission[spec.name] = TokenBucket(
+                rate=spec.rate_rps * self.config.admission_headroom,
+                burst=self.config.admission_burst,
+            )
+
+    # -------------------------------------------------------------- billing
+    def _billing_start(self, replica: ClusterReplica) -> None:
+        self._active_since[replica.name] = self.sim.now
+
+    def _billing_stop(self, replica: ClusterReplica) -> None:
+        since = self._active_since.pop(replica.name, None)
+        if since is not None:
+            self.metrics.on_replica_active_s(
+                replica.flavor.arch, self.sim.now - since
+            )
+
+    def _billing_finalize(self) -> None:
+        for name in list(self._active_since):
+            self._billing_stop(self.replicas[name])
+
+    # ------------------------------------------------------------ lifecycle
+    def _spawn(self, arch: str, warm: bool = False) -> ClusterReplica:
+        flavor = self.catalog[arch]
+        self._spawn_counter += 1
+        name = f"r{self._spawn_counter}-{arch}"
+        replica = ClusterReplica(
+            name,
+            flavor,
+            self.trace_config.tenant_specs(),
+            gateway_config=self.config.gateway,
+            backend_factory=self.backend_factories.get(arch),
+        )
+        self.replicas[name] = replica
+        self._spawn_order.append(name)
+        self.metrics.replica_launches += 1
+        self._attach(replica)
+        if warm:
+            self._turn_healthy(replica)
+        else:
+            self.sim.after(
+                self.config.startup_delay_s,
+                lambda r=replica: self._turn_healthy(r),
+            )
+        return replica
+
+    def _attach(self, replica: ClusterReplica) -> None:
+        gateway = replica.attach(self.sim)
+        gateway.on_batch_complete = self._on_batch_complete
+        self._billing_start(replica)
+
+    def _turn_healthy(self, replica: ClusterReplica) -> None:
+        if not replica.alive:
+            return  # killed while starting; detection path owns it
+        replica.mark_healthy()
+        self.router.add_replica(replica.name)
+        self.health.watch(replica)
+        self._flush_parked()
+
+    def _begin_drain(self, name: str) -> None:
+        replica = self.replicas[name]
+        if name in self.router.members:
+            self.router.remove_replica(name)
+        if name in self.health.watched:
+            self.health.unwatch(name)
+        replica.begin_drain()
+        self.metrics.replica_drains += 1
+        self._check_drained(replica)
+
+    def _check_drained(self, replica: ClusterReplica) -> None:
+        if not replica.alive:
+            return  # killed mid-drain; detection path owns it
+        if replica.drained:
+            replica.retire()
+            self._billing_stop(replica)
+            return
+        self.sim.after(
+            self.config.gateway.max_wait_s,
+            lambda r=replica: self._check_drained(r),
+        )
+
+    # -------------------------------------------------------------- routing
+    def _routed_loads(self) -> Dict[str, GatewayLoad]:
+        return {
+            name: self.replicas[name].load() for name in self.router.members
+        }
+
+    def _accepting_members(self) -> List[str]:
+        """Routed members that are alive (dead ones await detection)."""
+        return [
+            name
+            for name in self.router.members
+            if self.replicas[name].alive
+        ]
+
+    def _least_loaded(
+        self, members: List[str], loads: Dict[str, GatewayLoad]
+    ) -> str:
+        best = members[0]
+        best_score = loads[best].score
+        for name in members[1:]:
+            if loads[name].score < best_score:
+                best, best_score = name, loads[name].score
+        return best
+
+    def _on_arrival(self, arrival: Arrival) -> None:
+        self.metrics.on_offered(arrival.tenant)
+        self._window_roots += int(arrival.roots.size)
+        now = self.sim.now
+        bucket = self._admission[arrival.tenant]
+        if not bucket.try_take(now):
+            self.metrics.on_shed(
+                arrival.tenant, "rate_limited"
+            )
+            return
+        members = self._accepting_members()
+        if not members:
+            self.metrics.on_shed(arrival.tenant, "no_capacity")
+            return
+        loads = self._routed_loads()
+        chosen = self.router.route(arrival.tenant, loads)
+        if chosen not in members:
+            # Connection refused by a dead-but-undetected member: the
+            # client redirects instantly; admitted work on that replica
+            # still waits for the health monitor.
+            self.metrics.redirected_requests += 1
+            chosen = self._least_loaded(members, loads)
+        if loads[chosen].queue_depth >= self.config.gateway.queue_capacity:
+            spill = self._least_loaded(members, loads)
+            if (
+                loads[spill].queue_depth
+                >= self.config.gateway.queue_capacity
+            ):
+                gateway = self.replicas[chosen].gateway
+                assert gateway is not None
+                self.metrics.on_shed(arrival.tenant, "queue_full")
+                return
+            chosen = spill
+        gateway = self.replicas[chosen].gateway
+        assert gateway is not None
+        gateway.submit_admitted(arrival)
+
+    def _on_batch_complete(self, batch: MicroBatch, payload: object) -> None:
+        now = self.sim.now
+        for request in batch.requests:
+            self.metrics.on_completed(
+                request.tenant, now - request.time_s, request.slo_s
+            )
+
+    # ------------------------------------------------------------- recovery
+    def _inject_kill(self) -> None:
+        members = self._accepting_members()
+        if not members:
+            return
+        loads = self._routed_loads()
+        # Kill the most-loaded member: the worst case for evacuation.
+        victim = members[0]
+        for name in members[1:]:
+            if loads[name].score > loads[victim].score:
+                victim = name
+        replica = self.replicas[victim]
+        replica.fail()
+        self.metrics.replica_failures += 1
+        self._billing_stop(replica)
+
+    def _probe(self) -> None:
+        for replica in self.health.probe_all():
+            if replica.name in self.router.members:
+                self.router.remove_replica(replica.name)
+            orphans = replica.evacuate()
+            self.metrics.evacuated_requests += len(orphans)
+            self._resubmit(orphans)
+            self.sim.after(
+                self.config.restart_delay_s,
+                lambda r=replica: self._restart(r),
+            )
+        watching_dead = any(
+            not self.replicas[name].alive for name in self.health.watched
+        )
+        if self.sim.now < self._horizon_s or watching_dead:
+            self.sim.after(self.config.health.probe_interval_s, self._probe)
+
+    def _restart(self, replica: ClusterReplica) -> None:
+        self.metrics.replica_restarts += 1
+        self._attach(replica)
+        self.sim.after(
+            self.config.startup_delay_s,
+            lambda r=replica: self._turn_healthy(r),
+        )
+
+    def _resubmit(self, orphans: List[Arrival]) -> None:
+        """Re-route evacuated work; park it if no member can take it."""
+        for arrival in orphans:
+            members = self._accepting_members()
+            if not members:
+                self._parked.append(arrival)
+                continue
+            loads = self._routed_loads()
+            chosen = self._least_loaded(members, loads)
+            gateway = self.replicas[chosen].gateway
+            assert gateway is not None
+            gateway.submit_admitted(arrival)
+
+    def _flush_parked(self) -> None:
+        if not self._parked:
+            return
+        parked, self._parked = self._parked, []
+        self._resubmit(parked)
+
+    # -------------------------------------------------------------- scaling
+    def _active_fleet(self) -> List[Tuple[str, str]]:
+        return [
+            (name, self.replicas[name].flavor.arch)
+            for name in self._spawn_order
+            if self.replicas[name].active and self.replicas[name].alive
+        ]
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        observed = self._window_roots / self.config.tick_interval_s
+        self._window_roots = 0
+        active = self._active_fleet()
+        snapshot = ClusterSnapshot(
+            time_s=now,
+            observed_roots_per_s=observed,
+            active=tuple(active),
+            loads=self._routed_loads(),
+        )
+        self.metrics.fleet_samples.append((now, len(active)))
+        plan = self.autoscaler.plan(snapshot)
+        for arch in plan.spawn:
+            self._spawn(arch)
+        for name in plan.drain:
+            self._begin_drain(name)
+        if now + self.config.tick_interval_s <= self._horizon_s:
+            self.sim.after(self.config.tick_interval_s, self._tick)
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> ClusterReport:
+        if self._ran:
+            raise SimulationError("ClusterSim.run() is single-shot")
+        self._ran = True
+        arrivals = generate_trace(self.trace_config)
+        forecast = DemandForecast(
+            mean_roots_per_s=sum(
+                self.trace_config.total_rps * t.share * t.roots_per_request
+                for t in self.trace_config.tenants
+            ),
+            peak_roots_per_s=self.trace_config.peak_roots_per_second(),
+        )
+        for arch in self.autoscaler.initial_fleet(forecast):
+            self._spawn(arch, warm=True)
+        self.metrics.fleet_samples.append((0.0, len(self._active_fleet())))
+        for arrival in arrivals:
+            self.sim.at(
+                arrival.time_s, lambda a=arrival: self._on_arrival(a)
+            )
+        for kill_s in self.config.kill_at_s:
+            self.sim.at(kill_s, self._inject_kill)
+        self.sim.after(self.config.health.probe_interval_s, self._probe)
+        self.sim.after(self.config.tick_interval_s, self._tick)
+        self.sim.run()
+        if self._parked:
+            raise SimulationError(
+                f"{len(self._parked)} evacuated requests never re-routed"
+            )
+        self._billing_finalize()
+        duration_s = max(self.sim.now, self.trace_config.duration_s)
+        return build_report(
+            self.metrics,
+            policy=self.policy.name,
+            router=self.router.policy,
+            duration_s=duration_s,
+            catalog=self.catalog,
+        )
+
+
+def run_cluster(
+    trace_config: TraceConfig,
+    config: Optional[ClusterConfig] = None,
+) -> ClusterReport:
+    """Convenience one-shot: build a cluster and run the trace."""
+    return ClusterSim(trace_config, config=config).run()

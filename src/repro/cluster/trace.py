@@ -1,0 +1,354 @@
+"""Deterministic diurnal + flash-crowd arrival traces.
+
+The cluster's target scenario (ROADMAP item 1) is "a diurnal
+million-user trace with flash crowds": a user population whose offered
+load swings through a compressed day/night cycle, with superimposed
+flash crowds (a breaking-news fraud spike, a sale-start recsys surge)
+that multiply one tenant's rate for a bounded window.
+
+Every arrival is materialized up front from a
+:class:`numpy.random.SeedSequence`-derived generator per tenant, so a
+trace is a pure function of its :class:`TraceConfig` — two generations
+are byte-identical (see :func:`trace_digest`), which is what makes
+cluster runs comparable across scaling policies and replayable in CI.
+
+Rates use Lewis-Shedler thinning exactly like
+:func:`repro.serving.workload.generate_arrivals`: candidates are drawn
+at the tenant's peak rate (diurnal crest x largest applicable flash
+multiplier) and accepted with probability ``rate(t) / peak``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.serving.workload import Arrival, TenantSpec
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """One bounded surge window multiplying a tenant subset's rate.
+
+    The multiplier ramps linearly over ``ramp_s`` at both edges (a
+    crowd assembles and disperses; a step function would make every
+    reactive policy look one control-interval late by construction).
+    """
+
+    start_s: float
+    duration_s: float
+    multiplier: float
+    ramp_s: float = 0.5
+    #: Tenants the crowd applies to; ``None`` means all tenants.
+    tenants: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ConfigurationError(
+                f"start_s must be non-negative, got {self.start_s}"
+            )
+        if self.duration_s <= 0:
+            raise ConfigurationError(
+                f"duration_s must be positive, got {self.duration_s}"
+            )
+        if self.multiplier <= 1.0:
+            raise ConfigurationError(
+                f"multiplier must exceed 1, got {self.multiplier}"
+            )
+        if self.ramp_s < 0 or 2 * self.ramp_s > self.duration_s:
+            raise ConfigurationError(
+                f"ramp_s must fit inside the window, got {self.ramp_s}"
+            )
+
+    def applies_to(self, tenant: str) -> bool:
+        return self.tenants is None or tenant in self.tenants
+
+    def multiplier_at(self, time_s: float) -> float:
+        """Trapezoidal rate multiplier at ``time_s`` (1.0 outside)."""
+        offset = time_s - self.start_s
+        if offset < 0 or offset > self.duration_s:
+            return 1.0
+        if self.ramp_s > 0:
+            edge = min(offset, self.duration_s - offset)
+            if edge < self.ramp_s:
+                return 1.0 + (self.multiplier - 1.0) * edge / self.ramp_s
+        return self.multiplier
+
+
+@dataclass(frozen=True)
+class TenantMix:
+    """One tenant's slice of the user population's traffic."""
+
+    name: str
+    share: float
+    roots_per_request: int = 4
+    fanouts: Tuple[int, ...] = (5, 5)
+    slo_s: float = 60e-3
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant name must be non-empty")
+        if not 0 < self.share <= 1:
+            raise ConfigurationError(
+                f"share must be in (0, 1], got {self.share}"
+            )
+        if self.roots_per_request <= 0:
+            raise ConfigurationError(
+                f"roots_per_request must be positive, got "
+                f"{self.roots_per_request}"
+            )
+        if not self.fanouts or any(f <= 0 for f in self.fanouts):
+            raise ConfigurationError(
+                f"fanouts must be positive, got {self.fanouts}"
+            )
+        if self.slo_s <= 0:
+            raise ConfigurationError(
+                f"slo_s must be positive, got {self.slo_s}"
+            )
+
+
+def default_mix() -> Tuple[TenantMix, ...]:
+    """The three default tenants sharing one coalescable fanout shape."""
+    return (
+        TenantMix(name="recsys", share=0.5, roots_per_request=4, slo_s=60e-3),
+        TenantMix(name="fraud", share=0.2, roots_per_request=2, slo_s=40e-3),
+        TenantMix(name="search", share=0.3, roots_per_request=8, slo_s=90e-3),
+    )
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """A compressed-day arrival trace for a user population.
+
+    ``duration_s`` maps one full diurnal cycle onto the run window, so
+    a 20-second trace is a 24-hour day at ~4300x compression;
+    ``users * rps_per_user`` is the population's mean offered request
+    rate at mid-swing.
+    """
+
+    duration_s: float = 10.0
+    users: int = 1_000_000
+    rps_per_user: float = 5e-4
+    diurnal_amplitude: float = 0.5
+    tenants: Tuple[TenantMix, ...] = field(default_factory=default_mix)
+    flash_crowds: Tuple[FlashCrowd, ...] = ()
+    num_nodes: int = 100_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError(
+                f"duration_s must be positive, got {self.duration_s}"
+            )
+        if self.users <= 0:
+            raise ConfigurationError(
+                f"users must be positive, got {self.users}"
+            )
+        if self.rps_per_user <= 0:
+            raise ConfigurationError(
+                f"rps_per_user must be positive, got {self.rps_per_user}"
+            )
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise ConfigurationError(
+                f"diurnal_amplitude must be in [0, 1), got "
+                f"{self.diurnal_amplitude}"
+            )
+        if not self.tenants:
+            raise ConfigurationError("at least one tenant is required")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"tenant names must be unique, got {names}"
+            )
+        if abs(sum(t.share for t in self.tenants) - 1.0) > 1e-6:
+            raise ConfigurationError(
+                f"tenant shares must sum to 1, got "
+                f"{sum(t.share for t in self.tenants)}"
+            )
+        if self.num_nodes <= 0:
+            raise ConfigurationError(
+                f"num_nodes must be positive, got {self.num_nodes}"
+            )
+        for crowd in self.flash_crowds:
+            known = {t.name for t in self.tenants}
+            if crowd.tenants is not None and not set(crowd.tenants) <= known:
+                raise ConfigurationError(
+                    f"flash crowd names unknown tenants {crowd.tenants}"
+                )
+
+    # ---------------------------------------------------------------- rates
+    @property
+    def total_rps(self) -> float:
+        """Mean offered request rate of the whole population."""
+        return self.users * self.rps_per_user
+
+    def diurnal_multiplier(self, time_s: float) -> float:
+        """Day/night swing: trough at t=0, crest mid-window."""
+        return 1.0 + self.diurnal_amplitude * float(
+            np.sin(2 * np.pi * time_s / self.duration_s - np.pi / 2)
+        )
+
+    def flash_multiplier(self, tenant: str, time_s: float) -> float:
+        multiplier = 1.0
+        for crowd in self.flash_crowds:
+            if crowd.applies_to(tenant):
+                multiplier *= crowd.multiplier_at(time_s)
+        return multiplier
+
+    def rate(self, tenant: TenantMix, time_s: float) -> float:
+        """Instantaneous offered request rate of one tenant."""
+        return (
+            self.total_rps
+            * tenant.share
+            * self.diurnal_multiplier(time_s)
+            * self.flash_multiplier(tenant.name, time_s)
+        )
+
+    def peak_rate(self, tenant: TenantMix) -> float:
+        """Upper bound on :meth:`rate` (the thinning envelope)."""
+        flash = 1.0
+        for crowd in self.flash_crowds:
+            if crowd.applies_to(tenant.name):
+                flash *= crowd.multiplier
+        return (
+            self.total_rps
+            * tenant.share
+            * (1.0 + self.diurnal_amplitude)
+            * flash
+        )
+
+    def peak_roots_per_second(self) -> float:
+        """Worst-case offered sampling demand across the window."""
+        return sum(
+            self.peak_rate(t) * t.roots_per_request for t in self.tenants
+        )
+
+    # -------------------------------------------------------------- tenants
+    def tenant_specs(self) -> List[TenantSpec]:
+        """The tenants as gateway :class:`TenantSpec`\\ s.
+
+        ``provisioned_rps`` is the tenant's mean (mid-swing) rate: the
+        contract rate cluster-level admission provisions its token
+        bucket from, with the cluster's own headroom on top.
+        """
+        return [
+            TenantSpec(
+                name=t.name,
+                rate_rps=self.total_rps * t.share,
+                roots_per_request=t.roots_per_request,
+                fanouts=t.fanouts,
+                slo_s=t.slo_s,
+                provisioned_rps=self.total_rps * t.share,
+            )
+            for t in self.tenants
+        ]
+
+
+def flash_crowd_day(
+    duration_s: float = 10.0,
+    users: int = 1_000_000,
+    rps_per_user: float = 5e-4,
+    seed: int = 0,
+) -> TraceConfig:
+    """The headline scenario: a compressed day with two flash crowds.
+
+    A fraud spike (suspicious-activity storm) hits on the morning ramp
+    and a recsys surge (sale start) rides the evening crest — one while
+    capacity is low, one while capacity is already stretched.
+    """
+    return TraceConfig(
+        duration_s=duration_s,
+        users=users,
+        rps_per_user=rps_per_user,
+        diurnal_amplitude=0.5,
+        flash_crowds=(
+            FlashCrowd(
+                start_s=0.22 * duration_s,
+                duration_s=0.12 * duration_s,
+                multiplier=2.5,
+                ramp_s=0.03 * duration_s,
+                tenants=("fraud",),
+            ),
+            FlashCrowd(
+                start_s=0.62 * duration_s,
+                duration_s=0.15 * duration_s,
+                multiplier=1.8,
+                ramp_s=0.04 * duration_s,
+                tenants=("recsys",),
+            ),
+        ),
+        seed=seed,
+    )
+
+
+def generate_trace(config: TraceConfig) -> List[Arrival]:
+    """Materialize the full arrival trace, merged in time order.
+
+    Per-tenant generators are spawned from one
+    :class:`numpy.random.SeedSequence`, so adding a tenant never
+    perturbs another tenant's stream.
+    """
+    root_seq = np.random.SeedSequence(config.seed)
+    children = root_seq.spawn(len(config.tenants))
+    arrivals: List[Arrival] = []
+    for tenant, child in zip(config.tenants, children):
+        rng = np.random.default_rng(child)
+        peak = config.peak_rate(tenant)
+        time_s = 0.0
+        while True:
+            time_s += float(rng.exponential(1.0 / peak))
+            if time_s >= config.duration_s:
+                break
+            accept = config.rate(tenant, time_s) / peak
+            if rng.random() >= accept:
+                continue
+            roots = rng.integers(
+                0,
+                config.num_nodes,
+                size=tenant.roots_per_request,
+                dtype=np.int64,
+            )
+            arrivals.append(
+                Arrival(
+                    time_s=time_s,
+                    tenant=tenant.name,
+                    roots=roots,
+                    fanouts=tenant.fanouts,
+                    slo_s=tenant.slo_s,
+                    seq=0,
+                )
+            )
+    arrivals.sort(key=lambda a: a.time_s)
+    return [
+        Arrival(
+            time_s=a.time_s,
+            tenant=a.tenant,
+            roots=a.roots,
+            fanouts=a.fanouts,
+            slo_s=a.slo_s,
+            seq=index,
+        )
+        for index, a in enumerate(arrivals)
+    ]
+
+
+def trace_digest(arrivals: Sequence[Arrival]) -> str:
+    """SHA-256 over every field of every arrival.
+
+    The byte-identity check behind the trace regression test: two
+    generations of the same :class:`TraceConfig` must hash equal.
+    """
+    hasher = hashlib.sha256()
+    for arrival in arrivals:
+        hasher.update(
+            struct.pack("<ddq", arrival.time_s, arrival.slo_s, arrival.seq)
+        )
+        hasher.update(arrival.tenant.encode("utf-8"))
+        hasher.update(np.asarray(arrival.fanouts, dtype=np.int64).tobytes())
+        hasher.update(arrival.roots.astype(np.int64, copy=False).tobytes())
+    return hasher.hexdigest()

@@ -21,6 +21,7 @@ from repro.serving.backends import (
 )
 from repro.serving.gateway import (
     GatewayConfig,
+    GatewayLoad,
     MicroBatch,
     ServingGateway,
     ShedResponse,
@@ -47,6 +48,7 @@ __all__ = [
     "BackendResult",
     "DiurnalProfile",
     "GatewayConfig",
+    "GatewayLoad",
     "HardwareBackend",
     "MetricsRegistry",
     "MicroBatch",

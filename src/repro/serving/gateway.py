@@ -31,7 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.axe.events import Simulator
 from repro.serving.backends import ServingBackend
 from repro.serving.metrics import MetricsRegistry, ServingReport
@@ -85,6 +85,25 @@ class ShedResponse:
     time_s: float
     reason: str
     retry_after_s: float
+
+
+@dataclass(frozen=True)
+class GatewayLoad:
+    """Instantaneous load snapshot a cluster router balances on.
+
+    ``queue_depth`` counts admitted-but-undispatched requests;
+    ``in_flight_roots`` counts roots currently occupying backend slots
+    (the work that must finish before a drain can complete).
+    """
+
+    queue_depth: int
+    in_flight_batches: int
+    in_flight_roots: int
+
+    @property
+    def score(self) -> int:
+        """Scalar ordering key for least-loaded routing."""
+        return self.queue_depth + self.in_flight_roots
 
 
 class MicroBatch:
@@ -145,7 +164,12 @@ class ServingGateway:
         self.shed_responses: List[ShedResponse] = []
         #: Optional observer fired with ``(batch, payload)`` on completion.
         self.on_batch_complete: Optional[Callable[[MicroBatch, object], None]] = None
+        #: Optional observer fired with each :class:`ShedResponse`.
+        self.on_shed: Optional[Callable[[Arrival, ShedResponse], None]] = None
         self._fault_schedule: Dict[str, float] = {}
+        self._attached = False
+        self._draining = False
+        self._halted = False
 
     # -------------------------------------------------------------- faults
     def inject_backend_failure(self, backend_name: str, at_s: float) -> None:
@@ -156,14 +180,18 @@ class ServingGateway:
             raise ConfigurationError(f"at_s must be non-negative, got {at_s}")
         self._fault_schedule[backend_name] = at_s
 
-    # ----------------------------------------------------------------- run
-    def run(self, arrivals: Sequence[Arrival], duration_s: float) -> ServingReport:
-        """Replay ``arrivals`` through the gateway; runs to full drain."""
-        if duration_s <= 0:
-            raise ConfigurationError(
-                f"duration_s must be positive, got {duration_s}"
-            )
-        sim = self._sim = Simulator()
+    # -------------------------------------------------------------- attach
+    def attach(self, sim: Simulator, admission: bool = True) -> None:
+        """Bind this gateway to an external event kernel.
+
+        Cluster mode: a :class:`~repro.cluster.sim.ClusterSim` runs many
+        gateways on one shared simulator and delivers arrivals itself
+        via :meth:`submit`. ``admission=False`` disables the per-tenant
+        token buckets (the cluster router admission-controls centrally
+        before routing); the queue-capacity backpressure stays local.
+        """
+        self._sim = sim
+        self._admission = admission
         self.metrics = MetricsRegistry()
         self.scheduler = SloScheduler()
         self.shed_responses = []
@@ -173,6 +201,9 @@ class ServingGateway:
         self._pending = 0
         self._free_slots: Dict[str, int] = {}
         self._in_flight: Dict[str, List[_InFlight]] = {}
+        self._attached = True
+        self._draining = False
+        self._halted = False
         #: EWMA of observed service time per request — the queue_full
         #: retry-after hint scales with it.
         self._drain_per_request_s = 1e-3
@@ -189,6 +220,15 @@ class ServingGateway:
             self._in_flight[backend.name] = []
             self.metrics.register_backend(backend.name, backend.concurrency)
 
+    # ----------------------------------------------------------------- run
+    def run(self, arrivals: Sequence[Arrival], duration_s: float) -> ServingReport:
+        """Replay ``arrivals`` through the gateway; runs to full drain."""
+        if duration_s <= 0:
+            raise ConfigurationError(
+                f"duration_s must be positive, got {duration_s}"
+            )
+        sim = Simulator()
+        self.attach(sim)
         for name, at_s in self._fault_schedule.items():
             sim.at(at_s, lambda n=name: self._on_fault(n))
         for arrival in arrivals:
@@ -198,6 +238,100 @@ class ServingGateway:
         sim.run()
         self._collect_store_faults(store_paths, baselines)
         return self.metrics.snapshot(duration_s=duration_s, drain_s=sim.now)
+
+    # ------------------------------------------------------- load and drain
+    def load(self) -> GatewayLoad:
+        """Instantaneous load: queue depth plus in-flight work."""
+        batches = sum(len(v) for v in self._in_flight.values())
+        roots = sum(
+            entry.batch.num_roots
+            for entries in self._in_flight.values()
+            for entry in entries
+        )
+        return GatewayLoad(
+            queue_depth=self._pending,
+            in_flight_batches=batches,
+            in_flight_roots=roots,
+        )
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def begin_drain(self) -> None:
+        """Stop accepting work; in-flight and queued batches finish.
+
+        New submissions are shed with reason ``"draining"`` and a
+        retry-after hint sized to the remaining backlog. The caller
+        (cluster scale-down) should already have unrouted this gateway;
+        shedding covers the race where traffic is still in flight.
+        """
+        self._draining = True
+
+    @property
+    def drained(self) -> bool:
+        """True once no admitted request remains queued or in flight."""
+        return (
+            self._pending == 0
+            and len(self.scheduler) == 0
+            and all(not entries for entries in self._in_flight.values())
+        )
+
+    def assert_drained(self) -> None:
+        """Raise unless the drain actually ran the queue empty."""
+        if not self._draining:
+            raise SimulationError("assert_drained() before begin_drain()")
+        if not self.drained:
+            load = self.load()
+            raise SimulationError(
+                f"drain incomplete: {load.queue_depth} queued, "
+                f"{load.in_flight_batches} batches in flight"
+            )
+
+    # ----------------------------------------------------- failure recovery
+    def halt(self) -> None:
+        """Hard-stop (replica kill): nothing dispatches or completes.
+
+        In-flight batches are invalidated — their completions will fire
+        on the shared simulator but no longer count. The admitted work
+        stays collectable via :meth:`evacuate` so a cluster can re-route
+        it instead of losing it.
+        """
+        self._halted = True
+        for entries in self._in_flight.values():
+            for entry in entries:
+                entry.valid = False
+
+    def evacuate(self) -> List[Arrival]:
+        """Strip every admitted-but-incomplete request for re-routing.
+
+        Collects, in admission order: coalescing groups that never
+        flushed, ready batches the scheduler holds, and in-flight
+        batches stranded by :meth:`halt`. Leaves the gateway empty
+        (``drained``); the caller owns re-submission and its retried
+        accounting.
+        """
+        orphans: List[Arrival] = []
+        for key, group in self._groups.items():
+            orphans.extend(group)
+            group.clear()
+            self._group_roots[key] = 0
+            self._group_gen[key] = self._group_gen.get(key, 0) + 1
+        while len(self.scheduler):
+            batch = self.scheduler.pop()
+            orphans.extend(batch.requests)
+        for entries in self._in_flight.values():
+            for entry in entries:
+                entry.valid = False
+                orphans.extend(entry.batch.requests)
+            entries.clear()
+        self._pending = 0
+        orphans.sort(key=lambda a: (a.time_s, a.seq))
+        return orphans
 
     def _store_fault_paths(self) -> List[object]:
         """Reliable read paths under this gateway's functional backends."""
@@ -230,32 +364,77 @@ class ServingGateway:
     # ------------------------------------------------------------ admission
     def _shed(self, arrival: Arrival, reason: str, retry_after_s: float) -> None:
         self.metrics.on_shed(arrival.tenant, reason)
-        self.shed_responses.append(
-            ShedResponse(
-                tenant=arrival.tenant,
-                time_s=self._sim.now,
-                reason=reason,
-                retry_after_s=retry_after_s,
-            )
+        response = ShedResponse(
+            tenant=arrival.tenant,
+            time_s=self._sim.now,
+            reason=reason,
+            retry_after_s=retry_after_s,
+        )
+        self.shed_responses.append(response)
+        if self.on_shed is not None:
+            self.on_shed(arrival, response)
+
+    def _backlog_estimate_s(self) -> float:
+        """Retry-after hint sized to the current backlog."""
+        return max(
+            self.config.max_wait_s,
+            self._pending * self._drain_per_request_s
+            / max(1, sum(b.concurrency for b in self.backends)),
         )
 
+    def submit(self, arrival: Arrival) -> None:
+        """Offer one request at the current simulator time.
+
+        The external-driver counterpart of the arrival events
+        :meth:`run` schedules: admission control (unless the gateway is
+        attached with ``admission=False``), queue backpressure, then
+        coalescing.
+        """
+        self._submit(arrival)
+
+    def submit_admitted(self, arrival: Arrival) -> None:
+        """Accept an already-admitted request (failure re-route path).
+
+        Skips admission and the queue-capacity check: the request
+        passed both on the replica that died, and dropping it now would
+        turn an accepted request into a loss. Draining gateways still
+        refuse — re-routing must pick an accepting replica.
+        """
+        if self._halted:
+            raise SimulationError(
+                f"submit_admitted on halted gateway for {arrival.tenant!r}"
+            )
+        if self._draining:
+            raise SimulationError(
+                f"submit_admitted on draining gateway for {arrival.tenant!r}"
+            )
+        self._pending += 1
+        self.metrics.on_admitted(arrival.tenant, self._pending)
+        self._coalesce(arrival)
+
     def _submit(self, arrival: Arrival) -> None:
+        if self._halted:
+            raise SimulationError(
+                f"submit on halted gateway for {arrival.tenant!r}"
+            )
         now = self._sim.now
         self.metrics.on_offered(arrival.tenant)
-        retry_after = self.scheduler.admit(arrival.tenant, now)
-        if retry_after is not None:
-            self._shed(arrival, "rate_limited", retry_after)
+        if self._draining:
+            self._shed(arrival, "draining", self._backlog_estimate_s())
             return
+        if self._admission:
+            retry_after = self.scheduler.admit(arrival.tenant, now)
+            if retry_after is not None:
+                self._shed(arrival, "rate_limited", retry_after)
+                return
         if self._pending >= self.config.queue_capacity:
-            estimate = max(
-                self.config.max_wait_s,
-                self._pending * self._drain_per_request_s
-                / max(1, sum(b.concurrency for b in self.backends)),
-            )
-            self._shed(arrival, "queue_full", estimate)
+            self._shed(arrival, "queue_full", self._backlog_estimate_s())
             return
         self._pending += 1
         self.metrics.on_admitted(arrival.tenant, self._pending)
+        self._coalesce(arrival)
+
+    def _coalesce(self, arrival: Arrival) -> None:
         key = arrival.fanouts
         group = self._groups.setdefault(key, [])
         group.append(arrival)
@@ -281,6 +460,8 @@ class ServingGateway:
         self._flush(key)
 
     def _flush(self, key: Tuple[int, ...]) -> None:
+        if self._halted:
+            return
         group = self._groups.get(key)
         if not group:
             return
@@ -300,6 +481,8 @@ class ServingGateway:
         return None
 
     def _dispatch(self) -> None:
+        if self._halted:
+            return
         while len(self.scheduler):
             backend = self._pick_backend()
             if backend is None:

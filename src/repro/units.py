@@ -23,6 +23,9 @@ MS = 1e-3
 #: Milliseconds per second — multiply a seconds quantity for ms display.
 MS_PER_S = 1e3
 
+#: Seconds per hour — divide replica-seconds for hourly billing.
+S_PER_HOUR = 3600.0
+
 
 def gbps_to_bytes_per_s(gigabits_per_second: float) -> float:
     """Convert a link rate in Gb/s (decimal) to bytes/second."""

@@ -1,0 +1,177 @@
+"""Tests for repro.cluster.autoscaler (policies, min-cost planning, hysteresis)."""
+
+import pytest
+
+from repro.cluster.autoscaler import (
+    Autoscaler,
+    ClusterSnapshot,
+    CostModelPolicy,
+    DemandForecast,
+    ReactivePolicy,
+    StaticPolicy,
+    get_policy,
+    plan_min_cost_fleet,
+)
+from repro.cluster.replica import ReplicaFlavor
+from repro.errors import ConfigurationError
+
+
+def flavor(arch, cap, price):
+    return ReplicaFlavor(
+        arch=arch, size="medium", roots_per_second=cap, price_per_hour=price
+    )
+
+
+#: price-per-capacity: huge 1.5e-3 < big 2.4e-3 < small 5e-3.
+CATALOG = {
+    "small": flavor("small", 1_000, 5.0),
+    "big": flavor("big", 5_000, 12.0),
+    "huge": flavor("huge", 20_000, 30.0),
+}
+
+
+def snapshot(time_s=0.0, observed=0.0, active=()):
+    return ClusterSnapshot(
+        time_s=time_s,
+        observed_roots_per_s=observed,
+        active=tuple(active),
+        loads={},
+    )
+
+
+class TestMinCostPlan:
+    def test_small_demand_uses_cheapest_covering_flavor(self):
+        assert plan_min_cost_fleet(500, CATALOG) == {"small": 1}
+
+    def test_medium_demand_skips_undersized_flavors(self):
+        # small (1k) cannot cover 1.5k; big is cheaper than huge.
+        assert plan_min_cost_fleet(1_500, CATALOG) == {"big": 1}
+
+    def test_large_demand_mixes_primary_and_topper(self):
+        # 45k = 2x huge (40k) + a 5k remainder covered by one big.
+        assert plan_min_cost_fleet(45_000, CATALOG) == {"huge": 2, "big": 1}
+
+    def test_zero_demand_keeps_a_minimum_fleet(self):
+        assert sum(plan_min_cost_fleet(0.0, CATALOG).values()) == 1
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_min_cost_fleet(100, {})
+
+    def test_deterministic_tie_break_by_arch_name(self):
+        twins = {
+            "b-arch": flavor("b-arch", 1_000, 5.0),
+            "a-arch": flavor("a-arch", 1_000, 5.0),
+        }
+        assert plan_min_cost_fleet(500, twins) == {"a-arch": 1}
+
+
+class TestPolicies:
+    def test_static_sizes_for_the_peak(self):
+        policy = StaticPolicy(arch="small")
+        forecast = DemandForecast(
+            mean_roots_per_s=900, peak_roots_per_s=2_500
+        )
+        assert policy.initial_target(forecast, CATALOG) == {"small": 3}
+
+    def test_static_never_changes(self):
+        policy = StaticPolicy(arch="small", replicas=2)
+        active = (("r1", "small"), ("r2", "small"))
+        assert policy.decide(
+            snapshot(observed=99_999, active=active), CATALOG
+        ) == {"small": 2}
+
+    def test_reactive_tracks_observed_demand(self):
+        policy = ReactivePolicy(arch="small", headroom=1.25)
+        forecast = DemandForecast(
+            mean_roots_per_s=2_000, peak_roots_per_s=4_000
+        )
+        assert policy.initial_target(forecast, CATALOG) == {"small": 3}
+        assert policy.decide(snapshot(observed=3_000), CATALOG) == {
+            "small": 4
+        }
+        assert policy.decide(snapshot(observed=100), CATALOG) == {"small": 1}
+
+    def test_reactive_queue_kick_adds_one(self):
+        policy = ReactivePolicy(arch="small", headroom=1.0, kick_score=10)
+        from repro.serving.gateway import GatewayLoad
+
+        snap = ClusterSnapshot(
+            time_s=0.0,
+            observed_roots_per_s=900,
+            active=(("r1", "small"),),
+            loads={
+                "r1": GatewayLoad(
+                    queue_depth=50, in_flight_batches=0, in_flight_roots=0
+                )
+            },
+        )
+        assert policy.decide(snap, CATALOG) == {"small": 2}
+
+    def test_cost_policy_switches_flavor_with_demand(self):
+        policy = CostModelPolicy(headroom=1.0)
+        assert policy.decide(snapshot(observed=800), CATALOG) == {"small": 1}
+        assert policy.decide(snapshot(observed=4_000), CATALOG) == {"big": 1}
+
+    def test_get_policy(self):
+        assert isinstance(get_policy("static"), StaticPolicy)
+        assert isinstance(get_policy("least-loaded"), ReactivePolicy)
+        assert isinstance(get_policy("cost"), CostModelPolicy)
+        with pytest.raises(ConfigurationError):
+            get_policy("vibes")
+
+
+class TestAutoscaler:
+    def test_scale_up_is_immediate(self):
+        scaler = Autoscaler(
+            ReactivePolicy(arch="small", headroom=1.0), CATALOG
+        )
+        plan = scaler.plan(
+            snapshot(time_s=1.0, observed=2_500, active=(("r1", "small"),))
+        )
+        assert plan.spawn == ["small", "small"]
+        assert plan.drain == []
+
+    def test_scale_down_waits_for_cooldown(self):
+        scaler = Autoscaler(
+            ReactivePolicy(arch="small", headroom=1.0),
+            CATALOG,
+            scale_down_cooldown_s=0.5,
+        )
+        active = (("r1", "small"), ("r2", "small"), ("r3", "small"))
+        first = scaler.plan(snapshot(time_s=1.0, observed=100, active=active))
+        assert first.drain == []
+        early = scaler.plan(snapshot(time_s=1.4, observed=100, active=active))
+        assert early.drain == []
+        late = scaler.plan(snapshot(time_s=1.6, observed=100, active=active))
+        # Newest members drain first.
+        assert late.drain == ["r3", "r2"]
+
+    def test_rebound_cancels_pending_scale_down(self):
+        scaler = Autoscaler(
+            ReactivePolicy(arch="small", headroom=1.0),
+            CATALOG,
+            scale_down_cooldown_s=0.5,
+        )
+        active = (("r1", "small"), ("r2", "small"))
+        scaler.plan(snapshot(time_s=1.0, observed=100, active=active))
+        # Demand rebounds: surplus clock resets.
+        scaler.plan(snapshot(time_s=1.3, observed=1_900, active=active))
+        again = scaler.plan(snapshot(time_s=1.7, observed=100, active=active))
+        assert again.drain == []
+
+    def test_flavor_swap_spawns_then_drains(self):
+        scaler = Autoscaler(
+            CostModelPolicy(headroom=1.0), CATALOG, scale_down_cooldown_s=0.0
+        )
+        active = (("r1", "small"),)
+        plan = scaler.plan(snapshot(time_s=1.0, observed=4_000, active=active))
+        assert plan.spawn == ["big"]
+        assert plan.drain == ["r1"]
+
+    def test_initial_fleet_orders_by_arch(self):
+        scaler = Autoscaler(StaticPolicy(arch="small"), CATALOG)
+        forecast = DemandForecast(
+            mean_roots_per_s=1_000, peak_roots_per_s=2_500
+        )
+        assert scaler.initial_fleet(forecast) == ["small"] * 3

@@ -1,0 +1,169 @@
+"""End-to-end tests for repro.cluster.sim (the headline cluster runs)."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSim,
+    flash_crowd_day,
+    format_comparison,
+    run_cluster,
+)
+from repro.errors import SimulationError
+
+
+def headline_trace():
+    return flash_crowd_day(duration_s=10.0, users=1_000_000, seed=0)
+
+
+def small_trace(**kwargs):
+    defaults = dict(duration_s=2.0, users=200_000, seed=0)
+    defaults.update(kwargs)
+    return flash_crowd_day(**defaults)
+
+
+class TestPolicyComparison:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        trace = headline_trace()
+        return {
+            policy: run_cluster(trace, ClusterConfig(policy=policy))
+            for policy in ("static", "least-loaded", "cost")
+        }
+
+    def test_all_policies_serve_the_same_offered_load(self, reports):
+        offered = {r.offered for r in reports.values()}
+        assert len(offered) == 1
+        assert offered.pop() > 1_000
+
+    def test_no_policy_loses_requests(self, reports):
+        for report in reports.values():
+            assert report.lost_requests == 0
+            assert report.offered == report.completed + report.shed_requests
+
+    def test_cost_policy_beats_static_on_price_at_equal_slo(self, reports):
+        """The acceptance bar: >= static's attainment at lower $/hr."""
+        static = reports["static"]
+        cost = reports["cost"]
+        assert cost.attainment >= static.attainment
+        assert cost.dollars_per_hour < static.dollars_per_hour
+
+    def test_static_fleet_never_changes(self, reports):
+        static = reports["static"]
+        assert static.min_replicas == static.peak_replicas
+        assert static.replica_drains == 0
+
+    def test_adaptive_fleets_actually_scale(self, reports):
+        for name in ("least-loaded", "cost"):
+            report = reports[name]
+            assert report.peak_replicas > report.min_replicas
+            assert report.replica_launches > report.min_replicas
+
+    def test_cost_policy_uses_more_than_one_flavor(self, reports):
+        assert len(reports["cost"].replica_seconds) > 1
+
+    def test_attainment_is_high_for_all_policies(self, reports):
+        for report in reports.values():
+            assert report.attainment > 0.95
+
+    def test_comparison_table_renders(self, reports):
+        table = format_comparison(list(reports.values()))
+        for name in ("static", "least-loaded", "cost"):
+            assert name in table
+
+
+class TestFailureRecovery:
+    @pytest.fixture(scope="class")
+    def killed(self):
+        return run_cluster(
+            headline_trace(),
+            ClusterConfig(policy="static", kill_at_s=(3.0, 6.5)),
+        )
+
+    def test_kill_and_hot_restart_lose_no_accepted_request(self, killed):
+        assert killed.replica_failures == 2
+        assert killed.replica_restarts == 2
+        assert killed.lost_requests == 0
+
+    def test_stranded_work_is_recovered(self, killed):
+        # Undetected-death redirects and post-detection evacuations are
+        # the two recovery paths; a mid-trace kill exercises both.
+        assert killed.redirected_requests > 0
+        assert killed.evacuated_requests > 0
+
+    def test_attainment_survives_the_kills(self, killed):
+        assert killed.attainment > 0.9
+
+    def test_killing_the_only_replica_sheds_with_no_capacity(self):
+        report = run_cluster(
+            small_trace(),
+            ClusterConfig(
+                policy="least-loaded",
+                kill_at_s=(1.0,),
+                tick_interval_s=10.0,  # autoscaler cannot respawn first
+            ),
+        )
+        assert report.lost_requests == 0
+        assert report.replica_restarts == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        trace = small_trace()
+        config = ClusterConfig(policy="cost", kill_at_s=(0.7,))
+        first = run_cluster(trace, config)
+        second = run_cluster(trace, config)
+        assert first.to_json() == second.to_json()
+
+    def test_seed_changes_the_run(self):
+        config = ClusterConfig(policy="cost")
+        first = run_cluster(small_trace(seed=1), config)
+        second = run_cluster(small_trace(seed=2), config)
+        assert first.to_json() != second.to_json()
+
+
+class TestMechanics:
+    def test_run_is_single_shot(self):
+        sim = ClusterSim(small_trace(), ClusterConfig(policy="static"))
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_consistent_hash_router_works_end_to_end(self):
+        report = run_cluster(
+            small_trace(),
+            ClusterConfig(policy="static", router="consistent-hash"),
+        )
+        assert report.router == "consistent-hash"
+        assert report.lost_requests == 0
+
+    def test_billing_accrues_only_active_time(self):
+        report = run_cluster(small_trace(), ClusterConfig(policy="static"))
+        total_s = sum(report.replica_seconds.values())
+        # A static fleet bills replicas x duration (plus drain slack).
+        expected = report.peak_replicas * report.duration_s
+        assert total_s == pytest.approx(expected, rel=0.05)
+
+    def test_tenant_summaries_cover_the_mix(self):
+        report = run_cluster(small_trace(), ClusterConfig(policy="static"))
+        assert {t.name for t in report.tenants} == {
+            "recsys",
+            "fraud",
+            "search",
+        }
+        assert sum(t.offered for t in report.tenants) == report.offered
+
+
+class TestSessionBacked:
+    def test_serve_cluster_really_samples(self):
+        from repro.api import GnnSession
+        from repro.graph.datasets import instantiate_dataset
+
+        graph = instantiate_dataset("ls", max_nodes=2000, seed=0)
+        session = GnnSession(graph, num_partitions=4, seed=0)
+        report = session.serve_cluster(
+            trace=flash_crowd_day(duration_s=1.0, users=60_000, seed=0),
+            config=ClusterConfig(policy="static"),
+        )
+        assert report.completed > 0
+        assert report.lost_requests == 0

@@ -1,0 +1,190 @@
+"""Tests for repro.cluster.trace (deterministic diurnal flash-crowd traces)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.trace import (
+    FlashCrowd,
+    TenantMix,
+    TraceConfig,
+    default_mix,
+    flash_crowd_day,
+    generate_trace,
+    trace_digest,
+)
+from repro.errors import ConfigurationError
+
+
+def small_config(**kwargs):
+    defaults = dict(duration_s=2.0, users=50_000, seed=7)
+    defaults.update(kwargs)
+    return TraceConfig(**defaults)
+
+
+class TestDeterminism:
+    def test_regeneration_is_byte_identical(self):
+        config = flash_crowd_day(duration_s=2.0, users=100_000, seed=3)
+        first = generate_trace(config)
+        second = generate_trace(config)
+        assert len(first) == len(second)
+        assert trace_digest(first) == trace_digest(second)
+
+    def test_seed_changes_the_trace(self):
+        base = generate_trace(small_config(seed=1))
+        other = generate_trace(small_config(seed=2))
+        assert trace_digest(base) != trace_digest(other)
+
+    def test_adding_a_tenant_preserves_other_streams(self):
+        """SeedSequence spawning: tenant streams are independent."""
+        two = TraceConfig(
+            duration_s=2.0,
+            users=50_000,
+            seed=7,
+            tenants=(
+                TenantMix(name="a", share=0.5),
+                TenantMix(name="b", share=0.5),
+            ),
+        )
+        three = TraceConfig(
+            duration_s=2.0,
+            users=50_000,
+            seed=7,
+            tenants=(
+                TenantMix(name="a", share=0.5),
+                TenantMix(name="b", share=0.5 - 0.25),
+                TenantMix(name="c", share=0.25),
+            ),
+        )
+        a_two = [a for a in generate_trace(two) if a.tenant == "a"]
+        a_three = [a for a in generate_trace(three) if a.tenant == "a"]
+        # Tenant a's share and child seed are unchanged, so its arrival
+        # times are identical even though the merged seq numbers shift.
+        assert [a.time_s for a in a_two] == [a.time_s for a in a_three]
+
+    def test_arrivals_sorted_and_resequenced(self):
+        arrivals = generate_trace(small_config())
+        times = [a.time_s for a in arrivals]
+        assert times == sorted(times)
+        assert [a.seq for a in arrivals] == list(range(len(arrivals)))
+
+    def test_digest_covers_roots(self):
+        arrivals = generate_trace(small_config())
+        mutated = list(arrivals)
+        bumped = mutated[0].roots.copy()
+        bumped[0] += 1
+        mutated[0] = type(mutated[0])(
+            time_s=mutated[0].time_s,
+            tenant=mutated[0].tenant,
+            roots=bumped,
+            fanouts=mutated[0].fanouts,
+            slo_s=mutated[0].slo_s,
+            seq=mutated[0].seq,
+        )
+        assert trace_digest(arrivals) != trace_digest(mutated)
+
+
+class TestRates:
+    def test_diurnal_trough_at_start_crest_at_midday(self):
+        config = small_config(diurnal_amplitude=0.5)
+        assert config.diurnal_multiplier(0.0) == pytest.approx(0.5)
+        assert config.diurnal_multiplier(
+            config.duration_s / 2
+        ) == pytest.approx(1.5)
+
+    def test_flash_crowd_trapezoid(self):
+        crowd = FlashCrowd(
+            start_s=1.0, duration_s=1.0, multiplier=3.0, ramp_s=0.25
+        )
+        assert crowd.multiplier_at(0.9) == 1.0
+        assert crowd.multiplier_at(1.125) == pytest.approx(2.0)
+        assert crowd.multiplier_at(1.5) == 3.0
+        assert crowd.multiplier_at(1.875) == pytest.approx(2.0)
+        assert crowd.multiplier_at(2.1) == 1.0
+
+    def test_flash_crowd_scopes_to_tenant(self):
+        config = small_config(
+            flash_crowds=(
+                FlashCrowd(
+                    start_s=0.5,
+                    duration_s=0.5,
+                    multiplier=2.0,
+                    ramp_s=0.1,
+                    tenants=("fraud",),
+                ),
+            )
+        )
+        assert config.flash_multiplier("fraud", 0.75) == 2.0
+        assert config.flash_multiplier("recsys", 0.75) == 1.0
+
+    def test_flash_crowd_raises_arrival_count(self):
+        quiet = small_config()
+        spiky = small_config(
+            flash_crowds=(
+                FlashCrowd(start_s=0.4, duration_s=1.2, multiplier=3.0),
+            )
+        )
+        assert len(generate_trace(spiky)) > len(generate_trace(quiet))
+
+    def test_rate_never_exceeds_peak_envelope(self):
+        config = flash_crowd_day(duration_s=2.0, users=50_000)
+        for tenant in config.tenants:
+            peak = config.peak_rate(tenant)
+            for t in np.linspace(0, config.duration_s, 101):
+                assert config.rate(tenant, float(t)) <= peak + 1e-9
+
+    def test_tenant_specs_match_mix(self):
+        config = small_config()
+        specs = {s.name: s for s in config.tenant_specs()}
+        for mix in config.tenants:
+            spec = specs[mix.name]
+            assert spec.rate_rps == pytest.approx(
+                config.total_rps * mix.share
+            )
+            assert spec.slo_s == mix.slo_s
+            assert spec.fanouts == mix.fanouts
+
+
+class TestValidation:
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            small_config(
+                tenants=(
+                    TenantMix(name="a", share=0.5),
+                    TenantMix(name="b", share=0.4),
+                )
+            )
+
+    def test_duplicate_tenant_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_config(
+                tenants=(
+                    TenantMix(name="a", share=0.5),
+                    TenantMix(name="a", share=0.5),
+                )
+            )
+
+    def test_flash_crowd_unknown_tenant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_config(
+                flash_crowds=(
+                    FlashCrowd(
+                        start_s=0.1,
+                        duration_s=0.5,
+                        multiplier=2.0,
+                        tenants=("nope",),
+                    ),
+                )
+            )
+
+    def test_flash_crowd_multiplier_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            FlashCrowd(start_s=0.0, duration_s=1.0, multiplier=1.0)
+
+    def test_ramp_must_fit_window(self):
+        with pytest.raises(ConfigurationError):
+            FlashCrowd(
+                start_s=0.0, duration_s=1.0, multiplier=2.0, ramp_s=0.6
+            )
+
+    def test_default_mix_shares_sum_to_one(self):
+        assert sum(t.share for t in default_mix()) == pytest.approx(1.0)

@@ -303,3 +303,160 @@ class TestServeWorkload:
         )
         assert not hw.healthy
         assert report.completed == report.admitted > 0
+
+
+class TestClusterHooks:
+    """attach()/load()/drain/halt/evacuate — the cluster-facing surface."""
+
+    def attached(self, backend=None, admission=True, **cfg):
+        from repro.axe.events import Simulator
+
+        backend = backend or FakeBackend(service_s=10e-3)
+        gateway = ServingGateway([backend], [tenant()], config(**cfg))
+        sim = Simulator()
+        gateway.attach(sim, admission=admission)
+        return gateway, sim
+
+    def test_load_reports_queue_and_in_flight(self):
+        gateway, sim = self.attached(
+            backend=FakeBackend(service_s=50e-3), max_wait_s=1e-3
+        )
+        for i in range(3):
+            sim.at(0.0, lambda s=i: gateway.submit(arrival(0.0, seq=s)))
+        sim.run(until=2e-3)
+        load = gateway.load()
+        # One coalesced batch of 12 roots dispatched; nothing queued.
+        assert load.in_flight_batches == 1
+        assert load.in_flight_roots == 12
+        assert load.queue_depth == 0
+        assert load.score == 12
+        sim.run()
+        after = gateway.load()
+        assert after.in_flight_batches == 0
+        assert after.score == 0
+
+    def test_queue_depth_counts_undispatched(self):
+        # Single slot busy for a long time: later arrivals stay queued.
+        gateway, sim = self.attached(
+            backend=FakeBackend(service_s=1.0), max_wait_s=1e-3
+        )
+        sim.at(0.0, lambda: gateway.submit(arrival(0.0, seq=0)))
+        for i in range(4):
+            sim.at(5e-3, lambda s=i: gateway.submit(arrival(5e-3, seq=10 + s)))
+        sim.run(until=10e-3)
+        assert gateway.load().queue_depth == 4
+
+    def test_drain_finishes_admitted_and_sheds_new(self):
+        gateway, sim = self.attached()
+        sim.at(0.0, lambda: gateway.submit(arrival(0.0, seq=0)))
+        sim.at(1e-3, gateway.begin_drain)
+        sim.at(2e-3, lambda: gateway.submit(arrival(2e-3, seq=1)))
+        sim.run()
+        assert gateway.drained
+        gateway.assert_drained()
+        report = gateway.metrics.snapshot(duration_s=0.1, drain_s=sim.now)
+        assert report.completed == 1
+        assert [s.reason for s in gateway.shed_responses] == ["draining"]
+        assert gateway.shed_responses[0].retry_after_s > 0
+
+    def test_assert_drained_before_begin_drain_raises(self):
+        from repro.errors import SimulationError
+
+        gateway, _sim = self.attached()
+        with pytest.raises(SimulationError):
+            gateway.assert_drained()
+
+    def test_assert_drained_with_work_outstanding_raises(self):
+        from repro.errors import SimulationError
+
+        gateway, sim = self.attached(backend=FakeBackend(service_s=1.0))
+        sim.at(0.0, lambda: gateway.submit(arrival(0.0, seq=0)))
+        sim.run(until=10e-3)
+        gateway.begin_drain()
+        with pytest.raises(SimulationError):
+            gateway.assert_drained()
+
+    def test_halt_invalidates_in_flight(self):
+        backend = FakeBackend(service_s=20e-3)
+        gateway, sim = self.attached(backend=backend, max_wait_s=1e-3)
+        sim.at(0.0, lambda: gateway.submit(arrival(0.0, seq=0)))
+        sim.at(5e-3, gateway.halt)
+        sim.run()
+        report = gateway.metrics.snapshot(duration_s=0.1, drain_s=sim.now)
+        # The batch dispatched but its completion no longer counts.
+        assert backend.calls
+        assert report.completed == 0
+
+    def test_submit_on_halted_gateway_raises(self):
+        from repro.errors import SimulationError
+
+        gateway, sim = self.attached()
+        gateway.halt()
+        with pytest.raises(SimulationError):
+            gateway.submit(arrival(0.0, seq=0))
+        with pytest.raises(SimulationError):
+            gateway.submit_admitted(arrival(0.0, seq=1))
+
+    def test_evacuate_collects_every_admitted_request(self):
+        # Three strata: in-flight batch, scheduler backlog, unflushed group.
+        gateway, sim = self.attached(
+            backend=FakeBackend(service_s=1.0), max_wait_s=50e-3
+        )
+        flushed = [arrival(0.0, seq=i) for i in range(4)]  # flush + dispatch
+        queued = [arrival(1e-3, seq=4 + i) for i in range(4)]  # flush, queued
+        waiting = [arrival(2e-3, seq=8)]  # still coalescing
+        for a in flushed + queued + waiting:
+            sim.at(a.time_s, lambda x=a: gateway.submit(x))
+        sim.run(until=3e-3)
+        gateway.halt()
+        orphans = gateway.evacuate()
+        assert [o.seq for o in orphans] == list(range(9))
+        assert gateway.drained
+        assert gateway.load().score == 0
+
+    def test_evacuated_requests_complete_elsewhere(self):
+        dead_backend = FakeBackend(service_s=1.0)
+        dead, sim = self.attached(backend=dead_backend)
+        for i in range(3):
+            sim.at(0.0, lambda s=i: dead.submit(arrival(0.0, seq=s)))
+        sim.run(until=5e-3)
+        dead.halt()
+        orphans = dead.evacuate()
+        survivor = ServingGateway(
+            [FakeBackend(service_s=1e-3)], [tenant()], config()
+        )
+        survivor.attach(sim, admission=False)
+        for o in orphans:
+            survivor.submit_admitted(o)
+        sim.run()
+        report = survivor.metrics.snapshot(duration_s=0.1, drain_s=sim.now)
+        assert report.completed == 3
+
+    def test_submit_admitted_skips_admission_and_capacity(self):
+        gateway, sim = self.attached(
+            backend=FakeBackend(service_s=1.0),
+            admission=False,
+            queue_capacity=2,
+        )
+        for i in range(6):
+            sim.at(0.0, lambda s=i: gateway.submit_admitted(arrival(0.0, seq=s)))
+        sim.run(until=1e-3)
+        assert gateway.shed_responses == []
+        assert gateway.load().queue_depth + gateway.load().in_flight_batches > 0
+
+    def test_submit_admitted_on_draining_gateway_raises(self):
+        from repro.errors import SimulationError
+
+        gateway, _sim = self.attached()
+        gateway.begin_drain()
+        with pytest.raises(SimulationError):
+            gateway.submit_admitted(arrival(0.0, seq=0))
+
+    def test_on_shed_observer_fires(self):
+        gateway, sim = self.attached()
+        seen = []
+        gateway.on_shed = lambda arr, resp: seen.append((arr.seq, resp.reason))
+        gateway.begin_drain()
+        sim.at(1e-3, lambda: gateway.submit(arrival(1e-3, seq=7)))
+        sim.run()
+        assert seen == [(7, "draining")]
