@@ -1,0 +1,113 @@
+"""Online mutations: sampling throughput vs mutation rate.
+
+Not a numbered paper figure, but the ROADMAP dynamic-graph item
+(AliGraph "supports dynamic graphs"; §3.1 "the data size keeps
+expanding"): interleave preferential-attachment mutations with batched
+multi-hop sampling over the DynamicPartitionedStore and sweep the
+mutation rate. Reports the sampling throughput, the append-log (delta)
+hit traffic, and the snapshot-consistency invariant — no multi-hop
+sample may observe two epochs.
+"""
+
+import numpy as np
+
+from repro.framework.requests import SampleRequest
+from repro.framework.sampler import MultiHopSampler
+from repro.graph.datasets import instantiate_dataset
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.partition import HashPartitioner
+from repro.memstore.ingest import DynamicPartitionedStore, growth_trace
+from repro.memstore.store import PartitionedStore
+
+RATES = (0, 64, 256, 1024)
+BATCHES = 6
+BATCH_SIZE = 128
+FANOUTS = (10, 10)
+
+
+def run_rate(base, requests, rate, compact_threshold=4096):
+    store = DynamicPartitionedStore(
+        DynamicGraph(base, compact_threshold=compact_threshold),
+        HashPartitioner(4),
+    )
+    sampler = MultiHopSampler(store, seed=0, worker_partition=0, batched=True)
+    trace = growth_trace(base.num_nodes, rate * len(requests), seed=1)
+    max_epochs = 0
+    results = []
+    for i, request in enumerate(requests):
+        if rate:
+            store.apply(trace[i * rate : (i + 1) * rate])
+        results.append(sampler.sample(request))
+        max_epochs = max(max_epochs, len(store.last_sample_epochs))
+    return store, results, max_epochs
+
+
+def test_mutation_rate_sweep(benchmark, report):
+    base = instantiate_dataset("ll", max_nodes=4000, seed=0)
+    rng = np.random.default_rng(0)
+    requests = [
+        SampleRequest(
+            roots=rng.integers(0, base.num_nodes, size=BATCH_SIZE),
+            fanouts=FANOUTS,
+            with_attributes=True,
+        )
+        for _ in range(BATCHES)
+    ]
+
+    baseline_store, baseline_results, _ = benchmark.pedantic(
+        run_rate, args=(base, requests, 0), rounds=1, iterations=1
+    )
+    rows = [(0, baseline_store, 0)]
+    for rate in RATES[1:]:
+        store, _, max_epochs = run_rate(base, requests, rate)
+        rows.append((rate, store, max_epochs))
+
+    lines = ["mut/batch  delta hits  delta edges  compactions  edges added"]
+    for rate, store, _ in rows:
+        s = store.ingest_stats
+        lines.append(
+            f"{rate:>9}  {s.delta_hits:>10}  {s.delta_edges_read:>11}"
+            f"  {s.compactions:>11}  {s.edges_added:>11}"
+        )
+    report("Online mutations — rate sweep (delta traffic)", "\n".join(lines))
+
+    # Consistency: every sample at every rate pinned exactly one epoch.
+    assert all(max_epochs <= 1 for _, _, max_epochs in rows)
+    # Rising mutation rate drives rising append-log traffic.
+    hits = [store.ingest_stats.delta_hits for _, store, _ in rows]
+    assert hits[0] == 0
+    assert all(a <= b for a, b in zip(hits[1:], hits[2:]))
+    # The highest rate crossed the compaction threshold at least once.
+    assert rows[-1][1].ingest_stats.compactions >= 1
+
+
+def test_rate_zero_matches_static_store(report):
+    """The dynamic store at rate 0 is byte-identical to the static
+    store: same layers, same attributes, same AccessSummary."""
+    base = instantiate_dataset("ll", max_nodes=4000, seed=0)
+    rng = np.random.default_rng(0)
+    requests = [
+        SampleRequest(
+            roots=rng.integers(0, base.num_nodes, size=BATCH_SIZE),
+            fanouts=FANOUTS,
+            with_attributes=True,
+        )
+        for _ in range(BATCHES)
+    ]
+    dyn_store, dyn_results, _ = run_rate(base, requests, 0)
+    static_store = PartitionedStore(base, HashPartitioner(4))
+    static_sampler = MultiHopSampler(
+        static_store, seed=0, worker_partition=0, batched=True
+    )
+    for request, dyn_result in zip(requests, dyn_results):
+        static_result = static_sampler.sample(request)
+        for a, b in zip(dyn_result.layers, static_result.layers):
+            assert np.array_equal(a, b)
+        for a, b in zip(dyn_result.attributes, static_result.attributes):
+            assert np.array_equal(a, b)
+    assert dyn_store.summary == static_store.summary
+    report(
+        "Online mutations — rate-0 parity",
+        f"dynamic summary == static summary: "
+        f"{dyn_store.summary == static_store.summary}",
+    )

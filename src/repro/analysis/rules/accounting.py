@@ -44,11 +44,16 @@ COUNTER_OWNERS: Dict[str, FrozenSet[str]] = {
     ),
     "failovers": frozenset({"repro/memstore/faults.py"}),
     "failed_reads": frozenset({"repro/memstore/faults.py"}),
-    # HotNodeCache hit/miss counters (repro/framework/cache.py).
+    # HotNodeCache hit/miss/invalidation counters (repro/framework/cache.py).
     "neighbor_hits": frozenset({"repro/framework/cache.py"}),
     "neighbor_misses": frozenset({"repro/framework/cache.py"}),
     "attribute_hits": frozenset({"repro/framework/cache.py"}),
     "attribute_misses": frozenset({"repro/framework/cache.py"}),
+    "invalidations": frozenset({"repro/framework/cache.py"}),
+    # Online-mutation ingest counters (repro/memstore/ingest.py).
+    "delta_hits": frozenset({"repro/memstore/ingest.py"}),
+    "delta_edges_read": frozenset({"repro/memstore/ingest.py"}),
+    "cache_invalidations": frozenset({"repro/memstore/ingest.py"}),
     # CoalescingCache stats (repro/axe/cache.py).
     "line_hits": frozenset({"repro/axe/cache.py"}),
     "line_misses": frozenset({"repro/axe/cache.py"}),

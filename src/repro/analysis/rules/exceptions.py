@@ -27,6 +27,10 @@ FAULT_PATH_MODULES = frozenset(
     {
         "repro/framework/sampler.py",
         "repro/framework/service.py",
+        # Compaction/ingest errors must surface, not be swallowed —
+        # a half-applied mutation batch is a correctness bug.
+        # (repro/memstore/ingest.py is covered by the prefix above.)
+        "repro/graph/dynamic.py",
     }
 )
 

@@ -23,6 +23,10 @@ SIM_MODULES = frozenset(
     {
         "repro/framework/service.py",
         "repro/axe/events.py",
+        # Online-mutation ingest: mutation timelines interleave with the
+        # gateway's virtual clock, so Mutation.time_s must be sim time.
+        "repro/graph/dynamic.py",
+        "repro/memstore/ingest.py",
     }
 )
 

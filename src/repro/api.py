@@ -11,7 +11,7 @@ or the AxE hardware model.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -27,10 +27,12 @@ from repro.framework.requests import (
 from repro.framework.sampler import MultiHopSampler
 from repro.framework.selectors import get_selector
 from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph
 from repro.graph.partition import HashPartitioner
 from repro.gnn.models import GraphSageEncoder
 from repro.gnn.train import Trainer
 from repro.memstore.faults import ReliableReadPath
+from repro.memstore.ingest import DynamicPartitionedStore, Mutation, growth_trace
 from repro.memstore.store import PartitionedStore
 from repro.parallel.engine import ParallelSampler
 from repro.serving.backends import HardwareBackend, SoftwareBackend
@@ -87,7 +89,7 @@ class GnnSession:
 
     def __init__(
         self,
-        graph: CSRGraph,
+        graph: Union[CSRGraph, DynamicGraph],
         num_partitions: int = 4,
         engine_config: Optional[EngineConfig] = None,
         sampling_method: str = "uniform",
@@ -104,9 +106,28 @@ class GnnSession:
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
         self.graph = graph
-        self.store = PartitionedStore(
-            graph, HashPartitioner(num_partitions), reliability=reliability
+        #: The mutable graph when the session is dynamic, else ``None``.
+        self.dynamic: Optional[DynamicGraph] = (
+            graph if isinstance(graph, DynamicGraph) else None
         )
+        if self.dynamic is not None:
+            if workers > 0:
+                raise ConfigurationError(
+                    "workers and a DynamicGraph are mutually exclusive; shard "
+                    "workers attach an immutable shared-memory graph plane"
+                )
+            if reliability is not None:
+                raise ConfigurationError(
+                    "reliability and a DynamicGraph are mutually exclusive; "
+                    "the replicated read path serves immutable shards"
+                )
+            self.store: PartitionedStore = DynamicPartitionedStore(
+                self.dynamic, HashPartitioner(num_partitions)
+            )
+        else:
+            self.store = PartitionedStore(
+                graph, HashPartitioner(num_partitions), reliability=reliability
+            )
         self.workers = workers
         if workers > 0:
             if cache_nodes:
@@ -122,6 +143,10 @@ class GnnSession:
             )
         else:
             cache = HotNodeCache(cache_nodes) if cache_nodes else None
+            if cache is not None and self.dynamic is not None:
+                # Mutated nodes must drop out of the cache, or samples
+                # pinned to a fresh epoch would read pre-mutation data.
+                self.store.register_cache(cache)
             self.sampler = MultiHopSampler(
                 self.store,
                 seed=seed,
@@ -136,8 +161,26 @@ class GnnSession:
                 num_fpga_nodes=max(1, num_partitions),
                 seed=seed,
             )
-        self.engine = AxeEngine(graph, engine_config)
+        # The AxE model operates on an immutable CSR; for a dynamic
+        # session it sees the base snapshot taken at construction and
+        # is excluded from serve() unless explicitly requested.
+        engine_graph = graph.base if self.dynamic is not None else graph
+        self.engine = AxeEngine(engine_graph, engine_config)
         self._seed = seed
+
+    # -------------------------------------------------------- mutation level
+    def mutate(self, mutations: Sequence[Mutation]) -> int:
+        """Apply a batch of online mutations (dynamic sessions only).
+
+        Returns the number applied. Concurrent with reads: an in-flight
+        ``sample()`` keeps its pinned epoch; the next sample observes
+        the new one.
+        """
+        if self.dynamic is None:
+            raise ConfigurationError(
+                "mutate() requires a session built over a DynamicGraph"
+            )
+        return self.store.apply(mutations)
 
     # --------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -221,9 +264,11 @@ class GnnSession:
         duration_s: float = 0.5,
         config: Optional[GatewayConfig] = None,
         functional: bool = True,
-        include_hardware: bool = True,
+        include_hardware: Optional[bool] = None,
         fail_hardware_at_s: Optional[float] = None,
         seed: Optional[int] = None,
+        mutations: Optional[Sequence[Mutation]] = None,
+        mutation_rate: float = 0.0,
     ) -> ServingReport:
         """Serve an open-loop multi-tenant workload over this session.
 
@@ -243,12 +288,42 @@ class GnnSession:
             timing-only (calibrated models) for load studies.
         include_hardware:
             Also offer the AxE engine as the preferred backend.
+            ``None`` (the default) resolves to ``True`` for static
+            sessions and ``False`` for dynamic ones (the AxE model
+            serves an immutable CSR and would answer from a stale
+            snapshot); passing ``True`` on a dynamic session is an
+            error for the same reason.
         fail_hardware_at_s:
             Fault-injection hook: kill the hardware backend this far
             into the run to exercise graceful degradation.
+        mutations:
+            Explicit mutation timeline (dynamic sessions only); each
+            :class:`~repro.memstore.ingest.Mutation` is applied to the
+            store at its ``time_s`` on the gateway's virtual clock,
+            interleaved with the read traffic.
+        mutation_rate:
+            Convenience generator: this many mutations per virtual
+            second, drawn as a deterministic preferential-attachment
+            trace (:func:`~repro.memstore.ingest.growth_trace`) spread
+            over ``duration_s``. Combines with ``mutations``.
         """
         if tenants is None:
             tenants = default_tenants(duration_s)
+        if mutation_rate < 0:
+            raise ConfigurationError(
+                f"mutation_rate must be non-negative, got {mutation_rate}"
+            )
+        if (mutations or mutation_rate) and self.dynamic is None:
+            raise ConfigurationError(
+                "mutations require a session built over a DynamicGraph"
+            )
+        if include_hardware is None:
+            include_hardware = self.dynamic is None
+        elif include_hardware and self.dynamic is not None:
+            raise ConfigurationError(
+                "include_hardware=True is incompatible with a DynamicGraph "
+                "session: the AxE model serves an immutable base snapshot"
+            )
         software = SoftwareBackend(self.sampler, functional=functional)
         backends = [software]
         fail_backend_at: Optional[Dict[str, float]] = None
@@ -261,7 +336,27 @@ class GnnSession:
             raise ConfigurationError(
                 "fail_hardware_at_s requires include_hardware=True"
             )
-        return serve_workload(
+        timeline: List[Mutation] = list(mutations or ())
+        if mutation_rate:
+            timeline.extend(
+                growth_trace(
+                    self.graph.num_nodes,
+                    int(round(mutation_rate * duration_s)),
+                    duration_s=duration_s,
+                    seed=(self._seed if seed is None else seed) + 1,
+                )
+            )
+        events: Optional[List[Tuple[float, Callable[[], None]]]] = None
+        if timeline:
+            timeline.sort(key=lambda m: m.time_s)
+            events = [
+                (m.time_s, (lambda mut=m: self.store.apply([mut])))
+                for m in timeline
+            ]
+        mutations_before = (
+            self.store.ingest_stats.mutations if self.dynamic is not None else 0
+        )
+        report = serve_workload(
             backends,
             tenants,
             duration_s=duration_s,
@@ -269,7 +364,13 @@ class GnnSession:
             seed=self._seed if seed is None else seed,
             config=config,
             fail_backend_at=fail_backend_at,
+            events=events,
         )
+        if self.dynamic is not None:
+            report.mutations_applied = (
+                self.store.ingest_stats.mutations - mutations_before
+            )
+        return report
 
     def serve_cluster(
         self,

@@ -44,6 +44,7 @@ class HotNodeCache:
         self.neighbor_misses = 0
         self.attribute_hits = 0
         self.attribute_misses = 0
+        self.invalidations = 0
 
     # -------------------------------------------------------------- budget
     def __len__(self) -> int:
@@ -110,6 +111,24 @@ class HotNodeCache:
         self._attributes[node] = entry
         self._touch(node)
 
+    # --------------------------------------------------------- invalidation
+    def invalidate(self, node: int) -> bool:
+        """Drop ``node`` from the cache entirely (both facets + LRU slot).
+
+        The online-mutation ingest path calls this for every node whose
+        adjacency (or attribute row) changed, so stale pre-mutation data
+        can never be served as a hit. Returns ``True`` when the node was
+        cached (either facet), ``False`` when it was already absent;
+        only actual drops count toward ``invalidations``.
+        """
+        present = node in self._lru
+        self._lru.pop(node, None)
+        self._neighbors.pop(node, None)
+        self._attributes.pop(node, None)
+        if present:
+            self.invalidations += 1
+        return present
+
     # ------------------------------------------------------------- metrics
     def bump_neighbor_stats(self, hits: int = 0, misses: int = 0) -> None:
         """Credit extra neighbor lookups served without touching entries.
@@ -144,8 +163,9 @@ class HotNodeCache:
         return self.hits / total if total else 0.0
 
     def reset_stats(self) -> None:
-        """Zero the hit/miss counters (contents are kept)."""
+        """Zero the hit/miss/invalidation counters (contents are kept)."""
         self.neighbor_hits = 0
         self.neighbor_misses = 0
         self.attribute_hits = 0
         self.attribute_misses = 0
+        self.invalidations = 0

@@ -30,6 +30,22 @@ from repro.graph.csr import CSRGraph
 from repro.memstore.store import PartitionedStore
 
 
+def _parent_degrees(graph, parents: np.ndarray) -> np.ndarray:
+    """Out-degrees of ``parents`` on a CSR graph or a dynamic GraphView.
+
+    ``neighbor_slices`` is the vectorized CSR path; snapshot views
+    (whose adjacency spans base + append log) expose ``degree`` only.
+    """
+    if hasattr(graph, "neighbor_slices"):
+        starts, stops = graph.neighbor_slices(parents)
+        return stops - starts
+    return np.fromiter(
+        (graph.degree(int(p)) for p in parents),
+        dtype=np.int64,
+        count=parents.size,
+    )
+
+
 class ReplaySelector:
     """Selector that replays a prior result's picks in walk order.
 
@@ -49,8 +65,7 @@ class ReplaySelector:
         for hop, fanout in enumerate(request.fanouts):
             parents = result.layers[hop].reshape(-1)
             picks = result.layers[hop + 1].reshape(parents.size, fanout)
-            starts, stops = graph.neighbor_slices(parents)
-            degrees = stops - starts
+            degrees = _parent_degrees(graph, parents)
             for i in np.flatnonzero(degrees > 0):
                 self._rows.append(picks[i].astype(np.int64))
         self._cursor = 0

@@ -140,7 +140,17 @@ class MultiHopSampler:
         )
 
     def sample(self, request: SampleRequest) -> SampleResult:
-        """Execute a multi-hop sampling request."""
+        """Execute a multi-hop sampling request.
+
+        The whole request — every hop and the attribute fetches — runs
+        under one pinned store view, so on a mutable store a sample
+        never observes two epochs even while mutations land between
+        hops. On the static store the pin is a no-op.
+        """
+        with self.store.read_view():
+            return self._sample_pinned(request)
+
+    def _sample_pinned(self, request: SampleRequest) -> SampleResult:
         result = SampleResult()
         roots = request.roots
         if roots.max(initial=-1) >= self.store.graph.num_nodes or roots.min(initial=0) < 0:
@@ -418,6 +428,10 @@ class MultiHopSampler:
         Returns an ``(n_pairs, rate)`` array of node IDs that are not
         out-neighbors of the pair's source.
         """
+        with self.store.read_view():
+            return self._negative_sample_pinned(request)
+
+    def _negative_sample_pinned(self, request: NegativeSampleRequest) -> np.ndarray:
         num_nodes = self.store.graph.num_nodes
         if num_nodes < 2:
             raise ConfigurationError(

@@ -75,6 +75,14 @@ class ServiceConfig:
     kill_server_at: Tuple[Tuple[int, float], ...] = ()
     #: ``(server_index, time_s)`` restore events.
     restore_server_at: Tuple[Tuple[int, float], ...] = ()
+    #: Open-loop graph mutations per second offered alongside the read
+    #: workload (Poisson arrivals, uniform target server). Each
+    #: mutation occupies one vCPU on its server like a read RPC does,
+    #: so sampling latency degrades with write pressure. ``0.0``
+    #: (default) is bit-for-bit the historical read-only run.
+    mutation_rps: float = 0.0
+    #: Server-side service time of one mutation (append + index touch).
+    per_mutation_service_s: float = 6.0 * US
 
     def __post_init__(self) -> None:
         if min(self.num_servers, self.num_workers, self.vcpus_per_server) <= 0:
@@ -110,6 +118,15 @@ class ServiceConfig:
                 raise ConfigurationError(
                     f"fault event time must be non-negative, got {at_s}"
                 )
+        if self.mutation_rps < 0:
+            raise ConfigurationError(
+                f"mutation_rps must be non-negative, got {self.mutation_rps}"
+            )
+        if self.per_mutation_service_s <= 0:
+            raise ConfigurationError(
+                f"per_mutation_service_s must be positive, "
+                f"got {self.per_mutation_service_s}"
+            )
         if self.retry is None and (
             self.request_loss_rate > 0 or self.kill_server_at
         ):
@@ -133,10 +150,11 @@ class _ServerSim:
         self.sim = sim
         self.config = config
         self.index = index
-        self._queue: Deque[Tuple[int, Callable[[], None]]] = deque()
+        self._queue: Deque[Tuple[int, Callable[[], None], bool]] = deque()
         self._idle_vcpus = config.vcpus_per_server
         self._nic_free_at = 0.0
         self.keys_served = 0
+        self.mutations_served = 0
         self.max_queue_depth = 0
         self.alive = True
         #: Bumped on kill/restore; in-flight work from an older epoch
@@ -165,21 +183,45 @@ class _ServerSim:
         recovery)."""
         if not self.alive:
             return
-        self._queue.append((num_keys, reply))
+        self._queue.append((num_keys, reply, False))
+        self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
+        self._dispatch()
+
+    def mutate(self, done: Callable[[], None]) -> None:
+        """Handle one graph-mutation RPC (append + index touch).
+
+        Competes for the same vCPU pool as reads — that contention is
+        exactly what ``mutation_rps`` sweeps measure — but its ack
+        carries no attribute payload, so it skips the NIC transfer.
+        """
+        if not self.alive:
+            return
+        self._queue.append((0, done, True))
         self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
         self._dispatch()
 
     def _dispatch(self) -> None:
         while self._idle_vcpus > 0 and self._queue:
-            num_keys, reply = self._queue.popleft()
+            num_keys, reply, is_mutation = self._queue.popleft()
             self._idle_vcpus -= 1
-            service = num_keys * self.config.effective_per_key_service_s
-            self.keys_served += num_keys
+            if is_mutation:
+                service = self.config.per_mutation_service_s
+                self.mutations_served += 1
+            else:
+                service = num_keys * self.config.effective_per_key_service_s
+                self.keys_served += num_keys
 
-            def done(n=num_keys, cb=reply, epoch=self._epoch) -> None:
+            def done(
+                n=num_keys, cb=reply, epoch=self._epoch, mut=is_mutation
+            ) -> None:
                 if epoch != self._epoch:
                     return  # the server died (or was reborn) mid-service
                 self._idle_vcpus += 1
+                if mut:
+                    # Tiny ack: no NIC serialization, just the return trip.
+                    self.sim.at(self.sim.now + self.config.rpc_latency_s / 2, cb)
+                    self._dispatch()
+                    return
                 # Response serializes on this server's NIC.
                 response_bytes = n * self.config.attr_bytes
                 transfer = response_bytes / self.config.network_bandwidth
@@ -212,6 +254,8 @@ class ServiceReport:
     #: Shard fetches that completed without data (all replicas dead or
     #: deadline exhausted) — degraded completion, not a hang.
     degraded_shards: int = 0
+    #: Graph mutations acknowledged by servers (``mutation_rps`` runs).
+    mutations_applied: int = 0
 
     @property
     def throughput_batches_per_s(self) -> float:
@@ -399,6 +443,34 @@ def run_service(config: Optional[ServiceConfig] = None, seed: int = 0) -> Servic
 
         run_hop(0)
 
+    total_expected = config.num_workers * config.batches_per_worker
+    mutations_done = [0]
+    if config.mutation_rps > 0:
+        # Dedicated stream: the read path's draws (multinomial splits,
+        # loss coin-flips) stay untouched by the write workload, and a
+        # mutation_rps=0 run schedules nothing here at all — bit-for-bit
+        # the historical read-only behavior.
+        mut_rng = np.random.default_rng(seed + 1)
+
+        def mutation_ack() -> None:
+            mutations_done[0] += 1
+
+        def mutation_tick() -> None:
+            if len(latencies) >= total_expected:
+                return  # read workload drained; stop offering writes
+            server = servers[int(mut_rng.integers(0, config.num_servers))]
+            sim.after(
+                config.rpc_latency_s / 2, lambda s=server: s.mutate(mutation_ack)
+            )
+            sim.after(
+                float(mut_rng.exponential(1.0 / config.mutation_rps)),
+                mutation_tick,
+            )
+
+        sim.after(
+            float(mut_rng.exponential(1.0 / config.mutation_rps)), mutation_tick
+        )
+
     for worker in range(config.num_workers):
         # Stagger worker starts to avoid an artificial convoy.
         sim.at(worker * US, lambda w=worker: start_batch(w, config.batches_per_worker))
@@ -414,4 +486,5 @@ def run_service(config: Optional[ServiceConfig] = None, seed: int = 0) -> Servic
         hedges=counters.hedges,
         hedge_wins=counters.hedge_wins,
         degraded_shards=counters.degraded_shards,
+        mutations_applied=mutations_done[0],
     )

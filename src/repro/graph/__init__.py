@@ -13,7 +13,7 @@ from repro.graph.datasets import (
     instantiate_dataset,
 )
 from repro.graph.hetero import HeteroGraph, make_ecommerce_graph
-from repro.graph.dynamic import DynamicGraph, simulate_growth
+from repro.graph.dynamic import DynamicGraph, GraphView, simulate_growth
 from repro.graph.partition import (
     HashPartitioner,
     LdgPartitioner,
@@ -35,6 +35,7 @@ __all__ = [
     "HeteroGraph",
     "make_ecommerce_graph",
     "DynamicGraph",
+    "GraphView",
     "simulate_growth",
     "HashPartitioner",
     "LdgPartitioner",

@@ -5,17 +5,203 @@ E-commerce graphs grow continuously ("the data size keeps expanding",
 compact CSR base plus an append-friendly delta, answers neighbor
 queries over the union, and periodically *compacts* the delta into a
 fresh CSR — the standard LSM-like recipe for in-memory graph services.
+
+Two version counters with distinct meanings:
+
+``epoch``
+    Monotonic *content* version: advances on every mutation
+    (``add_node``/``add_edge``). Version-keyed consumers (caches,
+    replay digests, snapshot tokens) key off this. Compaction does not
+    advance it — the merged CSR holds exactly the same adjacency.
+``version``
+    *Layout* version: advances on every compaction (the base CSR
+    object was swapped).
+
+:meth:`DynamicGraph.view` mints a :class:`GraphView` — an immutable
+snapshot token pinning one epoch. Views stay valid across concurrent
+mutations *and* compactions: the delta lists are append-only, each
+compaction installs a fresh delta dict instead of clearing the old one
+in place, and the view holds references to the base/delta objects it
+was minted against plus the per-node delta lengths at mint time.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, GraphError
 from repro.graph.csr import CSRGraph
+
+
+def _block_ranges(counts: np.ndarray) -> np.ndarray:
+    """``[0..c0), [0..c1), ...`` concatenated (per-block aranges)."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    exclusive = np.zeros(counts.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=exclusive[1:])
+    return np.arange(total, dtype=np.int64) - np.repeat(exclusive, counts)
+
+
+class GraphView:
+    """An immutable, consistent snapshot of a :class:`DynamicGraph`.
+
+    The snapshot token of the ingest path: every query answers as of
+    ``epoch``, no matter how many mutations or compactions land on the
+    underlying graph after the view was minted. Duck-types the subset
+    of :class:`~repro.graph.csr.CSRGraph` the sampler and store read
+    (``num_nodes``, ``neighbors``, ``attributes``, ``attr_len``,
+    ``edge_attr``), so a view can stand in for a static graph on the
+    read path.
+    """
+
+    #: Views never expose per-edge weights: delta edges carry none, and
+    #: a weighted read over a half-weighted union would be meaningless.
+    edge_attr = None
+
+    def __init__(
+        self,
+        base: CSRGraph,
+        delta: Dict[int, List[int]],
+        delta_lens: Dict[int, int],
+        extra_attr: Tuple[np.ndarray, ...],
+        num_nodes: int,
+        epoch: int,
+    ) -> None:
+        self._base = base
+        self._delta = delta
+        self._delta_lens = delta_lens
+        self._extra_attr = extra_attr
+        self._num_nodes = num_nodes
+        self.epoch = epoch
+
+    # ------------------------------------------------------------ shape
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def base(self) -> CSRGraph:
+        """The CSR base this view reads (pre-compaction if one ran)."""
+        return self._base
+
+    @property
+    def num_edges(self) -> int:
+        return self._base.num_edges + sum(self._delta_lens.values())
+
+    @property
+    def delta_edges(self) -> int:
+        """Edges this view reads from the append log, not the base."""
+        return sum(self._delta_lens.values())
+
+    @property
+    def attr_len(self) -> int:
+        return self._base.attr_len
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._num_nodes:
+            raise GraphError(f"node {node} outside [0, {self._num_nodes})")
+
+    # ---------------------------------------------------------- queries
+    def base_degree(self, node: int) -> int:
+        if node < self._base.num_nodes:
+            return self._base.degree(node)
+        return 0
+
+    def delta_degree(self, node: int) -> int:
+        return self._delta_lens.get(node, 0)
+
+    def degree(self, node: int) -> int:
+        self._check_node(node)
+        return self.base_degree(node) + self.delta_degree(node)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Union adjacency as of this view's epoch (delta edges last)."""
+        self._check_node(node)
+        parts = []
+        if node < self._base.num_nodes:
+            block = self._base.neighbors(node)
+            if block.size:
+                parts.append(block)
+        take = self._delta_lens.get(node, 0)
+        if take:
+            parts.append(np.asarray(self._delta[node][:take], dtype=np.int64))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    def gather(
+        self, nodes: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Batch adjacency in concatenated-CSR form.
+
+        Returns ``(values, offsets, base_degrees, delta_degrees)``:
+        node ``i`` owns ``values[offsets[i]:offsets[i + 1]]``, its base
+        block first, then its delta prefix. The base blocks are copied
+        vectorized; delta prefixes (typically few nodes) fill in a
+        short loop.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self._num_nodes):
+            raise GraphError("node batch contains IDs outside [0, num_nodes)")
+        base_deg = np.zeros(nodes.size, dtype=np.int64)
+        starts = np.zeros(nodes.size, dtype=np.int64)
+        in_base = nodes < self._base.num_nodes
+        if in_base.any():
+            b_starts, b_stops = self._base.neighbor_slices(nodes[in_base])
+            starts[in_base] = b_starts
+            base_deg[in_base] = b_stops - b_starts
+        if self._delta_lens:
+            delta_deg = np.fromiter(
+                (self._delta_lens.get(int(n), 0) for n in nodes),
+                dtype=np.int64,
+                count=nodes.size,
+            )
+        else:
+            delta_deg = np.zeros(nodes.size, dtype=np.int64)
+        offsets = np.zeros(nodes.size + 1, dtype=np.int64)
+        np.cumsum(base_deg + delta_deg, out=offsets[1:])
+        values = np.empty(int(offsets[-1]), dtype=np.int64)
+        if base_deg.sum():
+            src = np.repeat(starts, base_deg) + _block_ranges(base_deg)
+            dst = np.repeat(offsets[:-1], base_deg) + _block_ranges(base_deg)
+            values[dst] = self._base.indices[src]
+        if delta_deg.any():
+            for i in np.flatnonzero(delta_deg):
+                node = int(nodes[i])
+                lo = offsets[i] + base_deg[i]
+                values[lo : offsets[i + 1]] = self._delta[node][: int(delta_deg[i])]
+        return values, offsets, base_deg, delta_deg
+
+    def attributes(self, nodes: Sequence[int]) -> np.ndarray:
+        """Attribute rows; nodes added after the base read their
+        ingest-time rows."""
+        if self._base.node_attr is None:
+            raise GraphError("graph carries no node attributes")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self._num_nodes):
+            raise GraphError("node batch contains IDs outside [0, num_nodes)")
+        base_n = self._base.num_nodes
+        in_base = nodes < base_n
+        if in_base.all():
+            return self._base.attributes(nodes)
+        rows = np.zeros((nodes.size, self.attr_len), dtype=np.float32)
+        if in_base.any():
+            rows[in_base] = self._base.attributes(nodes[in_base])
+        for i in np.flatnonzero(~in_base):
+            rows[i] = self._extra_attr[int(nodes[i]) - base_n]
+        return rows
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphView(epoch={self.epoch}, num_nodes={self.num_nodes}, "
+            f"num_edges={self.num_edges}, delta_edges={self.delta_edges})"
+        )
 
 
 class DynamicGraph:
@@ -38,9 +224,15 @@ class DynamicGraph:
         self._delta: Dict[int, List[int]] = defaultdict(list)
         self._delta_edges = 0
         self._num_nodes = base.num_nodes
+        #: Attribute rows of nodes added since the last compaction
+        #: (only when the base carries attributes).
+        self._extra_attr: List[np.ndarray] = []
         self.compact_threshold = compact_threshold
         self.compactions = 0
+        #: Layout version: bumps on every compaction (base swap).
         self.version = 0
+        #: Content version: bumps on every mutation.
+        self.epoch = 0
 
     # ------------------------------------------------------------ queries
     @property
@@ -55,6 +247,16 @@ class DynamicGraph:
     def delta_edges(self) -> int:
         """Edges not yet compacted into the CSR base."""
         return self._delta_edges
+
+    @property
+    def base(self) -> CSRGraph:
+        """The current CSR base (read-only; excludes the delta)."""
+        return self._base
+
+    @property
+    def attr_len(self) -> int:
+        """Node attribute length of the base (0 without attributes)."""
+        return self._base.attr_len
 
     def degree(self, node: int) -> int:
         self._check_node(node)
@@ -82,11 +284,48 @@ class DynamicGraph:
         if not 0 <= node < self._num_nodes:
             raise GraphError(f"node {node} outside [0, {self._num_nodes})")
 
+    # ------------------------------------------------------------ snapshots
+    def view(self) -> GraphView:
+        """Mint a snapshot token for the current epoch.
+
+        O(nodes-with-delta-entries): records the per-node append-log
+        lengths, so later appends (and compactions, which swap rather
+        than clear the delta) never leak into the view.
+        """
+        return GraphView(
+            base=self._base,
+            delta=self._delta,
+            delta_lens={node: len(extra) for node, extra in self._delta.items()},
+            extra_attr=tuple(self._extra_attr),
+            num_nodes=self._num_nodes,
+            epoch=self.epoch,
+        )
+
     # ------------------------------------------------------------ updates
-    def add_node(self) -> int:
-        """Append a new node; returns its ID."""
+    def add_node(self, attr_row: Optional[np.ndarray] = None) -> int:
+        """Append a new node; returns its ID.
+
+        When the base carries attributes the new node needs a row too:
+        ``attr_row`` (length ``attr_len``) or zeros by default.
+        """
+        if self._base.attr_len:
+            if attr_row is None:
+                row = np.zeros(self._base.attr_len, dtype=np.float32)
+            else:
+                row = np.asarray(attr_row, dtype=np.float32).reshape(-1)
+                if row.size != self._base.attr_len:
+                    raise ConfigurationError(
+                        f"attr_row has {row.size} values, expected "
+                        f"{self._base.attr_len}"
+                    )
+            self._extra_attr.append(row)
+        elif attr_row is not None:
+            raise ConfigurationError(
+                "attr_row given but the base graph carries no attributes"
+            )
         node = self._num_nodes
         self._num_nodes += 1
+        self.epoch += 1
         return node
 
     def add_edge(self, src: int, dst: int) -> None:
@@ -95,6 +334,7 @@ class DynamicGraph:
         self._check_node(dst)
         self._delta[src].append(dst)
         self._delta_edges += 1
+        self.epoch += 1
         if self._delta_edges >= self.compact_threshold:
             self.compact()
 
@@ -104,7 +344,15 @@ class DynamicGraph:
 
     # --------------------------------------------------------- compaction
     def compact(self) -> None:
-        """Merge the delta into a fresh CSR base (a new snapshot)."""
+        """Merge the delta into a fresh CSR base (a new layout).
+
+        Preserves per-node neighbor order (base block first, delta
+        appends after, in insertion order), node attributes (base rows
+        plus the rows recorded by :meth:`add_node`), and — when the
+        base carries per-edge attributes — edge attributes, with delta
+        edges assigned weight 1. Outstanding :class:`GraphView` tokens
+        keep reading their original base and delta objects.
+        """
         if self._delta_edges == 0 and self._base.num_nodes == self._num_nodes:
             return
         counts = np.zeros(self._num_nodes, dtype=np.int64)
@@ -115,19 +363,43 @@ class DynamicGraph:
         indptr = np.zeros(self._num_nodes + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        edge_attr = None
+        if self._base.edge_attr is not None:
+            edge_attr = np.ones(
+                (int(indptr[-1]),) + self._base.edge_attr.shape[1:],
+                dtype=np.float32,
+            )
         cursor = indptr[:-1].copy()
         for node in range(old_n):
             base = self._base.neighbors(node)
             if base.size:
                 indices[cursor[node] : cursor[node] + base.size] = base
+                if edge_attr is not None:
+                    lo = int(self._base.indptr[node])
+                    edge_attr[cursor[node] : cursor[node] + base.size] = (
+                        self._base.edge_attr[lo : lo + base.size]
+                    )
                 cursor[node] += base.size
         for node, extra in self._delta.items():
             block = np.asarray(extra, dtype=np.int64)
             indices[cursor[node] : cursor[node] + block.size] = block
             cursor[node] += block.size
-        self._base = CSRGraph(indptr, indices)
-        self._delta.clear()
+        node_attr = None
+        if self._base.node_attr is not None:
+            if self._extra_attr:
+                node_attr = np.concatenate(
+                    [self._base.node_attr, np.stack(self._extra_attr)]
+                )
+            else:
+                node_attr = self._base.node_attr
+        self._base = CSRGraph(
+            indptr, indices, node_attr=node_attr, edge_attr=edge_attr
+        )
+        # Install fresh delta state instead of clearing in place, so
+        # outstanding GraphView tokens keep their pre-compaction data.
+        self._delta = defaultdict(list)
         self._delta_edges = 0
+        self._extra_attr = []
         self.compactions += 1
         self.version += 1
 
@@ -164,6 +436,8 @@ def simulate_growth(
         else:
             src = int(rng.integers(0, graph.num_nodes))
             # Zipf-biased destination: early IDs attract more edges.
-            dst = int(rng.zipf(1.8)) % graph.num_nodes
+            # Zipf draws start at 1, so shift by one — node 0 must be
+            # the *most* popular destination, not the least.
+            dst = (int(rng.zipf(1.8)) - 1) % graph.num_nodes
             graph.add_edge(src, dst)
     return graph

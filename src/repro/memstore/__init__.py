@@ -14,6 +14,12 @@ from repro.memstore.faults import FaultInjector, FaultStats, ReliableReadPath
 from repro.memstore.replication import ReplicaId, ReplicaPlacement
 from repro.memstore.retry import RetryPolicy, expected_attempts
 from repro.memstore.store import AccessKind, AccessRecord, PartitionedStore
+from repro.memstore.ingest import (
+    DynamicPartitionedStore,
+    IngestStats,
+    Mutation,
+    growth_trace,
+)
 
 __all__ = [
     "FootprintModel",
@@ -37,4 +43,8 @@ __all__ = [
     "AccessKind",
     "AccessRecord",
     "PartitionedStore",
+    "DynamicPartitionedStore",
+    "IngestStats",
+    "Mutation",
+    "growth_trace",
 ]

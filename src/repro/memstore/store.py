@@ -10,9 +10,10 @@ the Figure 2(c) access-mix characterization and the performance models.
 
 from __future__ import annotations
 
+import contextlib
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -196,6 +197,18 @@ class PartitionedStore:
     @property
     def num_partitions(self) -> int:
         return self.partitioner.num_partitions
+
+    @contextlib.contextmanager
+    def read_view(self) -> Iterator["PartitionedStore"]:
+        """Pin one consistent graph snapshot for the duration of the block.
+
+        The static store's graph never changes, so this is a no-op hook;
+        :class:`~repro.memstore.ingest.DynamicPartitionedStore` overrides
+        it to freeze an epoch so a multi-hop sample never observes a
+        mutation landing between its hops. Samplers wrap each sample in
+        this unconditionally, keeping one code path for both stores.
+        """
+        yield self
 
     # ---------------------------------------------------------------- trace
     def reset_trace(self) -> None:

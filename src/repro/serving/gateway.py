@@ -221,8 +221,22 @@ class ServingGateway:
             self.metrics.register_backend(backend.name, backend.concurrency)
 
     # ----------------------------------------------------------------- run
-    def run(self, arrivals: Sequence[Arrival], duration_s: float) -> ServingReport:
-        """Replay ``arrivals`` through the gateway; runs to full drain."""
+    def run(
+        self,
+        arrivals: Sequence[Arrival],
+        duration_s: float,
+        events: Optional[Sequence[Tuple[float, Callable[[], None]]]] = None,
+    ) -> ServingReport:
+        """Replay ``arrivals`` through the gateway; runs to full drain.
+
+        ``events`` is an optional auxiliary timeline of ``(time_s,
+        callback)`` pairs scheduled on the same virtual clock — the
+        ingest path uses it to interleave graph mutations with the read
+        traffic (each callback applies a mutation batch to the store).
+        Callbacks fire between event-kernel steps, never inside a
+        backend's ``execute``, so a micro-batch's pinned sample window
+        is never torn by construction.
+        """
         if duration_s <= 0:
             raise ConfigurationError(
                 f"duration_s must be positive, got {duration_s}"
@@ -233,6 +247,13 @@ class ServingGateway:
             sim.at(at_s, lambda n=name: self._on_fault(n))
         for arrival in arrivals:
             sim.at(arrival.time_s, lambda a=arrival: self._submit(a))
+        if events:
+            for time_s, callback in events:
+                if time_s < 0:
+                    raise ConfigurationError(
+                        f"event time_s must be non-negative, got {time_s}"
+                    )
+                sim.at(time_s, callback)
         store_paths = self._store_fault_paths()
         baselines = [path.stats.copy() for path in store_paths]
         sim.run()
@@ -541,8 +562,14 @@ def serve_workload(
     seed: int = 0,
     config: Optional[GatewayConfig] = None,
     fail_backend_at: Optional[Dict[str, float]] = None,
+    events: Optional[Sequence[Tuple[float, Callable[[], None]]]] = None,
 ) -> ServingReport:
-    """Generate the tenants' open-loop workload and run it end-to-end."""
+    """Generate the tenants' open-loop workload and run it end-to-end.
+
+    ``events`` threads an auxiliary ``(time_s, callback)`` timeline
+    (e.g. graph-mutation batches) into the run; see
+    :meth:`ServingGateway.run`.
+    """
     gateway = ServingGateway(backends, tenants, config=config)
     if fail_backend_at:
         for name, at_s in fail_backend_at.items():
@@ -550,4 +577,4 @@ def serve_workload(
     arrivals = generate_arrivals(
         tenants, duration_s=duration_s, num_nodes=num_nodes, seed=seed
     )
-    return gateway.run(arrivals, duration_s=duration_s)
+    return gateway.run(arrivals, duration_s=duration_s, events=events)

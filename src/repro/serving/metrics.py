@@ -142,6 +142,8 @@ class ServingReport:
     store_hedge_wins: int = 0
     store_failovers: int = 0
     store_degraded_reads: int = 0
+    #: Online mutations applied during the run (dynamic sessions only).
+    mutations_applied: int = 0
 
     # ------------------------------------------------------------- derived
     @property

@@ -182,3 +182,85 @@ class TestBatchedSession:
     def test_default_is_reference_path(self):
         graph = power_law_graph(100, 4.0, attr_len=2, seed=2)
         assert not GnnSession(graph).sampler.batched
+
+
+class TestDynamicSession:
+    @pytest.fixture()
+    def dynamic_session(self):
+        from repro.graph.dynamic import DynamicGraph
+
+        graph = power_law_graph(800, 6.0, attr_len=8, seed=0)
+        return GnnSession(DynamicGraph(graph), num_partitions=2, seed=0)
+
+    def test_sample_over_dynamic_store(self, dynamic_session):
+        result = dynamic_session.sample(np.arange(8), (4, 2))
+        assert result.layers[2].shape == (8, 8)
+        assert len(dynamic_session.store.last_sample_epochs) == 1
+
+    def test_mutate_then_sample_sees_new_edges(self, dynamic_session):
+        from repro.memstore.ingest import Mutation
+
+        before = dynamic_session.store.view.num_edges
+        applied = dynamic_session.mutate(
+            [Mutation("edge", src=0, dst=1), Mutation("node", attach_to=0)]
+        )
+        assert applied == 2
+        assert dynamic_session.store.view.num_edges == before + 2
+        assert dynamic_session.store.view.num_nodes == 801
+
+    def test_mutate_requires_dynamic(self, session):
+        from repro.memstore.ingest import Mutation
+
+        with pytest.raises(ConfigurationError):
+            session.mutate([Mutation("edge", src=0, dst=1)])
+
+    def test_serve_with_mutation_rate(self, dynamic_session):
+        report = dynamic_session.serve(
+            duration_s=0.2, functional=True, mutation_rate=200.0, seed=0
+        )
+        assert report.mutations_applied == 40
+        assert report.completed > 0
+
+    def test_serve_with_explicit_timeline(self, dynamic_session):
+        from repro.memstore.ingest import Mutation
+
+        timeline = [
+            Mutation("edge", src=0, dst=1, time_s=0.05),
+            Mutation("node", attach_to=2, time_s=0.1),
+        ]
+        report = dynamic_session.serve(
+            duration_s=0.2, functional=True, mutations=timeline, seed=0
+        )
+        assert report.mutations_applied == 2
+        assert dynamic_session.store.view.num_nodes == 801
+
+    def test_serve_mutations_require_dynamic(self, session):
+        with pytest.raises(ConfigurationError):
+            session.serve(duration_s=0.1, mutation_rate=10.0)
+
+    def test_serve_hardware_incompatible_with_dynamic(self, dynamic_session):
+        with pytest.raises(ConfigurationError):
+            dynamic_session.serve(duration_s=0.1, include_hardware=True)
+
+    def test_workers_incompatible_with_dynamic(self):
+        from repro.graph.dynamic import DynamicGraph
+
+        graph = power_law_graph(400, 6.0, attr_len=4, seed=0)
+        with pytest.raises(ConfigurationError):
+            GnnSession(DynamicGraph(graph), workers=2)
+
+    def test_serve_rate_zero_matches_static(self):
+        """A dynamic session serving zero mutations reports the same
+        outcome as a static session over the same CSR."""
+        from repro.graph.dynamic import DynamicGraph
+
+        graph = power_law_graph(800, 6.0, attr_len=8, seed=0)
+        static = GnnSession(graph, num_partitions=2, seed=0)
+        dynamic = GnnSession(DynamicGraph(graph), num_partitions=2, seed=0)
+        rs = static.serve(
+            duration_s=0.2, functional=True, include_hardware=False, seed=0
+        )
+        rd = dynamic.serve(duration_s=0.2, functional=True, seed=0)
+        assert rs.completed == rd.completed
+        assert rs.offered == rd.offered
+        assert rd.mutations_applied == 0

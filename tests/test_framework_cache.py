@@ -132,6 +132,36 @@ class TestHotNodeCache:
         assert cache.attribute_hits == 0 and cache.attribute_misses == 0
         assert cache.hits == 0 and cache.misses == 0
 
+    def test_invalidate_drops_both_facets(self):
+        cache = HotNodeCache(4)
+        cache.put_neighbors(1, np.array([0]))
+        cache.put_attributes(1, np.array([0.5]))
+        assert cache.invalidate(1) is True
+        assert cache.get_neighbors(1) is None
+        assert cache.get_attributes(1) is None
+        assert cache.invalidations == 1
+
+    def test_invalidate_absent_node_is_noop(self):
+        cache = HotNodeCache(4)
+        assert cache.invalidate(7) is False
+        assert cache.invalidations == 0
+
+    def test_invalidate_frees_capacity(self):
+        cache = HotNodeCache(2)
+        cache.put_neighbors(1, np.array([0]))
+        cache.put_neighbors(2, np.array([0]))
+        cache.invalidate(1)
+        cache.put_neighbors(3, np.array([0]))  # must not evict node 2
+        assert cache.get_neighbors(2) is not None
+        assert cache.get_neighbors(3) is not None
+
+    def test_reset_stats_zeroes_invalidations(self):
+        cache = HotNodeCache(4)
+        cache.put_neighbors(1, np.array([0]))
+        cache.invalidate(1)
+        cache.reset_stats()
+        assert cache.invalidations == 0
+
     def test_lsd_gnn_reuse_is_low(self):
         """Tech-4's premise: random 512-batches over a large graph have
         almost no temporal reuse for a small cache."""

@@ -165,3 +165,61 @@ class TestBatchedSampling:
     def test_speedup_below_one_rejected(self):
         with pytest.raises(ConfigurationError):
             ServiceConfig(batched_speedup=0.5)
+
+
+class TestMutationTraffic:
+    def test_rps_zero_is_bit_identical(self):
+        """Regression: adding the mutation path must not perturb the
+        historical rps=0 simulation (no RNG draws, no extra events)."""
+        config = ServiceConfig(num_workers=4, batches_per_worker=3)
+        baseline = run_service(config, seed=0)
+        with_field = run_service(
+            ServiceConfig(
+                num_workers=4, batches_per_worker=3, mutation_rps=0.0
+            ),
+            seed=0,
+        )
+        assert baseline.batch_latencies_s == with_field.batch_latencies_s
+        assert baseline.total_time_s == with_field.total_time_s
+        assert with_field.mutations_applied == 0
+
+    def test_mutations_served(self):
+        config = ServiceConfig(
+            num_workers=4, batches_per_worker=4, mutation_rps=50_000.0
+        )
+        report = run_service(config, seed=0)
+        assert report.mutations_applied > 0
+
+    def test_mutations_contend_with_reads(self):
+        """Expensive mutations steal server time from reads."""
+        from repro.units import US
+
+        quiet = run_service(
+            ServiceConfig(num_workers=8, batches_per_worker=4), seed=0
+        )
+        busy = run_service(
+            ServiceConfig(
+                num_workers=8,
+                batches_per_worker=4,
+                mutation_rps=200_000.0,
+                per_mutation_service_s=100 * US,
+            ),
+            seed=0,
+        )
+        assert busy.mutations_applied > 0
+        assert busy.p50 > quiet.p50
+
+    def test_mutation_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(mutation_rps=-1.0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(per_mutation_service_s=0.0)
+
+    def test_mutation_runs_deterministic(self):
+        config = ServiceConfig(
+            num_workers=2, batches_per_worker=2, mutation_rps=100_000.0
+        )
+        a = run_service(config, seed=5)
+        b = run_service(config, seed=5)
+        assert a.batch_latencies_s == b.batch_latencies_s
+        assert a.mutations_applied == b.mutations_applied

@@ -102,6 +102,158 @@ class TestUpdates:
             DynamicGraph(CSRGraph.from_edges(1, []), compact_threshold=0)
 
 
+class TestEpochs:
+    def test_epoch_bumps_on_every_mutation(self, graph):
+        assert graph.epoch == 0
+        graph.add_edge(0, 3)
+        assert graph.epoch == 1
+        graph.add_node()
+        assert graph.epoch == 2
+        graph.add_edges([(1, 2), (2, 0)])
+        assert graph.epoch == 4
+
+    def test_compact_bumps_version_not_epoch(self, graph):
+        graph.add_edge(0, 3)
+        epoch_before = graph.epoch
+        graph.compact()
+        assert graph.epoch == epoch_before  # same content, new layout
+        assert graph.version == 1
+
+    def test_auto_compaction_keeps_epoch_monotonic(self):
+        graph = DynamicGraph(CSRGraph.from_edges(3, [(0, 1)]), compact_threshold=4)
+        epochs = []
+        for _ in range(10):
+            graph.add_edge(1, 2)
+            epochs.append(graph.epoch)
+        assert epochs == sorted(epochs)
+        assert epochs[-1] == 10
+        assert graph.compactions == 2
+
+
+class TestGraphView:
+    def test_view_pins_epoch_across_mutation(self, graph):
+        view = graph.view()
+        graph.add_edge(0, 3)
+        assert view.epoch == 0
+        assert view.neighbors(0).tolist() == [1, 2]
+        assert graph.neighbors(0).tolist() == [1, 2, 3]
+
+    def test_view_pins_delta_prefix(self, graph):
+        graph.add_edge(0, 3)
+        view = graph.view()
+        graph.add_edge(0, 0)
+        assert view.neighbors(0).tolist() == [1, 2, 3]
+        assert view.num_edges == 4
+
+    def test_view_survives_compaction(self, graph):
+        graph.add_edge(0, 3)
+        view = graph.view()
+        graph.compact()
+        graph.add_edge(0, 0)
+        assert view.neighbors(0).tolist() == [1, 2, 3]
+        assert graph.neighbors(0).tolist() == [1, 2, 3, 0]
+
+    def test_view_excludes_later_nodes(self, graph):
+        view = graph.view()
+        graph.add_node()
+        assert view.num_nodes == 4
+        with pytest.raises(GraphError):
+            view.neighbors(4)
+
+    def test_view_gather_matches_neighbors(self):
+        base = power_law_graph(60, 4.0, seed=3)
+        graph = DynamicGraph(base, compact_threshold=10_000)
+        rng = np.random.default_rng(4)
+        graph.add_edges(
+            (int(rng.integers(0, 60)), int(rng.integers(0, 60)))
+            for _ in range(40)
+        )
+        view = graph.view()
+        nodes = list(range(60))
+        values, offsets, base_deg, delta_deg = view.gather(nodes)
+        for i, node in enumerate(nodes):
+            block = values[offsets[i] : offsets[i + 1]]
+            assert block.tolist() == view.neighbors(node).tolist()
+            assert base_deg[i] + delta_deg[i] == block.size
+
+    def test_view_attributes_cover_new_nodes(self):
+        base = CSRGraph(
+            np.array([0, 1, 1]),
+            np.array([1]),
+            node_attr=np.arange(4, dtype=np.float32).reshape(2, 2),
+        )
+        graph = DynamicGraph(base)
+        graph.add_node(np.array([7.0, 8.0]))
+        view = graph.view()
+        rows = view.attributes([0, 2, 1])
+        assert rows[1].tolist() == [7.0, 8.0]
+        assert rows[0].tolist() == [0.0, 1.0]
+
+
+class TestEdgeCases:
+    def test_compaction_preserves_neighbor_order(self):
+        """Base block first, then delta appends in insertion order."""
+        base = CSRGraph.from_edges(5, [(0, 4), (0, 2)])
+        graph = DynamicGraph(base, compact_threshold=10_000)
+        base_block = graph.neighbors(0).tolist()
+        graph.add_edges([(0, 3), (0, 1), (0, 3)])
+        expected = base_block + [3, 1, 3]
+        assert graph.neighbors(0).tolist() == expected
+        graph.compact()
+        assert graph.neighbors(0).tolist() == expected
+
+    def test_node_only_growth_compacts(self, graph):
+        graph.add_node()
+        graph.add_node()
+        graph.compact()  # no delta edges, but the base must grow
+        assert graph.version == 1
+        assert graph.base.num_nodes == 6
+        assert graph.neighbors(5).size == 0
+
+    def test_empty_base(self):
+        graph = DynamicGraph(CSRGraph.from_edges(3, []))
+        assert graph.num_edges == 0
+        graph.add_edge(0, 2)
+        assert graph.neighbors(0).tolist() == [2]
+        snapshot = graph.snapshot()
+        assert snapshot.num_edges == 1
+
+    def test_auto_compaction_mid_add_edges(self):
+        graph = DynamicGraph(CSRGraph.from_edges(4, []), compact_threshold=3)
+        graph.add_edges([(0, 1), (0, 2), (0, 3), (1, 0), (1, 2)])
+        assert graph.compactions == 1
+        assert graph.delta_edges == 2
+        assert graph.neighbors(0).tolist() == [1, 2, 3]
+        assert graph.neighbors(1).tolist() == [0, 2]
+
+    def test_compaction_preserves_node_attrs(self):
+        base = CSRGraph(
+            np.array([0, 1, 1]),
+            np.array([1]),
+            node_attr=np.ones((2, 3), dtype=np.float32),
+        )
+        graph = DynamicGraph(base)
+        graph.add_node(np.full(3, 2.0))
+        graph.add_edge(2, 0)
+        merged = graph.snapshot()
+        assert merged.node_attr.shape == (3, 3)
+        assert merged.attributes([2])[0].tolist() == [2.0, 2.0, 2.0]
+
+    def test_add_node_attr_validation(self):
+        plain = DynamicGraph(CSRGraph.from_edges(2, []))
+        with pytest.raises(ConfigurationError):
+            plain.add_node(np.ones(3))
+        attributed = DynamicGraph(
+            CSRGraph(
+                np.array([0, 0]),
+                np.array([], dtype=np.int64),
+                node_attr=np.ones((1, 2), dtype=np.float32),
+            )
+        )
+        with pytest.raises(ConfigurationError):
+            attributed.add_node(np.ones(5))
+
+
 class TestGrowthSimulation:
     def test_growth_adds_edges_and_nodes(self):
         graph = DynamicGraph(CSRGraph.from_edges(10, [(0, 1)]))
@@ -139,6 +291,21 @@ class TestGrowthSimulation:
             SampleRequest(roots=np.arange(8), fanouts=(4,))
         )
         assert result.layers[1].shape == (8, 4)
+
+    def test_growth_zipf_frequency(self):
+        """Regression for the off-by-one: Zipf draws start at 1, so the
+        most frequent draw must map to node 0 — not skip it entirely
+        and pile onto node 1 (or worse, wrap num_nodes-1)."""
+        num_nodes = 50
+        graph = DynamicGraph(CSRGraph.from_edges(num_nodes, []))
+        simulate_growth(graph, 5000, new_node_probability=0.0, seed=7)
+        in_degrees = np.bincount(graph.snapshot().indices, minlength=num_nodes)
+        # Node 0 receives the Zipf mass of draw==1 (~70% at a=1.8).
+        assert in_degrees[0] == in_degrees.max()
+        assert in_degrees[0] > 0.5 * in_degrees.sum()
+        # Monotone-ish head: node 0 strictly dominates node 1, which
+        # dominates the tail average.
+        assert in_degrees[0] > in_degrees[1] > in_degrees[10:].mean()
 
     def test_growth_validation(self):
         graph = DynamicGraph(CSRGraph.from_edges(1, []))
