@@ -27,6 +27,10 @@ SIM_MODULES = frozenset(
         # gateway's virtual clock, so Mutation.time_s must be sim time.
         "repro/graph/dynamic.py",
         "repro/memstore/ingest.py",
+        # Layout/kernel tier: benchmarked via perf_counter at the CLI
+        # only; the modules themselves must stay clock-free.
+        "repro/memstore/locality.py",
+        "repro/framework/kernels.py",
     }
 )
 

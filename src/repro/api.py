@@ -33,6 +33,7 @@ from repro.gnn.models import GraphSageEncoder
 from repro.gnn.train import Trainer
 from repro.memstore.faults import ReliableReadPath
 from repro.memstore.ingest import DynamicPartitionedStore, Mutation, growth_trace
+from repro.memstore.locality import build_locality_layout
 from repro.memstore.store import PartitionedStore
 from repro.parallel.engine import ParallelSampler
 from repro.serving.backends import HardwareBackend, SoftwareBackend
@@ -85,6 +86,25 @@ class GnnSession:
         ``cache_nodes`` and ``reliability`` (shard workers run the
         zero-fault fast path). Call :meth:`close` (or use the session
         as a context manager) to shut the pool down.
+    layout:
+        Locality-preserving physical layout for the store: ``"ldg"``,
+        ``"hash"``, or ``"range"`` (see
+        :func:`~repro.memstore.locality.build_locality_layout`). The
+        graph is renumbered partition-block-contiguous with hot
+        high-degree nodes front-loaded, and the sampler transparently
+        remaps IDs, so callers keep speaking original IDs. ``None``
+        (the default) keeps the historical hash layout bit-for-bit.
+        Incompatible with a ``DynamicGraph`` (the renumbering permutes
+        an immutable CSR) and with ``workers > 0`` (shard workers
+        attach the shared graph plane in original ID space).
+    kernels:
+        Kernel tier for the batched sampler's array primitives:
+        ``"numpy"`` (reference, default), ``"compiled"`` (numba;
+        raises when unavailable), or ``"auto"``. All tiers are
+        bit-identical — the NumPy fallback is mandatory and the
+        compiled tier changes wall clock only. ``None`` keeps the
+        reference tier. Incompatible with ``workers > 0`` (shard
+        workers run their own fixed NumPy path).
     """
 
     def __init__(
@@ -98,6 +118,8 @@ class GnnSession:
         reliability: Optional["ReliableReadPath"] = None,
         batched: bool = False,
         workers: int = 0,
+        layout: Optional[str] = None,
+        kernels: Optional[str] = None,
     ) -> None:
         if cache_nodes < 0:
             raise ConfigurationError(
@@ -105,12 +127,30 @@ class GnnSession:
             )
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        if workers > 0 and layout is not None:
+            raise ConfigurationError(
+                "layout and workers are mutually exclusive; shard workers "
+                "attach the shared graph plane in original ID space"
+            )
+        if workers > 0 and kernels is not None:
+            raise ConfigurationError(
+                "kernels and workers are mutually exclusive; shard workers "
+                "run their own fixed NumPy path"
+            )
         self.graph = graph
+        self.layout = layout
+        #: ID bijection when a locality layout is active, else ``None``.
+        self.relabeling = None
         #: The mutable graph when the session is dynamic, else ``None``.
         self.dynamic: Optional[DynamicGraph] = (
             graph if isinstance(graph, DynamicGraph) else None
         )
         if self.dynamic is not None:
+            if layout is not None:
+                raise ConfigurationError(
+                    "layout and a DynamicGraph are mutually exclusive; the "
+                    "locality renumbering permutes an immutable CSR"
+                )
             if workers > 0:
                 raise ConfigurationError(
                     "workers and a DynamicGraph are mutually exclusive; shard "
@@ -124,6 +164,12 @@ class GnnSession:
             self.store: PartitionedStore = DynamicPartitionedStore(
                 self.dynamic, HashPartitioner(num_partitions)
             )
+        elif layout is not None:
+            built = build_locality_layout(graph, num_partitions, method=layout)
+            self.store = PartitionedStore(
+                built.graph, built.partitioner, reliability=reliability
+            )
+            self.relabeling = built.relabeling
         else:
             self.store = PartitionedStore(
                 graph, HashPartitioner(num_partitions), reliability=reliability
@@ -154,6 +200,8 @@ class GnnSession:
                 selector=get_selector(sampling_method),
                 degraded_ok=reliability is not None,
                 batched=batched,
+                kernels=kernels,
+                relabeling=self.relabeling,
             )
         if engine_config is None:
             engine_config = EngineConfig(

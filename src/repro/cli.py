@@ -12,6 +12,7 @@ Usage::
     python -m repro dse                # Figures 17-21
     python -m repro sampler            # Tech-2 cycle/resource numbers
     python -m repro bench-sampler      # batched vs reference sampler speedup
+    python -m repro layout-bench       # locality layout vs hash baseline
     python -m repro mutate-bench       # sampling throughput vs mutation rate
     python -m repro serve              # online SLO-aware serving gateway
     python -m repro faults             # fault-tolerant remote-memory path
@@ -146,16 +147,31 @@ def _cmd_system(args) -> None:
 
 
 def _cmd_service(_args) -> None:
+    import math
+
     from repro.framework.service import ServiceConfig, run_service
 
     quiet = run_service(ServiceConfig(num_workers=1, batches_per_worker=6))
     loaded = run_service(ServiceConfig(num_workers=32, batches_per_worker=3))
+
+    def _ms(value: float) -> str:
+        # Percentiles are NaN when a run completed zero batches.
+        return "n/a" if math.isnan(value) else f"{MS_PER_S * value:.2f}"
+
     print("load    p50(ms)  p99(ms)")
-    print(f"quiet   {MS_PER_S * quiet.p50:>7.2f}  {MS_PER_S * quiet.p99:>7.2f}")
-    print(f"loaded  {MS_PER_S * loaded.p50:>7.2f}  {MS_PER_S * loaded.p99:>7.2f}")
+    print(f"quiet   {_ms(quiet.p50):>7}  {_ms(quiet.p99):>7}")
+    print(f"loaded  {_ms(loaded.p50):>7}  {_ms(loaded.p99):>7}")
     deadline = quiet.p99 * 1.2
-    print(f"deadline misses at 1.2x quiet p99: "
-          f"{100 * loaded.deadline_miss_rate(deadline):.0f}%")
+    if math.isnan(deadline):
+        print("deadline misses at 1.2x quiet p99: n/a (no quiet batches)")
+    else:
+        miss_rate = loaded.deadline_miss_rate(deadline)
+        misses = (
+            "n/a (no loaded batches)"
+            if math.isnan(miss_rate)
+            else f"{100 * miss_rate:.0f}%"
+        )
+        print(f"deadline misses at 1.2x quiet p99: {misses}")
 
 
 def _cmd_serve(args) -> None:
@@ -616,6 +632,219 @@ def _cmd_mutate_bench(args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_layout_bench(args) -> None:
+    import json
+
+    import numpy as np
+
+    from repro.bench import bench_timer
+    from repro.framework.kernels import (
+        compiled_available,
+        compiled_unavailable_reason,
+    )
+    from repro.framework.replay import replay_reference
+    from repro.framework.requests import SampleRequest
+    from repro.framework.sampler import MultiHopSampler
+    from repro.graph.datasets import instantiate_dataset
+    from repro.graph.partition import HashPartitioner
+    from repro.memstore.locality import build_locality_layout
+    from repro.memstore.store import PartitionedStore
+
+    if args.smoke:
+        args.max_nodes = min(args.max_nodes, 2000)
+        args.batch_size = min(args.batch_size, 64)
+        args.batches = min(args.batches, 2)
+        args.repeats = min(args.repeats, 2)
+    fanouts = tuple(int(f) for f in args.fanouts.split(","))
+    graph = instantiate_dataset("ll", max_nodes=args.max_nodes, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    requests = [
+        SampleRequest(
+            roots=rng.integers(0, graph.num_nodes, size=args.batch_size),
+            fanouts=fanouts,
+            with_attributes=True,
+        )
+        for _ in range(args.batches)
+    ]
+    layout = build_locality_layout(graph, args.partitions, method=args.method)
+    base_partitioner = HashPartitioner(args.partitions)
+
+    def hop_crossings(results, partitioner, relabeling):
+        """Parent->pick pairs whose owners differ: the remote fetches hop
+        expansion issues when each parent expands on its owner. Unlike
+        one worker's remote share, this is the sampled edge cut —
+        independent of which partition the worker happens to sit in."""
+        crossings = total = 0
+        for result, request in zip(results, requests):
+            for hop, fanout in enumerate(request.fanouts):
+                parents = np.repeat(result.layers[hop].reshape(-1), fanout)
+                picks = result.layers[hop + 1].reshape(-1)
+                if relabeling is not None:
+                    parents = relabeling.to_internal(parents)
+                    picks = relabeling.to_internal(picks)
+                crossings += int(np.count_nonzero(
+                    partitioner.partition_of(parents)
+                    != partitioner.partition_of(picks)
+                ))
+                total += picks.size
+        return crossings, total
+
+    def run(store_graph, partitioner, relabeling, kernels):
+        best = float("inf")
+        store = results = None
+        for _ in range(args.repeats):
+            store = PartitionedStore(
+                store_graph, partitioner, track_locality=True
+            )
+            sampler = MultiHopSampler(
+                store,
+                seed=args.seed,
+                worker_partition=0,
+                batched=True,
+                kernels=kernels,
+                relabeling=relabeling,
+            )
+            with bench_timer() as timer:
+                results = [sampler.sample(r) for r in requests]
+            best = min(best, timer.elapsed_s)
+        return best, results, store
+
+    baseline_s, baseline_results, baseline_store = run(
+        graph, base_partitioner, None, None
+    )
+    layout_s, layout_results, layout_store = run(
+        layout.graph, layout.partitioner, layout.relabeling, None
+    )
+    base_crossings, base_picks = hop_crossings(
+        baseline_results, base_partitioner, None
+    )
+    lay_crossings, lay_picks = hop_crossings(
+        layout_results, layout.partitioner, layout.relabeling
+    )
+
+    # Replay parity: the per-node walk must charge the layout path's
+    # sampled layers identically. Untracked stores on both sides — the
+    # batched gather pattern the locality counters measure is exactly
+    # what the per-node walk does not do.
+    live_store = PartitionedStore(layout.graph, layout.partitioner)
+    live_result = MultiHopSampler(
+        live_store,
+        seed=args.seed,
+        worker_partition=0,
+        batched=True,
+        relabeling=layout.relabeling,
+    ).sample(requests[0])
+    replay_store = PartitionedStore(layout.graph, layout.partitioner)
+    replay_reference(
+        live_result,
+        requests[0],
+        replay_store,
+        worker_partition=0,
+        relabeling=layout.relabeling,
+    )
+    replay_match = live_store.summary == replay_store.summary
+
+    # Kernel tier: same seed, same draws — the compiled tier must
+    # reproduce the NumPy layers bit for bit, winning wall clock only.
+    kernels_report = {"compiled_available": compiled_available()}
+    tiers_identical = None
+    if compiled_available():
+        compiled_s, compiled_results, _ = run(
+            layout.graph, layout.partitioner, layout.relabeling, "compiled"
+        )
+        tiers_identical = all(
+            np.array_equal(a, b)
+            for nr, cr in zip(layout_results, compiled_results)
+            for a, b in zip(nr.layers, cr.layers)
+        )
+        kernels_report.update(
+            {
+                "compiled_s": compiled_s,
+                "speedup_vs_numpy": layout_s / compiled_s,
+                "bit_identical": bool(tiers_identical),
+            }
+        )
+    else:
+        kernels_report["reason"] = compiled_unavailable_reason()
+
+    def summarize(summary, wall_s, crossings, picks):
+        return {
+            "wall_s": wall_s,
+            "crossings": crossings,
+            "crossing_fraction": crossings / picks if picks else 0.0,
+            "remote_count": summary.remote_count,
+            "remote_count_fraction": summary.remote_count_fraction,
+            "gather_nodes": summary.gather_nodes,
+            "gather_runs": summary.gather_runs,
+            "gather_span_bytes": summary.gather_span_bytes,
+            "mean_run_length": summary.mean_run_length,
+        }
+
+    base = summarize(
+        baseline_store.summary, baseline_s, base_crossings, base_picks
+    )
+    lay = summarize(layout_store.summary, layout_s, lay_crossings, lay_picks)
+    crossing_reduction = (
+        0.0
+        if base["crossings"] == 0
+        else 1.0 - lay["crossings"] / base["crossings"]
+    )
+    run_length_gain = (
+        0.0
+        if base["mean_run_length"] == 0
+        else lay["mean_run_length"] / base["mean_run_length"]
+    )
+    locality_win = crossing_reduction > 0 and run_length_gain > 1.0
+    report = {
+        "dataset": "ll",
+        "num_nodes": int(graph.num_nodes),
+        "batch_size": args.batch_size,
+        "batches": args.batches,
+        "fanouts": list(fanouts),
+        "partitions": args.partitions,
+        "method": args.method,
+        "repeats": args.repeats,
+        "seed": args.seed,
+        "baseline": base,
+        "layout": lay,
+        "crossing_reduction": crossing_reduction,
+        "run_length_gain": run_length_gain,
+        "locality_win": bool(locality_win),
+        "replay_match": bool(replay_match),
+        "kernels": kernels_report,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"ll instance: {graph.num_nodes} nodes, batch {args.batch_size} "
+              f"x {args.batches}, fanouts {'x'.join(str(f) for f in fanouts)}, "
+              f"{args.partitions} partitions, method={args.method} "
+              f"(best of {args.repeats})")
+        print(f"{'':>10} {'wall ms':>9} {'cross%':>7} {'remote%':>8} "
+              f"{'runs':>8} {'run len':>8} {'span':>12}")
+        for name, row in (("baseline", base), ("layout", lay)):
+            print(f"{name:>10} {row['wall_s'] * MS_PER_S:>9.2f} "
+                  f"{100 * row['crossing_fraction']:>7.1f} "
+                  f"{100 * row['remote_count_fraction']:>8.1f} "
+                  f"{row['gather_runs']:>8} "
+                  f"{row['mean_run_length']:>8.2f} "
+                  f"{format_bytes(row['gather_span_bytes']):>12}")
+        print(f"partition crossings: {100 * crossing_reduction:.1f}% fewer; "
+              f"contiguous runs: {run_length_gain:.2f}x longer")
+        print(f"locality win: {'yes' if locality_win else 'NO'}")
+        print(f"replay parity (layout path): "
+              f"{'yes' if replay_match else 'NO'}")
+        if kernels_report["compiled_available"]:
+            print(f"compiled tier: {kernels_report['compiled_s'] * MS_PER_S:.2f} "
+                  f"ms ({kernels_report['speedup_vs_numpy']:.2f}x vs numpy), "
+                  f"bit-identical: "
+                  f"{'yes' if kernels_report['bit_identical'] else 'NO'}")
+        else:
+            print(f"compiled tier: unavailable ({kernels_report['reason']})")
+    if not replay_match or not locality_win or tiers_identical is False:
+        raise SystemExit(1)
+
+
 def _cmd_lint(args) -> None:
     from repro.analysis.lintcli import run_lint
 
@@ -722,6 +951,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the report(s) as JSON (see "
                               "benchmarks/bench_record.py)")
     cluster.set_defaults(fn=_cmd_cluster)
+    layoutp = sub.add_parser(
+        "layout-bench",
+        help="locality layout vs hash baseline + compiled kernel tier",
+    )
+    layoutp.add_argument("--max-nodes", type=int, default=20000)
+    layoutp.add_argument("--batch-size", type=int, default=256)
+    layoutp.add_argument("--batches", type=int, default=4,
+                         help="sample batches per configuration")
+    layoutp.add_argument("--fanouts", type=str, default="10,10")
+    layoutp.add_argument("--partitions", type=int, default=4)
+    layoutp.add_argument("--method", type=str, default="ldg",
+                         choices=["ldg", "hash", "range"],
+                         help="partition assignment the layout blocks follow")
+    layoutp.add_argument("--repeats", type=int, default=3,
+                         help="take the best of this many runs per path")
+    layoutp.add_argument("--seed", type=int, default=0)
+    layoutp.add_argument("--smoke", action="store_true",
+                         help="small fast configuration for CI")
+    layoutp.add_argument("--json", action="store_true",
+                         help="emit the report as JSON (see "
+                              "benchmarks/bench_record.py)")
+    layoutp.set_defaults(fn=_cmd_layout_bench)
     mutate = sub.add_parser(
         "mutate-bench",
         help="sampling throughput vs online mutation rate + consistency",

@@ -12,6 +12,13 @@ from repro.framework.selectors import (
     select_streaming,
     select_uniform,
 )
+from repro.framework.kernels import (
+    NUMPY_KERNELS,
+    compiled_available,
+    default_kernels,
+    get_kernels,
+    set_default_kernels,
+)
 from repro.framework.service import ServiceConfig, ServiceReport, run_service
 from repro.framework.export import batch_nbytes, load_batch, save_batch
 from repro.framework.replay import ReplaySelector, replay_reference
@@ -29,6 +36,11 @@ __all__ = [
     "characterize_access_mix",
     "get_bucket_selector",
     "get_selector",
+    "NUMPY_KERNELS",
+    "compiled_available",
+    "default_kernels",
+    "get_kernels",
+    "set_default_kernels",
     "ReplaySelector",
     "replay_reference",
     "select_streaming",

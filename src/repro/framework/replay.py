@@ -59,12 +59,21 @@ class ReplaySelector:
     """
 
     def __init__(
-        self, result: SampleResult, request: SampleRequest, graph: CSRGraph
+        self,
+        result: SampleResult,
+        request: SampleRequest,
+        graph: CSRGraph,
+        relabeling=None,
     ) -> None:
         self._rows = []
         for hop, fanout in enumerate(request.fanouts):
             parents = result.layers[hop].reshape(-1)
             picks = result.layers[hop + 1].reshape(parents.size, fanout)
+            if relabeling is not None:
+                # Recorded layers are in original IDs; the walk (and
+                # ``graph``) run in the relabeled internal space.
+                parents = relabeling.to_internal(parents)
+                picks = relabeling.to_internal(picks)
             degrees = _parent_degrees(graph, parents)
             for i in np.flatnonzero(degrees > 0):
                 self._rows.append(picks[i].astype(np.int64))
@@ -93,23 +102,28 @@ def replay_reference(
     store: PartitionedStore,
     worker_partition: Optional[int] = None,
     cache: Optional[HotNodeCache] = None,
+    relabeling=None,
 ) -> SampleResult:
     """Re-run the reference walk pinned to ``result``'s sampled layers.
 
     ``store`` should be a fresh store over the same graph/partitioner
     (and typically no reliability path — replay assumes every position's
     neighbor list has its full graph degree, which degraded completions
-    violate). After this returns, ``store.summary`` and ``cache``
-    counters hold exactly what the per-node reference walk charges for
-    those layers, ready to compare against the batched run's.
+    violate). When the result was sampled through a locality layout,
+    pass the same ``relabeling`` so the recorded original-ID layers are
+    replayed against the internal-ID store. After this returns,
+    ``store.summary`` and ``cache`` counters hold exactly what the
+    per-node reference walk charges for those layers, ready to compare
+    against the batched run's.
     """
-    selector = ReplaySelector(result, request, store.graph)
+    selector = ReplaySelector(result, request, store.graph, relabeling=relabeling)
     sampler = MultiHopSampler(
         store,
         seed=0,
         cache=cache,
         worker_partition=worker_partition,
         selector=selector,
+        relabeling=relabeling,
     )
     replayed = sampler.sample(request)
     for recorded, walked in zip(result.layers, replayed.layers):

@@ -23,6 +23,7 @@ from repro.framework.requests import (
     SampleRequest,
     SampleResult,
 )
+from repro.framework.kernels import NUMPY_KERNELS, get_kernels
 from repro.framework.selectors import get_bucket_selector, select_uniform
 from repro.memstore.store import PartitionedStore
 
@@ -66,6 +67,19 @@ class MultiHopSampler:
         (the RNG consumption order differs, so the draws themselves are
         not stream-identical). ``False`` (the default) keeps the
         historical per-node reference walk bit-for-bit.
+    kernels:
+        Kernel tier for the batched hot path's array primitives — a
+        tier name (``"numpy"``/``"compiled"``/``"auto"``) or a tier
+        object from :func:`repro.framework.kernels.get_kernels`.
+        ``None`` keeps the reference NumPy tier. Every tier is
+        bit-identical (the RNG never leaves NumPy), so this changes
+        wall clock only.
+    relabeling:
+        Optional :class:`repro.memstore.locality.Relabeling` when the
+        store's graph was physically renumbered by the locality
+        layout: roots are mapped to internal IDs on the way in and
+        sampled layers back to original IDs on the way out, so callers
+        see original IDs throughout.
     """
 
     def __init__(
@@ -77,6 +91,8 @@ class MultiHopSampler:
         selector=select_uniform,
         degraded_ok: bool = False,
         batched: bool = False,
+        kernels=None,
+        relabeling=None,
     ) -> None:
         self.store = store
         self.rng = np.random.default_rng(seed)
@@ -85,6 +101,8 @@ class MultiHopSampler:
         self.selector = selector
         self.degraded_ok = degraded_ok
         self.batched = batched
+        self.kernels = NUMPY_KERNELS if kernels is None else get_kernels(kernels)
+        self.relabeling = relabeling
         #: Reads completed without data because a shard was unreachable.
         self.degraded_fallbacks = 0
         # Weighted selectors take an extra ``weights`` argument, fed
@@ -155,6 +173,10 @@ class MultiHopSampler:
         roots = request.roots
         if roots.max(initial=-1) >= self.store.graph.num_nodes or roots.min(initial=0) < 0:
             raise GraphError("request roots outside [0, num_nodes)")
+        if self.relabeling is not None:
+            # The store runs in internal layout IDs; callers speak
+            # original IDs. Map in here, map every layer back below.
+            roots = self.relabeling.to_internal(roots)
         result.layers.append(roots.copy())
         frontier = roots
         width = 1
@@ -183,6 +205,12 @@ class MultiHopSampler:
                 else self._fetch_attributes
             )
             result.attributes = [fetch(layer) for layer in result.layers]
+        if self.relabeling is not None:
+            # Attributes were fetched with internal IDs above (same
+            # nodes, same rows); only the visible layers need mapping.
+            result.layers = [
+                self.relabeling.to_original(layer) for layer in result.layers
+            ]
         return result
 
     # ------------------------------------------------------- batched path
@@ -241,15 +269,17 @@ class MultiHopSampler:
             d = int(position_degrees[bucket[0]])
             u = inverse[bucket]
             starts = offsets[u]
-            matrix = values[starts[:, None] + np.arange(d)]
+            matrix = self.kernels.gather_rows(values, starts, d)
             if use_weights:
                 edge_starts = graph.indptr[unique[u]].astype(np.int64)
-                weights = graph.edge_attr[edge_starts[:, None] + np.arange(d)]
+                weights = self.kernels.gather_rows(graph.edge_attr, edge_starts, d)
                 out[bucket] = bucket_selector(
-                    matrix, fanout, self.rng, weights=weights
+                    matrix, fanout, self.rng, weights=weights, kernels=self.kernels
                 )
             else:
-                out[bucket] = bucket_selector(matrix, fanout, self.rng)
+                out[bucket] = bucket_selector(
+                    matrix, fanout, self.rng, kernels=self.kernels
+                )
         return out
 
     def _neighbors_batch(self, unique: np.ndarray, counts: np.ndarray):
@@ -438,13 +468,18 @@ class MultiHopSampler:
                 "negative sampling needs at least 2 nodes in the graph"
             )
         rate = request.rate
-        out = np.empty((request.pairs.shape[0], rate), dtype=np.int64)
+        pairs = request.pairs
+        if self.relabeling is not None:
+            # Rejection runs in internal space (uniform over internal
+            # IDs is uniform over nodes); results map back at the end.
+            pairs = self.relabeling.to_internal(pairs)
+        out = np.empty((pairs.shape[0], rate), dtype=np.int64)
         # RNG consumption is row-by-row in pair order, drawn in
         # rejection blocks per row; the draw stream therefore differs
         # from the historical one-draw-at-a-time loop, but each row is
         # still an independent uniform rejection sampler over the
         # non-neighbor set.
-        for row, (src, _dst) in enumerate(request.pairs):
+        for row, (src, _dst) in enumerate(pairs):
             src = int(src)
             forbidden = np.union1d(
                 self._neighbors(src), np.asarray([src], dtype=np.int64)
@@ -470,4 +505,6 @@ class MultiHopSampler:
                 take = min(accepted.size, need)
                 out[row, filled : filled + take] = accepted[:take]
                 filled += take
+        if self.relabeling is not None:
+            out = self.relabeling.to_original(out)
         return out

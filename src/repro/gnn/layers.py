@@ -18,6 +18,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.framework.kernels import default_kernels
 
 
 def segment_sum(
@@ -29,7 +30,8 @@ def segment_sum(
     unbuffered scatter-add, so duplicate segment IDs accumulate —
     unlike plain fancy-index assignment which silently drops them).
     Row ``i`` of the result is ``sum(values[segment_ids == i])``; empty
-    segments are zero.
+    segments are zero. Validation runs here; the reduction is delegated
+    to the process default kernel tier (every tier is bit-identical).
     """
     values = np.asarray(values)
     segment_ids = np.asarray(segment_ids, dtype=np.int64).reshape(-1)
@@ -41,9 +43,7 @@ def segment_sum(
         segment_ids.min() < 0 or segment_ids.max() >= num_segments
     ):
         raise ConfigurationError("segment ids outside [0, num_segments)")
-    out = np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
-    np.add.at(out, segment_ids, values)
-    return out
+    return default_kernels().segment_sum(values, segment_ids, num_segments)
 
 
 def segment_mean(
@@ -81,19 +81,7 @@ def ragged_segment_sum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
         )
     if np.any(np.diff(offsets) < 0):
         raise ConfigurationError("offsets must be non-decreasing")
-    num_segments = offsets.size - 1
-    out = np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
-    if values.shape[0] == 0 or num_segments == 0:
-        return out
-    # reduceat misbehaves on empty segments (offsets[i] == offsets[i+1]
-    # yields values[offsets[i]] instead of the identity) and rejects a
-    # start index equal to len(values); reduce over the non-empty
-    # segments only and scatter back.
-    lengths = np.diff(offsets)
-    nonempty = np.flatnonzero(lengths > 0)
-    if nonempty.size:
-        out[nonempty] = np.add.reduceat(values, offsets[nonempty], axis=0)
-    return out
+    return default_kernels().ragged_segment_sum(values, offsets)
 
 
 def relu(x: np.ndarray) -> np.ndarray:

@@ -161,11 +161,20 @@ class CSRGraph:
         Edges are sorted by source; relative order of a node's neighbors
         follows the input order after a stable sort.
         """
-        edge_array = np.asarray(list(edges), dtype=np.int64)
-        if edge_array.size == 0:
-            edge_array = edge_array.reshape(0, 2)
-        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
-            raise GraphError("edges must be (src, dst) pairs")
+        if isinstance(edges, (np.ndarray, list, tuple)):
+            edge_array = np.asarray(edges, dtype=np.int64)
+            if edge_array.size == 0:
+                edge_array = edge_array.reshape(0, 2)
+            if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+                raise GraphError("edges must be (src, dst) pairs")
+        else:
+            # Lazy iterables (generators) stream straight into the
+            # target buffer: peak memory is the edge array itself, not
+            # a Python list of tuples plus the array.
+            try:
+                edge_array = np.fromiter(edges, dtype=np.dtype((np.int64, 2)))
+            except (TypeError, ValueError) as exc:
+                raise GraphError("edges must be (src, dst) pairs") from exc
         if edge_array.size and (
             edge_array.min() < 0 or edge_array.max() >= num_nodes
         ):

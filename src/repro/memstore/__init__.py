@@ -13,7 +13,20 @@ from repro.memstore.index import ExternalIdIndex
 from repro.memstore.faults import FaultInjector, FaultStats, ReliableReadPath
 from repro.memstore.replication import ReplicaId, ReplicaPlacement
 from repro.memstore.retry import RetryPolicy, expected_attempts
-from repro.memstore.store import AccessKind, AccessRecord, PartitionedStore
+from repro.memstore.store import (
+    AccessKind,
+    AccessRecord,
+    AccessSummary,
+    PartitionedStore,
+)
+from repro.memstore.locality import (
+    BlockPartitioner,
+    LocalityLayout,
+    Relabeling,
+    apply_layout,
+    build_locality_layout,
+    locality_order,
+)
 from repro.memstore.ingest import (
     DynamicPartitionedStore,
     IngestStats,
@@ -42,7 +55,14 @@ __all__ = [
     "expected_attempts",
     "AccessKind",
     "AccessRecord",
+    "AccessSummary",
     "PartitionedStore",
+    "BlockPartitioner",
+    "LocalityLayout",
+    "Relabeling",
+    "apply_layout",
+    "build_locality_layout",
+    "locality_order",
     "DynamicPartitionedStore",
     "IngestStats",
     "Mutation",

@@ -53,6 +53,17 @@ class AccessSummary:
     attribute_bytes: int = 0
     remote_count: int = 0
     remote_bytes: int = 0
+    #: Locality-layout accounting (populated only on stores constructed
+    #: with ``track_locality=True``; zero otherwise so summary equality
+    #: against untracked stores still holds). Each batched gather of
+    #: ``n`` distinct nodes contributes ``n`` to ``gather_nodes``, its
+    #: number of maximal consecutive-ID runs to ``gather_runs``, and the
+    #: byte distance from its first to its last touched entry to
+    #: ``gather_span_bytes`` — fewer runs over the same nodes and a
+    #: tighter span mean the gather walked contiguous memory.
+    gather_nodes: int = 0
+    gather_runs: int = 0
+    gather_span_bytes: int = 0
 
     def add(self, other: "AccessSummary") -> "AccessSummary":
         """Accumulate ``other`` into this summary (shard-merge support).
@@ -68,6 +79,9 @@ class AccessSummary:
         self.attribute_bytes += other.attribute_bytes
         self.remote_count += other.remote_count
         self.remote_bytes += other.remote_bytes
+        self.gather_nodes += other.gather_nodes
+        self.gather_runs += other.gather_runs
+        self.gather_span_bytes += other.gather_span_bytes
         return self
 
     @property
@@ -97,6 +111,18 @@ class AccessSummary:
         if self.total_bytes == 0:
             return 0.0
         return self.remote_bytes / self.total_bytes
+
+    @property
+    def mean_run_length(self) -> float:
+        """Average contiguous-run length across tracked gathers.
+
+        1.0 means every gathered node was an island; higher means hop
+        frontiers landed on consecutive array entries (the locality
+        layout's win condition).
+        """
+        if self.gather_runs == 0:
+            return 0.0
+        return self.gather_nodes / self.gather_runs
 
 
 @dataclass
@@ -173,6 +199,14 @@ class PartitionedStore:
         replica of the owning partition answers before the deadline.
         ``None`` (the default) keeps the store's historical zero-fault
         behavior bit-for-bit.
+    track_locality:
+        Record gather-contiguity counters (``gather_nodes`` /
+        ``gather_runs`` / ``gather_span_bytes``) for every batched
+        adjacency/attribute gather. ``False`` (the default) leaves the
+        counters at zero so summaries stay comparable with stores that
+        predate the locality layout — the batched gather pattern is not
+        reproduced by the per-node replay walk, so parity checks must
+        compare untracked stores.
     """
 
     def __init__(
@@ -183,6 +217,7 @@ class PartitionedStore:
         offset_entry_bytes: int = 16,
         id_bytes: int = 8,
         reliability: Optional["ReliableReadPath"] = None,
+        track_locality: bool = False,
     ) -> None:
         self.graph = graph
         self.partitioner = partitioner
@@ -190,6 +225,7 @@ class PartitionedStore:
         self.offset_entry_bytes = offset_entry_bytes
         self.id_bytes = id_bytes
         self.reliability = reliability
+        self.track_locality = track_locality
         self._trace: List[AccessRecord] = []
         self._summary = AccessSummary()
         self.tracing = False
@@ -293,6 +329,25 @@ class PartitionedStore:
                     record = AccessRecord(kind, int(b), bool(loc))
                     self._trace.extend([record] * int(c))
 
+    def _record_gather(self, nodes: np.ndarray, entry_bytes: int) -> None:
+        """Account the contiguity of one batched gather (opt-in).
+
+        ``nodes`` is the batch's distinct node set; ``entry_bytes`` is
+        the per-node footprint in the array being gathered. Runs are
+        maximal stretches of consecutive IDs; the span is the byte
+        distance covering the whole batch. Both shrink as the layout
+        packs co-accessed nodes together.
+        """
+        if not self.track_locality or nodes.size == 0:
+            return
+        ordered = np.sort(np.asarray(nodes, dtype=np.int64))
+        runs = 1 + int(np.count_nonzero(np.diff(ordered) != 1))
+        self._summary.gather_nodes += int(ordered.size)
+        self._summary.gather_runs += runs
+        self._summary.gather_span_bytes += int(
+            (ordered[-1] - ordered[0] + 1) * entry_bytes
+        )
+
     def _locality(self, nodes: np.ndarray, from_partition: Optional[int]) -> np.ndarray:
         if from_partition is None:
             return np.ones(nodes.shape, dtype=bool)
@@ -377,6 +432,7 @@ class PartitionedStore:
                 )
         starts, stops = self.graph.neighbor_slices(nodes)
         degrees = (stops - starts).astype(np.int64)
+        self._record_gather(nodes, self.offset_entry_bytes)
         locality = self._locality(nodes, from_partition)
         served = np.ones(nodes.shape, dtype=bool)
         recorded = counts.copy()
@@ -463,6 +519,7 @@ class PartitionedStore:
                 raise ConfigurationError(
                     f"counts shape {counts.shape} != nodes shape {nodes.shape}"
                 )
+        self._record_gather(nodes, self.graph.attr_len * 4)
         locality = self._locality(nodes, from_partition)
         row_bytes = self.graph.attr_len * 4
         served = np.ones(nodes.shape, dtype=bool)

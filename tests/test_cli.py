@@ -201,3 +201,74 @@ class TestMutateBenchCommand:
 
     def test_parser_lists_mutate_bench(self):
         assert "mutate-bench" in build_parser().format_help()
+
+
+class TestServiceNaNGuard:
+    def test_zero_batch_runs_print_na(self, capsys, monkeypatch):
+        import repro.framework.service as service_mod
+        from repro.framework.service import ServiceReport
+
+        empty = ServiceReport(
+            batch_latencies_s=[],
+            total_time_s=0.0,
+            total_batches=0,
+            server_max_queue=0,
+        )
+        monkeypatch.setattr(
+            service_mod, "run_service", lambda config: empty
+        )
+        assert main(["service"]) == 0
+        out = capsys.readouterr().out
+        assert "n/a (no quiet batches)" in out
+        assert "nan" not in out.lower()
+
+    def test_zero_loaded_batches_print_na(self, capsys, monkeypatch):
+        import repro.framework.service as service_mod
+        from repro.framework.service import ServiceConfig, ServiceReport
+
+        real_run = service_mod.run_service
+
+        def run(config: ServiceConfig):
+            if config.num_workers > 1:  # the loaded run
+                return ServiceReport(
+                    batch_latencies_s=[],
+                    total_time_s=0.0,
+                    total_batches=0,
+                    server_max_queue=0,
+                )
+            return real_run(config)
+
+        monkeypatch.setattr(service_mod, "run_service", run)
+        assert main(["service"]) == 0
+        out = capsys.readouterr().out
+        assert "n/a (no loaded batches)" in out
+        assert "nan" not in out.lower()
+
+
+class TestLayoutBench:
+    def test_layout_bench_smoke(self, capsys):
+        assert main(["layout-bench", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "locality win: yes" in out
+        assert "replay parity (layout path): yes" in out
+
+    def test_layout_bench_json(self, capsys):
+        import json
+
+        assert main(["layout-bench", "--smoke", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["locality_win"] is True
+        assert report["replay_match"] is True
+        assert report["crossing_reduction"] > 0
+        assert report["run_length_gain"] > 1.0
+        assert (
+            report["layout"]["gather_nodes"]
+            == report["baseline"]["gather_nodes"]
+        )
+        if not report["kernels"]["compiled_available"]:
+            assert "numba" in report["kernels"]["reason"]
+        else:
+            assert report["kernels"]["bit_identical"] is True
+
+    def test_parser_lists_layout_bench(self):
+        assert "layout-bench" in build_parser().format_help()

@@ -1,0 +1,180 @@
+"""Tests for the kernel tier registry and the NumPy reference kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.framework.kernels import (
+    KERNEL_TIERS,
+    NUMPY_KERNELS,
+    NumpyKernels,
+    compiled_available,
+    compiled_unavailable_reason,
+    default_kernels,
+    get_kernels,
+    rowwise_weighted_picks,
+    set_default_kernels,
+)
+
+
+class TestGetKernels:
+    def test_none_and_numpy_resolve_to_reference(self):
+        assert get_kernels(None) is NUMPY_KERNELS
+        assert get_kernels("numpy") is NUMPY_KERNELS
+        assert get_kernels() is NUMPY_KERNELS
+
+    def test_tier_object_passes_through(self):
+        assert get_kernels(NUMPY_KERNELS) is NUMPY_KERNELS
+
+    def test_rejects_non_tier_object(self):
+        with pytest.raises(ConfigurationError):
+            get_kernels(42)
+
+    def test_rejects_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_kernels("cuda")
+
+    def test_auto_always_resolves(self):
+        tier = get_kernels("auto")
+        assert tier.name in ("numpy", "compiled")
+
+    def test_compiled_raises_or_resolves(self):
+        if compiled_available():
+            assert get_kernels("compiled").compiled is True
+            assert compiled_unavailable_reason() is None
+        else:
+            reason = compiled_unavailable_reason()
+            assert reason is not None
+            with pytest.raises(ConfigurationError, match="numba"):
+                get_kernels("compiled")
+
+    def test_tier_names_registry(self):
+        assert KERNEL_TIERS == ("auto", "numpy", "compiled")
+
+    def test_default_tier_is_numpy(self):
+        assert default_kernels() is NUMPY_KERNELS
+
+    def test_set_default_round_trip(self):
+        try:
+            tier = set_default_kernels("auto")
+            assert default_kernels() is tier
+        finally:
+            set_default_kernels("numpy")
+        assert default_kernels() is NUMPY_KERNELS
+
+
+class TestNumpyKernels:
+    def test_gather_rows(self):
+        values = np.arange(10) * 10
+        out = NUMPY_KERNELS.gather_rows(values, np.array([0, 4, 7]), 3)
+        assert out.tolist() == [[0, 10, 20], [40, 50, 60], [70, 80, 90]]
+
+    def test_take_picks(self):
+        matrix = np.array([[1, 2, 3], [4, 5, 6]])
+        picks = np.array([[2, 0], [1, 1]])
+        out = NUMPY_KERNELS.take_picks(matrix, picks)
+        assert out.tolist() == [[3, 1], [5, 5]]
+
+    def test_segment_sum_accumulates_duplicates(self):
+        values = np.array([[1.0], [2.0], [4.0]])
+        out = NUMPY_KERNELS.segment_sum(values, np.array([1, 1, 0]), 3)
+        assert out.tolist() == [[4.0], [3.0], [0.0]]
+
+    def test_ragged_segment_sum_handles_empty_segments(self):
+        values = np.arange(6, dtype=np.float64).reshape(3, 2)
+        offsets = np.array([0, 0, 2, 2, 3])
+        out = NUMPY_KERNELS.ragged_segment_sum(values, offsets)
+        assert out.tolist() == [[0, 0], [2, 4], [0, 0], [4, 5]]
+
+    def test_rowwise_picks_is_module_function(self):
+        cdf = np.array([[0.5, 1.0]])
+        draws = np.array([[0.4, 0.6]])
+        assert np.array_equal(
+            NUMPY_KERNELS.rowwise_weighted_picks(cdf, draws),
+            rowwise_weighted_picks(cdf, draws),
+        )
+
+
+needs_numba = pytest.mark.skipif(
+    not compiled_available(), reason="numba not installed"
+)
+
+
+@needs_numba
+class TestCompiledParity:
+    """The compiled tier must match the reference tier bit for bit."""
+
+    def setup_method(self):
+        self.compiled = get_kernels("compiled")
+        self.rng = np.random.default_rng(0)
+
+    def test_rowwise_weighted_picks_parity(self):
+        for k, d, m in ((1, 1, 1), (4, 3, 8), (16, 9, 5)):
+            weights = self.rng.random((k, d))
+            weights[self.rng.random((k, d)) < 0.3] = 0.0
+            weights[:, 0] += 1e-9  # keep every row's sum positive
+            cdf = np.cumsum(
+                weights / weights.sum(axis=1, keepdims=True), axis=1
+            )
+            draws = self.rng.random((k, m))
+            # Include exact plateau hits alongside ordinary draws.
+            draws[:, 0] = cdf[:, -1]
+            assert np.array_equal(
+                self.compiled.rowwise_weighted_picks(cdf, draws),
+                NumpyKernels.rowwise_weighted_picks(cdf, draws),
+            )
+
+    def test_gather_rows_parity(self):
+        values = self.rng.integers(0, 1000, size=64)
+        starts = self.rng.integers(0, 60, size=12)
+        assert np.array_equal(
+            self.compiled.gather_rows(values, starts, 4),
+            NumpyKernels.gather_rows(values, starts, 4),
+        )
+
+    def test_take_picks_parity(self):
+        matrix = self.rng.integers(0, 100, size=(6, 5))
+        picks = self.rng.integers(0, 5, size=(6, 9))
+        assert np.array_equal(
+            self.compiled.take_picks(matrix, picks),
+            NumpyKernels.take_picks(matrix, picks),
+        )
+
+    def test_segment_sum_parity(self):
+        values = self.rng.random((20, 3))
+        ids = self.rng.integers(0, 7, size=20)
+        assert np.array_equal(
+            self.compiled.segment_sum(values, ids, 7),
+            NumpyKernels.segment_sum(values, ids, 7),
+        )
+
+    def test_ragged_segment_sum_parity(self):
+        values = self.rng.random((10, 2))
+        offsets = np.array([0, 0, 3, 3, 7, 10])
+        assert np.array_equal(
+            self.compiled.ragged_segment_sum(values, offsets),
+            NumpyKernels.ragged_segment_sum(values, offsets),
+        )
+
+    def test_selectors_parity_end_to_end(self):
+        from repro.framework.selectors import (
+            select_streaming_weighted_bucket,
+            select_uniform_bucket,
+            select_weighted_bucket,
+        )
+
+        matrix = self.rng.integers(0, 500, size=(8, 6))
+        weights = self.rng.random((8, 6))
+        for select, kwargs in (
+            (select_uniform_bucket, {}),
+            (select_weighted_bucket, {"weights": weights}),
+            (select_streaming_weighted_bucket, {"weights": weights}),
+        ):
+            out_np = select(
+                matrix, 5, np.random.default_rng(7), kernels="numpy", **kwargs
+            )
+            out_c = select(
+                matrix, 5, np.random.default_rng(7), kernels="compiled",
+                **kwargs
+            )
+            assert np.array_equal(out_np, out_c)

@@ -136,3 +136,47 @@ class TestSizes:
     def test_neighbor_slices_out_of_range(self, small_graph):
         with pytest.raises(GraphError):
             small_graph.neighbor_slices([7])
+
+
+class TestFromEdgesStreaming:
+    """from_edges consumes generators without materializing a list."""
+
+    EDGES = [(0, 1), (0, 2), (1, 2), (3, 0), (0, 0)]
+
+    def test_generator_matches_list(self):
+        from_list = CSRGraph.from_edges(4, self.EDGES)
+        from_gen = CSRGraph.from_edges(4, (e for e in self.EDGES))
+        assert np.array_equal(from_list.indptr, from_gen.indptr)
+        assert np.array_equal(from_list.indices, from_gen.indices)
+
+    def test_generator_preserves_input_order_per_source(self):
+        edges = [(0, 2), (0, 1), (0, 0)]
+        graph = CSRGraph.from_edges(3, (e for e in edges))
+        assert graph.neighbors(0).tolist() == [2, 1, 0]
+
+    def test_empty_generator(self):
+        graph = CSRGraph.from_edges(3, (e for e in ()))
+        assert graph.num_edges == 0
+
+    def test_generator_with_edge_attr_fill(self):
+        graph = CSRGraph.from_edges(
+            2, ((0, 1) for _ in range(1)), edge_attr_fill=2.5
+        )
+        assert graph.edge_attr.tolist() == [2.5]
+
+    def test_malformed_generator_raises_graph_error(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(2, ((0, 1, 2) for _ in range(1)))
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(2, iter([("a", "b")]))
+
+    def test_out_of_range_generator_edges(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(2, ((0, 5) for _ in range(1)))
+
+    def test_large_generator(self):
+        n = 500
+        edges = ((i, (i + 1) % n) for i in range(n))
+        graph = CSRGraph.from_edges(n, edges)
+        assert graph.num_edges == n
+        assert graph.neighbors(n - 1).tolist() == [0]

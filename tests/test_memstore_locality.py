@@ -1,0 +1,313 @@
+"""Tests for the locality layout: relabeling, ordering, store wiring."""
+
+import numpy as np
+import pytest
+
+from repro.api import GnnSession
+from repro.errors import ConfigurationError, GraphError, PartitionError
+from repro.framework.replay import replay_reference
+from repro.framework.requests import NegativeSampleRequest, SampleRequest
+from repro.framework.sampler import MultiHopSampler
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import instantiate_dataset
+from repro.graph.partition import HashPartitioner
+from repro.memstore.locality import (
+    LAYOUT_METHODS,
+    BlockPartitioner,
+    Relabeling,
+    apply_layout,
+    build_locality_layout,
+    locality_order,
+)
+from repro.memstore.store import PartitionedStore
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return instantiate_dataset("ll", max_nodes=800, seed=0)
+
+
+class TestRelabeling:
+    def test_identity(self):
+        rel = Relabeling.identity(5)
+        nodes = np.array([0, 3, 4])
+        assert np.array_equal(rel.to_internal(nodes), nodes)
+        assert np.array_equal(rel.to_original(nodes), nodes)
+
+    def test_round_trip(self):
+        order = np.array([2, 0, 3, 1])  # internal -> original
+        fwd = np.empty(4, dtype=np.int64)
+        fwd[order] = np.arange(4)
+        rel = Relabeling(fwd, order)
+        nodes = np.array([[0, 1], [2, 3]])
+        assert np.array_equal(rel.to_original(rel.to_internal(nodes)), nodes)
+        assert rel.to_internal(2) == 0
+        assert rel.to_original(0) == 2
+
+    def test_rejects_non_inverse_maps(self):
+        with pytest.raises(GraphError):
+            Relabeling(np.array([0, 0, 1]), np.array([0, 1, 2]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(GraphError):
+            Relabeling(np.array([0, 1]), np.array([0, 1, 2]))
+
+    def test_to_internal_range_checked(self):
+        rel = Relabeling.identity(3)
+        with pytest.raises(GraphError):
+            rel.to_internal(np.array([3]))
+        with pytest.raises(GraphError):
+            rel.to_internal(np.array([-1]))
+
+
+class TestBlockPartitioner:
+    def test_partition_of(self):
+        part = BlockPartitioner([0, 3, 3, 7])
+        assert part.num_partitions == 3
+        nodes = np.array([0, 2, 3, 6])
+        assert part.partition_of(nodes).tolist() == [0, 0, 2, 2]
+        assert part.partition_sizes().tolist() == [3, 0, 4]
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(PartitionError):
+            BlockPartitioner([0])
+        with pytest.raises(PartitionError):
+            BlockPartitioner([1, 4])
+        with pytest.raises(PartitionError):
+            BlockPartitioner([0, 5, 3])
+
+    def test_rejects_out_of_range_nodes(self):
+        part = BlockPartitioner([0, 2, 4])
+        with pytest.raises(PartitionError):
+            part.partition_of(np.array([4]))
+
+
+class TestLocalityOrder:
+    def test_is_permutation_and_partition_contiguous(self, graph):
+        assignment = HashPartitioner(4).partition_of(
+            np.arange(graph.num_nodes)
+        )
+        order = locality_order(graph, assignment)
+        assert sorted(order.tolist()) == list(range(graph.num_nodes))
+        # Internal IDs visit partitions in one contiguous block each.
+        parts = assignment[order]
+        changes = np.count_nonzero(np.diff(parts) != 0)
+        assert changes == len(np.unique(assignment)) - 1
+
+    def test_deterministic(self, graph):
+        assignment = HashPartitioner(4).partition_of(
+            np.arange(graph.num_nodes)
+        )
+        assert np.array_equal(
+            locality_order(graph, assignment),
+            locality_order(graph, assignment),
+        )
+
+    def test_rejects_wrong_assignment_shape(self, graph):
+        with pytest.raises(PartitionError):
+            locality_order(graph, np.zeros(3, dtype=np.int64))
+
+
+class TestApplyLayout:
+    def test_graph_isomorphic_under_bijection(self, graph):
+        assignment = HashPartitioner(3).partition_of(
+            np.arange(graph.num_nodes)
+        )
+        order = locality_order(graph, assignment)
+        relabeled, rel = apply_layout(graph, order)
+        assert relabeled.num_nodes == graph.num_nodes
+        assert relabeled.num_edges == graph.num_edges
+        for internal in (0, 7, graph.num_nodes - 1):
+            original = int(rel.to_original(internal))
+            got = rel.to_original(relabeled.neighbors(internal))
+            # Adjacency keeps its original within-node order.
+            assert got.tolist() == graph.neighbors(original).tolist()
+
+    def test_attributes_move_with_rows(self):
+        attrs = np.arange(8, dtype=np.float32).reshape(4, 2)
+        g = CSRGraph.from_edges(
+            4, [(0, 1), (1, 2), (2, 3), (3, 0)], node_attr=attrs,
+            edge_attr_fill=0.0,
+        )
+        g.edge_attr[:] = [10.0, 11.0, 12.0, 13.0]
+        relabeled, rel = apply_layout(g, np.array([3, 2, 1, 0]))
+        assert np.array_equal(
+            relabeled.node_attr, attrs[[3, 2, 1, 0]]
+        )
+        # Node 3's single edge (weight 13) is now internal node 0's.
+        assert relabeled.edge_attr.tolist() == [13.0, 12.0, 11.0, 10.0]
+
+    def test_rejects_bipartite(self):
+        g = CSRGraph(
+            np.array([0, 1, 1]), np.array([4]), num_dst_nodes=5
+        )
+        with pytest.raises(ConfigurationError):
+            apply_layout(g, np.array([0, 1]))
+
+    def test_rejects_bad_order(self, graph):
+        with pytest.raises(GraphError):
+            apply_layout(graph, np.arange(3))
+
+
+class TestBuildLocalityLayout:
+    def test_methods_registry(self):
+        assert LAYOUT_METHODS == ("ldg", "hash", "range")
+
+    def test_rejects_unknown_method(self, graph):
+        with pytest.raises(ConfigurationError):
+            build_locality_layout(graph, 4, method="metis")
+
+    @pytest.mark.parametrize("method", LAYOUT_METHODS)
+    def test_bundle_is_consistent(self, graph, method):
+        layout = build_locality_layout(graph, 4, method=method)
+        assert layout.method == method
+        assert layout.graph.num_nodes == graph.num_nodes
+        assert layout.partitioner.num_partitions == 4
+        assert int(layout.partitioner.bounds[-1]) == graph.num_nodes
+        assert layout.relabeling.num_nodes == graph.num_nodes
+        # Block sizes sum to the node count.
+        assert int(layout.partitioner.partition_sizes().sum()) == graph.num_nodes
+
+
+class TestSamplerWithRelabeling:
+    @pytest.fixture(scope="class")
+    def layout(self, graph):
+        return build_locality_layout(graph, 4)
+
+    def _sampler(self, layout, **kwargs):
+        store = PartitionedStore(layout.graph, layout.partitioner)
+        return store, MultiHopSampler(
+            store,
+            seed=0,
+            worker_partition=0,
+            batched=True,
+            relabeling=layout.relabeling,
+            **kwargs,
+        )
+
+    def test_layers_are_original_ids_and_real_edges(self, graph, layout):
+        rng = np.random.default_rng(0)
+        request = SampleRequest(
+            roots=rng.integers(0, graph.num_nodes, size=32),
+            fanouts=(5, 5),
+            with_attributes=True,
+        )
+        _, sampler = self._sampler(layout)
+        result = sampler.sample(request)
+        assert np.array_equal(result.layers[0], request.roots)
+        # Every hop-1 pick is a true neighbor of its root in the
+        # ORIGINAL graph — i.e. layers came back in original ID space.
+        picks = result.layers[1].reshape(len(request.roots), 5)
+        for root, row in zip(request.roots, picks):
+            neighbors = set(graph.neighbors(int(root)).tolist())
+            assert set(row.tolist()) <= neighbors
+
+    def test_attributes_match_original_graph(self, graph, layout):
+        request = SampleRequest(
+            roots=np.arange(16), fanouts=(4,), with_attributes=True
+        )
+        _, sampler = self._sampler(layout)
+        result = sampler.sample(request)
+        for layer, attrs in zip(result.layers, result.attributes):
+            assert np.array_equal(attrs, graph.node_attr[layer])
+
+    def test_replay_parity_through_layout(self, graph, layout):
+        request = SampleRequest(
+            roots=np.arange(24), fanouts=(6, 4), with_attributes=True
+        )
+        store, sampler = self._sampler(layout)
+        result = sampler.sample(request)
+        fresh = PartitionedStore(layout.graph, layout.partitioner)
+        replayed = replay_reference(
+            result, request, fresh, worker_partition=0,
+            relabeling=layout.relabeling,
+        )
+        for a, b in zip(result.layers, replayed.layers):
+            assert np.array_equal(a, b)
+
+    def test_negative_sampling_in_original_space(self, graph, layout):
+        _, sampler = self._sampler(layout)
+        pairs = np.array([[0, 1], [2, 3], [4, 5]])
+        request = NegativeSampleRequest(pairs=pairs, rate=4)
+        out = sampler.negative_sample(request)
+        assert out.shape == (3, 4)
+        assert out.min() >= 0 and out.max() < graph.num_nodes
+        for (src, _), row in zip(pairs, out):
+            neighbors = set(graph.neighbors(int(src)).tolist())
+            assert not set(row.tolist()) & neighbors
+
+
+class TestLocalityTracking:
+    def test_counters_off_by_default(self, graph):
+        store = PartitionedStore(graph, HashPartitioner(4))
+        store.get_neighbors_batch(np.arange(32))
+        assert store.summary.gather_nodes == 0
+        assert store.summary.gather_runs == 0
+        assert store.summary.mean_run_length == 0.0
+
+    def test_counters_track_contiguity(self, graph):
+        store = PartitionedStore(graph, HashPartitioner(4), track_locality=True)
+        store.get_neighbors_batch(np.arange(32))  # one contiguous run
+        assert store.summary.gather_nodes == 32
+        assert store.summary.gather_runs == 1
+        assert store.summary.mean_run_length == 32.0
+        store.get_neighbors_batch(np.array([100, 102, 104]))  # three runs
+        assert store.summary.gather_runs == 4
+        assert store.summary.gather_span_bytes > 0
+
+    def test_layout_improves_run_length(self, graph):
+        layout = build_locality_layout(graph, 4)
+        # Random roots: sequential IDs would already be contiguous in
+        # the original layout, hiding the renumbering win.
+        rng = np.random.default_rng(0)
+        request = SampleRequest(
+            roots=rng.integers(0, graph.num_nodes, size=256),
+            fanouts=(8, 8),
+            with_attributes=True,
+        )
+
+        def run(store_graph, partitioner, relabeling):
+            store = PartitionedStore(
+                store_graph, partitioner, track_locality=True
+            )
+            sampler = MultiHopSampler(
+                store, seed=0, worker_partition=0, batched=True,
+                relabeling=relabeling,
+            )
+            sampler.sample(request)
+            return store.summary
+
+        base = run(graph, HashPartitioner(4), None)
+        laid = run(layout.graph, layout.partitioner, layout.relabeling)
+        assert laid.gather_nodes == base.gather_nodes
+        assert laid.mean_run_length > base.mean_run_length
+
+
+class TestSessionIntegration:
+    def test_session_layout_end_to_end(self, graph):
+        session = GnnSession(graph, num_partitions=4, layout="ldg", batched=True)
+        assert session.relabeling is not None
+        rng = np.random.default_rng(1)
+        roots = rng.integers(0, graph.num_nodes, size=16)
+        result = session.sample(roots, fanouts=(4, 4))
+        assert np.array_equal(result.layers[0], roots)
+        picks = result.layers[1].reshape(16, 4)
+        for root, row in zip(roots, picks):
+            assert set(row.tolist()) <= set(graph.neighbors(int(root)).tolist())
+
+    def test_session_kernels_numpy_matches_default(self, graph):
+        roots = np.arange(16)
+        a = GnnSession(graph, num_partitions=4, batched=True)
+        b = GnnSession(graph, num_partitions=4, batched=True, kernels="numpy")
+        ra = a.sample(roots, fanouts=(4, 4))
+        rb = b.sample(roots, fanouts=(4, 4))
+        for la, lb in zip(ra.layers, rb.layers):
+            assert np.array_equal(la, lb)
+
+    def test_session_guards(self, graph):
+        with pytest.raises(ConfigurationError):
+            GnnSession(graph, workers=2, layout="ldg")
+        with pytest.raises(ConfigurationError):
+            GnnSession(graph, workers=2, kernels="numpy")
+        with pytest.raises(ConfigurationError):
+            GnnSession(graph, layout="metis")
