@@ -9,18 +9,35 @@ their recording helpers. This package enforces those invariants
 mechanically with an AST-based rule engine, per-line suppressions
 (``# repro: allow[rule-id] reason``), and a committed baseline for
 grandfathered findings. See ``repro lint --list-rules``.
+
+The engine has two tiers: per-file :class:`Rule` checks run on every
+``repro lint``, and whole-program :class:`ProjectRule` checks
+(``repro lint --deep``) run over a :class:`ProjectGraph` — an import
+graph plus symbol tables and a call-graph approximation — to catch
+violations that span modules (shared-memory view writes, snapshot-pin
+escapes, laundered RNG seeds, cross-module counter mutations).
 """
 
 from repro.analysis.baseline import Baseline, BaselineEntry, BaselineResult
 from repro.analysis.engine import (
     AnalysisEngine,
     AnalysisResult,
+    DeepAnalysisResult,
     FileResult,
     analyze_source,
     derive_module_path,
 )
 from repro.analysis.findings import Finding
-from repro.analysis.rules import RULES, Rule, all_rules, get_rule, register
+from repro.analysis.project import ProjectGraph, build_project_from_sources
+from repro.analysis.rules import (
+    RULES,
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+    get_rule,
+    register,
+)
 
 __all__ = [
     "AnalysisEngine",
@@ -28,12 +45,17 @@ __all__ = [
     "Baseline",
     "BaselineEntry",
     "BaselineResult",
+    "DeepAnalysisResult",
     "FileResult",
     "Finding",
+    "ProjectGraph",
+    "ProjectRule",
     "RULES",
     "Rule",
+    "all_project_rules",
     "all_rules",
     "analyze_source",
+    "build_project_from_sources",
     "derive_module_path",
     "get_rule",
     "register",

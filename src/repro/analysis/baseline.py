@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.findings import Finding
 
@@ -74,10 +74,24 @@ class BaselineResult:
 
 
 class Baseline:
-    """A loaded (or empty) baseline file."""
+    """A loaded (or empty) baseline file.
 
-    def __init__(self, entries: List[BaselineEntry]) -> None:
+    Two independent sections: ``entries`` grandfathers per-file rule
+    findings, ``project_entries`` grandfathers whole-program
+    (``--deep``) findings. A shallow ``repro lint`` only reads and
+    rewrites ``entries``; the project section is preserved verbatim so
+    the two update paths never clobber each other.
+    """
+
+    def __init__(
+        self,
+        entries: List[BaselineEntry],
+        project_entries: Optional[List[BaselineEntry]] = None,
+    ) -> None:
         self.entries = entries
+        self.project_entries = (
+            project_entries if project_entries is not None else []
+        )
 
     @classmethod
     def load(cls, path: Path) -> "Baseline":
@@ -92,17 +106,25 @@ class Baseline:
         entries = [
             BaselineEntry.from_dict(entry) for entry in data.get("entries", [])
         ]
-        return cls(entries)
+        project_entries = [
+            BaselineEntry.from_dict(entry)
+            for entry in data.get("project_entries", [])
+        ]
+        return cls(entries, project_entries)
 
     def save(self, path: Path) -> None:
-        payload = {
-            "version": BASELINE_VERSION,
-            "entries": [
+        def _sorted(entries: List[BaselineEntry]) -> List[Dict[str, Any]]:
+            return [
                 entry.to_dict()
                 for entry in sorted(
-                    self.entries, key=lambda e: (e.path, e.rule, e.snippet)
+                    entries, key=lambda e: (e.path, e.rule, e.snippet)
                 )
-            ],
+            ]
+
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": _sorted(self.entries),
+            "project_entries": _sorted(self.project_entries),
         }
         path.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
@@ -110,25 +132,30 @@ class Baseline:
         )
 
     @classmethod
-    def from_findings(cls, findings: List[Finding]) -> "Baseline":
-        counts: Dict[str, BaselineEntry] = {}
-        multiplicity: Dict[str, int] = {}
-        for finding in findings:
-            fp = finding.fingerprint()
-            multiplicity[fp] = multiplicity.get(fp, 0) + 1
-            counts[fp] = BaselineEntry(
-                rule=finding.rule,
-                path=finding.path,
-                snippet=finding.snippet,
-                message=finding.message,
-                count=multiplicity[fp],
-            )
-        return cls(list(counts.values()))
+    def from_findings(
+        cls,
+        findings: List[Finding],
+        project_findings: Optional[List[Finding]] = None,
+    ) -> "Baseline":
+        return cls(
+            _entries_from(findings),
+            _entries_from(project_findings or []),
+        )
 
     def apply(self, findings: List[Finding]) -> BaselineResult:
         """Partition ``findings`` into new vs grandfathered; find stale."""
+        return self._apply(findings, self.entries)
+
+    def apply_project(self, findings: List[Finding]) -> BaselineResult:
+        """Like :meth:`apply`, against the ``--deep`` section."""
+        return self._apply(findings, self.project_entries)
+
+    @staticmethod
+    def _apply(
+        findings: List[Finding], entries: List[BaselineEntry]
+    ) -> BaselineResult:
         budgets: Dict[str, int] = {}
-        for entry in self.entries:
+        for entry in entries:
             budgets[entry.fingerprint()] = (
                 budgets.get(entry.fingerprint(), 0) + entry.count
             )
@@ -142,7 +169,7 @@ class Baseline:
             else:
                 new.append(finding)
         stale: List[BaselineEntry] = []
-        for entry in self.entries:
+        for entry in entries:
             remaining = budgets.get(entry.fingerprint(), 0)
             if remaining > 0:
                 budgets[entry.fingerprint()] = 0
@@ -156,3 +183,19 @@ class Baseline:
                     )
                 )
         return BaselineResult(new=new, baselined_count=baselined, stale=stale)
+
+
+def _entries_from(findings: List[Finding]) -> List[BaselineEntry]:
+    counts: Dict[str, BaselineEntry] = {}
+    multiplicity: Dict[str, int] = {}
+    for finding in findings:
+        fp = finding.fingerprint()
+        multiplicity[fp] = multiplicity.get(fp, 0) + 1
+        counts[fp] = BaselineEntry(
+            rule=finding.rule,
+            path=finding.path,
+            snippet=finding.snippet,
+            message=finding.message,
+            count=multiplicity[fp],
+        )
+    return list(counts.values())

@@ -25,6 +25,7 @@ from repro.analysis.findings import Finding
 from repro.analysis.rules import (
     MODULE_MARKER_RE,
     FileContext,
+    ProjectRule,
     Rule,
     all_rules,
 )
@@ -32,6 +33,9 @@ from repro.analysis.suppress import apply_suppressions, parse_suppressions
 
 #: Bump when engine semantics change in a way that invalidates caches.
 ENGINE_VERSION = "1"
+
+#: Bump when project-layer semantics change (invalidates deep caches).
+PROJECT_VERSION = "1"
 
 #: Module-path prefix of deliberate-violation fixture files.
 FIXTURE_PREFIX = "repro/analysis/fixtures/"
@@ -70,6 +74,20 @@ class AnalysisResult:
     suppressed: List[Finding] = field(default_factory=list)
     files_scanned: int = 0
     cache_hits: int = 0
+
+
+@dataclass
+class DeepAnalysisResult(AnalysisResult):
+    """File-layer outcome plus the ``--deep`` project-layer outcome."""
+
+    project_findings: List[Finding] = field(default_factory=list)
+    project_suppressed: List[Finding] = field(default_factory=list)
+    #: Modules whose dependency-closure hash matched the cache.
+    project_cache_hits: int = 0
+    project_modules: int = 0
+    #: True when the whole project pass was served from cache (no
+    #: module changed, so the graph was never rebuilt).
+    project_reused: bool = False
 
 
 def analyze_source(
@@ -134,11 +152,15 @@ class AnalysisEngine:
         self.rules: List[Rule] = (
             list(rules) if rules is not None else all_rules()
         )
+        self.project_rules: List[ProjectRule] = [
+            rule for rule in self.rules if isinstance(rule, ProjectRule)
+        ]
         self.cache_path = cache_path
         self._cache: Dict[str, Dict[str, object]] = {}
+        self._project_cache: Dict[str, Dict[str, object]] = {}
         self._cache_dirty = False
         if cache_path is not None:
-            self._cache = self._load_cache(cache_path)
+            self._load_cache(cache_path)
 
     # ------------------------------------------------------------- walking
     @staticmethod
@@ -178,8 +200,11 @@ class AnalysisEngine:
             self._save_cache(self.cache_path)
         return result
 
-    def analyze_file(self, path: Path) -> FileResult:
-        data = path.read_bytes()
+    def analyze_file(
+        self, path: Path, data: Optional[bytes] = None
+    ) -> FileResult:
+        if data is None:
+            data = path.read_bytes()
         digest = hashlib.sha1(data).hexdigest()
         module_path = derive_module_path(path)
         cached = self._cache.get(module_path)
@@ -206,29 +231,176 @@ class AnalysisEngine:
         self._cache_dirty = True
         return result
 
+    # ---------------------------------------------------------- deep pass
+    def run_deep(self, paths: Sequence[Path]) -> DeepAnalysisResult:
+        """File pass plus the whole-program (``--deep``) project pass.
+
+        Project findings are cached per module, keyed on the sha of the
+        module's *dependency closure*: an edit to anything a module
+        (transitively) imports invalidates its cached project results.
+        When no module changed at all, the cached findings are served
+        without even rebuilding the project graph — that is the warm
+        path CI and local re-runs hit.
+        """
+        result = DeepAnalysisResult()
+        sources: Dict[str, str] = {}
+        shas: Dict[str, str] = {}
+        for path in self.expand_paths(paths):
+            data = path.read_bytes()
+            file_result = self.analyze_file(path, data)
+            result.files_scanned += 1
+            if file_result.from_cache:
+                result.cache_hits += 1
+            result.findings.extend(file_result.findings)
+            result.suppressed.extend(file_result.suppressed)
+            source = data.decode("utf-8")
+            module_path = resolve_module_path(path, source)
+            sources[module_path] = source
+            shas[module_path] = hashlib.sha1(data).hexdigest()
+        result.findings.sort()
+        result.suppressed.sort()
+        result.project_modules = len(sources)
+
+        if self._project_unchanged(shas):
+            for module_path in sorted(sources):
+                entry = self._project_cache[module_path]
+                result.project_findings.extend(
+                    Finding.from_dict(d)
+                    for d in _as_list(entry.get("findings"))
+                )
+                result.project_suppressed.extend(
+                    Finding.from_dict(d)
+                    for d in _as_list(entry.get("suppressed"))
+                )
+            result.project_cache_hits = len(sources)
+            result.project_reused = True
+        else:
+            self._run_project_pass(sources, shas, result)
+            self._cache_dirty = True
+        result.project_findings.sort()
+        result.project_suppressed.sort()
+        if self.cache_path is not None and self._cache_dirty:
+            self._save_cache(self.cache_path)
+        return result
+
+    def _project_unchanged(self, shas: Dict[str, str]) -> bool:
+        if set(shas) != set(self._project_cache):
+            return False
+        return all(
+            self._project_cache[module].get("sha") == sha
+            for module, sha in shas.items()
+        )
+
+    def _run_project_pass(
+        self,
+        sources: Dict[str, str],
+        shas: Dict[str, str],
+        result: DeepAnalysisResult,
+    ) -> None:
+        from repro.analysis.project.graph import build_project_from_sources
+
+        graph = build_project_from_sources(sources)
+        edges = graph.import_edges()
+        closures: Dict[str, str] = {}
+        for module_path in graph.modules:
+            closure = sorted(graph.import_closure(module_path))
+            text = ";".join(
+                f"{dep}:{shas.get(dep, 'missing')}" for dep in closure
+            )
+            closures[module_path] = hashlib.sha1(
+                text.encode("utf-8")
+            ).hexdigest()
+
+        raw: List[Finding] = []
+        for rule in self.project_rules:
+            raw.extend(rule.check_project(graph))
+        by_module: Dict[str, List[Finding]] = {}
+        for finding in raw:
+            by_module.setdefault(finding.path, []).append(finding)
+
+        project_rule_ids = [rule.rule_id for rule in self.rules]
+        new_cache: Dict[str, Dict[str, object]] = {}
+        for module_path in sorted(graph.modules):
+            source = sources.get(
+                module_path, "\n".join(graph.modules[module_path].lines)
+            )
+            by_line, _bad = parse_suppressions(
+                module_path, source, project_rule_ids
+            )
+            kept, suppressed = apply_suppressions(
+                by_module.get(module_path, []), by_line
+            )
+            cached = self._project_cache.get(module_path)
+            if (
+                cached is not None
+                and cached.get("closure_sha") == closures[module_path]
+            ):
+                result.project_cache_hits += 1
+            result.project_findings.extend(kept)
+            result.project_suppressed.extend(suppressed)
+            new_cache[module_path] = {
+                "sha": shas.get(module_path, ""),
+                "imports": sorted(edges.get(module_path, set())),
+                "closure_sha": closures[module_path],
+                "findings": [f.to_dict() for f in sorted(kept)],
+                "suppressed": [f.to_dict() for f in sorted(suppressed)],
+            }
+        self._project_cache = new_cache
+
     # ------------------------------------------------------------- caching
     def _rules_signature(self) -> str:
         key = ENGINE_VERSION + ";" + ",".join(
-            sorted(rule.rule_id for rule in self.rules)
+            sorted(rule.signature() for rule in self.rules)
         )
         return hashlib.sha1(key.encode("utf-8")).hexdigest()
 
-    def _load_cache(self, path: Path) -> Dict[str, Dict[str, object]]:
+    def _project_signature(self) -> str:
+        key = (
+            ENGINE_VERSION
+            + ";"
+            + PROJECT_VERSION
+            + ";"
+            + ",".join(sorted(rule.signature() for rule in self.project_rules))
+        )
+        return hashlib.sha1(key.encode("utf-8")).hexdigest()
+
+    def _load_cache(self, path: Path) -> None:
+        self._cache = {}
+        self._project_cache = {}
         if not path.exists():
-            return {}
+            return
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
-            return {}
-        if data.get("rules_sig") != self._rules_signature():
-            return {}
-        files = data.get("files")
-        return dict(files) if isinstance(files, dict) else {}
+            return
+        if data.get("rules_sig") == self._rules_signature():
+            files = data.get("files")
+            if isinstance(files, dict):
+                self._cache = dict(files)
+        if data.get("project_sig") == self._project_signature():
+            project = data.get("project")
+            if isinstance(project, dict):
+                self._project_cache = dict(project)
 
     def _save_cache(self, path: Path) -> None:
         payload = {
             "version": 1,
             "rules_sig": self._rules_signature(),
             "files": self._cache,
+            "project_sig": self._project_signature(),
+            "project": self._project_cache,
         }
         path.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+
+
+def resolve_module_path(path: Union[str, Path], source: str) -> str:
+    """Module path of ``path``, honoring a ``# repro-module:`` marker."""
+    for raw in source.splitlines()[:3]:
+        match = MODULE_MARKER_RE.match(raw.strip())
+        if match:
+            return match.group(1)
+    return derive_module_path(path)
+
+
+def _as_list(value: object) -> List[Dict[str, object]]:
+    return list(value) if isinstance(value, list) else []

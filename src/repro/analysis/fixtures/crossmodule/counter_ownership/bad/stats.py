@@ -1,0 +1,16 @@
+# repro-module: repro/framework/run_stats.py
+"""Owner module for RunStats; mutations belong here."""
+
+
+class RunStats:
+    __counter_class__ = True
+
+    def __init__(self):
+        self.widget_count = 0
+
+    def record_widget(self):
+        self.widget_count += 1
+
+
+def make_stats():
+    return RunStats()

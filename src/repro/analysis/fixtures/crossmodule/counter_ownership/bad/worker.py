@@ -1,0 +1,14 @@
+# repro-module: repro/gnn/stats_worker.py
+"""BAD: mutates another module's counter field directly.
+
+The receiver's type is only known through the cross-module factory, so
+a per-file pass cannot tell that ``s`` is a RunStats owned elsewhere.
+"""
+
+from repro.framework.run_stats import make_stats
+
+
+def run_once():
+    s = make_stats()
+    s.widget_count += 1  # bypasses the owner's recording helper
+    return s

@@ -1,0 +1,10 @@
+# repro-module: repro/gnn/stats_worker.py
+"""GOOD: counters advance only through the owner's recording helper."""
+
+from repro.framework.run_stats import make_stats
+
+
+def run_once():
+    s = make_stats()
+    s.record_widget()
+    return s

@@ -1,0 +1,20 @@
+# repro-module: repro/framework/hop_sampler.py
+"""BAD: the attribute gather escapes the read_view() pin.
+
+The helper lives in another module and looks innocent on its own; the
+entry point pins the hop expansion but calls the gather *outside* the
+``with`` block, so only the cross-module call graph sees the unpinned
+store read.
+"""
+
+from repro.framework.hop_walker import expand_frontier, gather
+
+
+class HopSampler:
+    def __init__(self, store):
+        self.store = store
+
+    def sample(self, roots):
+        with self.store.read_view():
+            frontier = expand_frontier(self.store, roots)
+        return gather(self.store, frontier)  # outside the pin

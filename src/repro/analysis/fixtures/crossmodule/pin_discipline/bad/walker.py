@@ -1,0 +1,10 @@
+# repro-module: repro/framework/hop_walker.py
+"""Helper that issues store reads; has no idea about pinning."""
+
+
+def expand_frontier(store, frontier):
+    return store.get_neighbors_batch(frontier)
+
+
+def gather(store, nodes):
+    return store.get_attributes_batch(nodes)

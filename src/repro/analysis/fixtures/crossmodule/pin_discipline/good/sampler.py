@@ -1,0 +1,14 @@
+# repro-module: repro/framework/hop_sampler.py
+"""GOOD: every store read reached from sample() is under the pin."""
+
+from repro.framework.hop_walker import expand_frontier, gather
+
+
+class HopSampler:
+    def __init__(self, store):
+        self.store = store
+
+    def sample(self, roots):
+        with self.store.read_view():
+            frontier = expand_frontier(self.store, roots)
+            return gather(self.store, frontier)

@@ -1,0 +1,14 @@
+# repro-module: repro/gnn/rng_trainer.py
+"""BAD: the seed is laundered through another module's helper.
+
+Per-file, this module never touches an RNG API and the helper module
+never sees an ambient value; only the interprocedural seed trace
+connects ``hash(...)`` here to ``default_rng`` over there.
+"""
+
+from repro.framework.rngmaker import make_rng
+
+
+def shuffled_ids(run_name):
+    rng = make_rng(hash(run_name))  # ambient: hash() varies per process
+    return rng.permutation(16)

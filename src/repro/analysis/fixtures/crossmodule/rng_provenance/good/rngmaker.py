@@ -1,0 +1,8 @@
+# repro-module: repro/framework/rngmaker.py
+"""Helper that builds generators from whatever seed it is handed."""
+
+from numpy.random import default_rng
+
+
+def make_rng(seed):
+    return default_rng(seed)

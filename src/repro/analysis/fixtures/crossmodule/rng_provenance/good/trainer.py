@@ -1,0 +1,9 @@
+# repro-module: repro/gnn/rng_trainer.py
+"""GOOD: the seed is injected configuration, threaded to the helper."""
+
+from repro.framework.rngmaker import make_rng
+
+
+def shuffled_ids(config_seed):
+    rng = make_rng(config_seed)
+    return rng.permutation(16)

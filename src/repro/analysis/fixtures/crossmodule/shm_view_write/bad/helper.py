@@ -1,0 +1,9 @@
+# repro-module: repro/gnn/plane_helper.py
+"""Launders a plane array through a helper's return value."""
+
+from repro.parallel.shm import attach_graph
+
+
+def plane_indices(handle):
+    attached = attach_graph(handle)
+    return attached.indices

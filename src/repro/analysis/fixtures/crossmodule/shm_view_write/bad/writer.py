@@ -1,0 +1,16 @@
+# repro-module: repro/gnn/plane_writer.py
+"""BAD: writes through a plane view obtained from another module.
+
+No single file can see the violation: this file only calls an opaque
+helper, and the helper never writes. Only the cross-module taint
+(attach_graph -> helper return -> arr) exposes it.
+"""
+
+from repro.gnn.plane_helper import plane_indices
+
+
+def clobber(handle):
+    arr = plane_indices(handle)
+    arr[0] = 1  # writes shared plane memory
+    arr += 2  # in-place on the same view
+    return arr

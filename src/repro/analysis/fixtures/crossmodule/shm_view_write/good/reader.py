@@ -1,0 +1,13 @@
+# repro-module: repro/gnn/plane_reader.py
+"""GOOD: reads the plane view; writes only to a private copy."""
+
+from repro.parallel.shm import attach_graph
+
+
+def degrees(handle):
+    attached = attach_graph(handle)
+    indices = attached.indices
+    total = indices[0]  # reading is fine
+    scratch = indices.copy()
+    scratch[0] = 0  # writing a copy is fine
+    return total, scratch

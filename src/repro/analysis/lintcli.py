@@ -22,7 +22,11 @@ from typing import Any, Dict, List, Optional
 
 import repro
 from repro.analysis.baseline import Baseline, BaselineResult
-from repro.analysis.engine import AnalysisEngine, AnalysisResult
+from repro.analysis.engine import (
+    AnalysisEngine,
+    AnalysisResult,
+    DeepAnalysisResult,
+)
 from repro.analysis.rules import all_rules, get_rule
 
 #: File name of the committed baseline, looked up at the repo root.
@@ -53,6 +57,17 @@ def fixture_path(rule_id: str, kind: str) -> Path:
     return Path(__file__).resolve().parent / "fixtures" / name
 
 
+def fixture_dir(rule_id: str, kind: str) -> Path:
+    """Directory of a cross-module rule's multi-file fixture project."""
+    return (
+        Path(__file__).resolve().parent
+        / "fixtures"
+        / "crossmodule"
+        / rule_id.replace("-", "_")
+        / kind
+    )
+
+
 def explain_rule(rule_id: str, out: Any = None) -> int:
     """Print a rule's documentation plus its bad/good fixture pair."""
     out = out if out is not None else sys.stdout
@@ -66,11 +81,20 @@ def explain_rule(rule_id: str, out: Any = None) -> int:
     print(rule.rationale, file=out)
     for kind, label in (("bad", "fires on"), ("good", "clean")):
         path = fixture_path(rule_id, kind)
-        if not path.exists():
+        if path.exists():
+            print(file=out)
+            print(f"--- {label} ({path.name}) ---", file=out)
+            print(path.read_text(encoding="utf-8").rstrip(), file=out)
             continue
-        print(file=out)
-        print(f"--- {label} ({path.name}) ---", file=out)
-        print(path.read_text(encoding="utf-8").rstrip(), file=out)
+        directory = fixture_dir(rule_id, kind)
+        if directory.is_dir():
+            for file in sorted(directory.glob("*.py")):
+                print(file=out)
+                print(
+                    f"--- {label} ({directory.name}/{file.name}) ---",
+                    file=out,
+                )
+                print(file.read_text(encoding="utf-8").rstrip(), file=out)
     return 0
 
 
@@ -91,6 +115,10 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="output format",
+    )
+    parser.add_argument(
+        "--deep", action="store_true",
+        help="also run the whole-program (cross-module) rules",
     )
     parser.add_argument(
         "--baseline", default=None, metavar="PATH",
@@ -133,12 +161,29 @@ def run_lint(args: argparse.Namespace, out: Any = None) -> int:
     engine = AnalysisEngine(
         cache_path=Path(args.cache) if args.cache else None
     )
-    result = engine.run(scan_paths)
+    deep: Optional[DeepAnalysisResult] = None
+    if args.deep:
+        deep = engine.run_deep(scan_paths)
+        result: AnalysisResult = deep
+    else:
+        result = engine.run(scan_paths)
 
     if args.update_baseline:
-        Baseline.from_findings(result.findings).save(baseline_path)
+        updated = Baseline.from_findings(
+            result.findings,
+            deep.project_findings if deep is not None else None,
+        )
+        if deep is None:
+            # Shallow update: preserve the --deep section untouched.
+            updated.project_entries = Baseline.load(
+                baseline_path
+            ).project_entries
+        updated.save(baseline_path)
+        recorded = len(result.findings) + (
+            len(deep.project_findings) if deep is not None else 0
+        )
         print(
-            f"baseline updated: {len(result.findings)} finding(s) recorded "
+            f"baseline updated: {recorded} finding(s) recorded "
             f"in {baseline_path}",
             file=out,
         )
@@ -146,12 +191,24 @@ def run_lint(args: argparse.Namespace, out: Any = None) -> int:
 
     baseline = Baseline.load(baseline_path)
     applied = baseline.apply(result.findings)
+    applied_project = (
+        baseline.apply_project(deep.project_findings)
+        if deep is not None
+        else None
+    )
     exit_code = 1 if (applied.new or applied.stale) else 0
+    if applied_project is not None and (
+        applied_project.new or applied_project.stale
+    ):
+        exit_code = 1
 
     if args.format == "json":
-        print(json.dumps(_json_report(result, applied, exit_code)), file=out)
+        report = _json_report(result, applied, exit_code)
+        if deep is not None and applied_project is not None:
+            report["project"] = _json_project_report(deep, applied_project)
+        print(json.dumps(report), file=out)
     else:
-        _text_report(result, applied, exit_code, out)
+        _text_report(result, applied, exit_code, out, deep, applied_project)
     return exit_code
 
 
@@ -169,22 +226,42 @@ def _json_report(
     }
 
 
+def _json_project_report(
+    deep: DeepAnalysisResult, applied: BaselineResult
+) -> Dict[str, Any]:
+    return {
+        "modules": deep.project_modules,
+        "cache_hits": deep.project_cache_hits,
+        "reused": deep.project_reused,
+        "findings": [f.to_dict() for f in applied.new],
+        "baselined": applied.baselined_count,
+        "suppressed": len(deep.project_suppressed),
+        "stale_baseline": [e.to_dict() for e in applied.stale],
+    }
+
+
 def _text_report(
     result: AnalysisResult,
     applied: BaselineResult,
     exit_code: int,
     out: Any,
+    deep: Optional[DeepAnalysisResult] = None,
+    applied_project: Optional[BaselineResult] = None,
 ) -> None:
-    for finding in applied.new:
-        print(finding.format(), file=out)
-        if finding.snippet:
-            print(f"    {finding.line} | {finding.snippet}", file=out)
-    for entry in applied.stale:
-        print(
-            f"stale baseline entry: [{entry.rule}] {entry.path} "
-            f"({entry.count}x) — fixed? run --update-baseline",
-            file=out,
-        )
+    sections = [("", applied)]
+    if applied_project is not None:
+        sections.append(("deep: ", applied_project))
+    for prefix, section in sections:
+        for finding in section.new:
+            print(prefix + finding.format(), file=out)
+            if finding.snippet:
+                print(f"    {finding.line} | {finding.snippet}", file=out)
+        for entry in section.stale:
+            print(
+                f"{prefix}stale baseline entry: [{entry.rule}] {entry.path} "
+                f"({entry.count}x) — fixed? run --update-baseline",
+                file=out,
+            )
     summary = (
         f"{len(applied.new)} finding(s), {applied.baselined_count} "
         f"baselined, {len(result.suppressed)} suppressed, "
@@ -194,6 +271,19 @@ def _text_report(
     if result.cache_hits:
         summary += f" [{result.cache_hits} cached]"
     print(summary, file=out)
+    if deep is not None and applied_project is not None:
+        deep_summary = (
+            f"deep: {len(applied_project.new)} finding(s), "
+            f"{applied_project.baselined_count} baselined, "
+            f"{len(deep.project_suppressed)} suppressed, "
+            f"{len(applied_project.stale)} stale across "
+            f"{deep.project_modules} module(s)"
+        )
+        if deep.project_reused:
+            deep_summary += " [project cache reused]"
+        elif deep.project_cache_hits:
+            deep_summary += f" [{deep.project_cache_hits} closure-cached]"
+        print(deep_summary, file=out)
     if exit_code == 0:
         print("lint: clean", file=out)
 

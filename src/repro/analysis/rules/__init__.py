@@ -76,12 +76,41 @@ class Rule:
     def check(self, ctx: FileContext) -> List[Finding]:
         raise NotImplementedError
 
+    def signature(self) -> str:
+        """Cache-key contribution of this rule.
+
+        Must change whenever the rule's *configuration* changes in a
+        way that can change its findings — scope lists, allowlists,
+        ownership registries. The engine folds every rule's signature
+        into the result-cache key, so widening a rule's scope re-lints
+        cached files instead of serving stale clean results. Rules
+        with config beyond their id must override this.
+        """
+        return self.rule_id
+
 
 class MetaRule(Rule):
     """A rule whose findings the engine emits itself (no AST check)."""
 
     def check(self, ctx: FileContext) -> List[Finding]:
         return []
+
+
+class ProjectRule(Rule):
+    """A whole-program rule: consumes the project graph, not one file.
+
+    Project rules run only under ``repro lint --deep``. They register
+    in the same registry as file rules (so suppressions validate and
+    ``--explain`` documents them), but their per-file :meth:`check` is
+    a no-op; the deep engine calls :meth:`check_project` once with the
+    cross-module view built by :mod:`repro.analysis.project`.
+    """
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        return []
+
+    def check_project(self, project: object) -> List[Finding]:
+        raise NotImplementedError
 
 
 #: Registry of all known rules, keyed by ``rule_id``.
@@ -100,6 +129,16 @@ def all_rules() -> List[Rule]:
     """Registered rules in deterministic (id-sorted) order."""
     _load_builtin_rules()
     return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+def all_project_rules() -> List[ProjectRule]:
+    """Registered whole-program rules in deterministic (id-sorted) order."""
+    _load_builtin_rules()
+    return [
+        rule
+        for rule in (RULES[rule_id] for rule_id in sorted(RULES))
+        if isinstance(rule, ProjectRule)
+    ]
 
 
 def get_rule(rule_id: str) -> Optional[Rule]:
@@ -129,4 +168,10 @@ def _load_builtin_rules() -> None:
         meta,
         simclock,
         units,
+    )
+    from repro.analysis.rules.crossmodule import (  # noqa: F401
+        counters,
+        pins,
+        rng,
+        shm,
     )

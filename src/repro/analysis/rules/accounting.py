@@ -12,53 +12,19 @@ number.
 from __future__ import annotations
 
 import ast
-from typing import Dict, FrozenSet, List
+import hashlib
+from typing import List
 
 from repro.analysis.findings import Finding
 from repro.analysis.rules import FileContext, Rule, register
 
-#: Counter attribute name -> modules allowed to mutate it.
-COUNTER_OWNERS: Dict[str, FrozenSet[str]] = {
-    # AccessSummary (repro/memstore/store.py): _record/_record_batch only.
-    "structure_count": frozenset({"repro/memstore/store.py"}),
-    "structure_bytes": frozenset({"repro/memstore/store.py"}),
-    "attribute_count": frozenset({"repro/memstore/store.py"}),
-    "attribute_bytes": frozenset({"repro/memstore/store.py"}),
-    "remote_count": frozenset({"repro/memstore/store.py"}),
-    "remote_bytes": frozenset({"repro/memstore/store.py"}),
-    # FaultStats (repro/memstore/faults.py); retry counters are shared
-    # with the closed-loop service model's own _RetryCounters.
-    "reads": frozenset({"repro/memstore/faults.py"}),
-    "attempts": frozenset({"repro/memstore/faults.py"}),
-    "retries": frozenset(
-        {"repro/memstore/faults.py", "repro/framework/service.py"}
-    ),
-    "timeouts": frozenset(
-        {"repro/memstore/faults.py", "repro/framework/service.py"}
-    ),
-    "hedges": frozenset(
-        {"repro/memstore/faults.py", "repro/framework/service.py"}
-    ),
-    "hedge_wins": frozenset(
-        {"repro/memstore/faults.py", "repro/framework/service.py"}
-    ),
-    "failovers": frozenset({"repro/memstore/faults.py"}),
-    "failed_reads": frozenset({"repro/memstore/faults.py"}),
-    # HotNodeCache hit/miss/invalidation counters (repro/framework/cache.py).
-    "neighbor_hits": frozenset({"repro/framework/cache.py"}),
-    "neighbor_misses": frozenset({"repro/framework/cache.py"}),
-    "attribute_hits": frozenset({"repro/framework/cache.py"}),
-    "attribute_misses": frozenset({"repro/framework/cache.py"}),
-    "invalidations": frozenset({"repro/framework/cache.py"}),
-    # Online-mutation ingest counters (repro/memstore/ingest.py).
-    "delta_hits": frozenset({"repro/memstore/ingest.py"}),
-    "delta_edges_read": frozenset({"repro/memstore/ingest.py"}),
-    "cache_invalidations": frozenset({"repro/memstore/ingest.py"}),
-    # CoalescingCache stats (repro/axe/cache.py).
-    "line_hits": frozenset({"repro/axe/cache.py"}),
-    "line_misses": frozenset({"repro/axe/cache.py"}),
-    "element_accesses": frozenset({"repro/axe/cache.py"}),
-}
+#: Attribute-name ownership map: declared in the crossmodule
+#: registry (single source of truth shared with the whole-program
+#: counter-ownership rule), re-exported here for compatibility.
+from repro.analysis.rules.crossmodule.registry import (  # noqa: E402
+    COUNTER_OWNERS,
+    registry_signature,
+)
 
 
 class AccountingMutationRule(Rule):
@@ -70,6 +36,12 @@ class AccountingMutationRule(Rule):
         "checks. Mutations outside the owning module bypass the recording "
         "helpers' occurrence accounting and corrupt those measurements."
     )
+
+    def signature(self) -> str:
+        digest = hashlib.sha1(
+            registry_signature().encode("utf-8")
+        ).hexdigest()
+        return f"{self.rule_id}:{digest}"
 
     def check(self, ctx: FileContext) -> List[Finding]:
         findings: List[Finding] = []

@@ -1,0 +1,154 @@
+"""Declared ownership registry for accounting counters.
+
+Two views of the same contract live here:
+
+* :data:`COUNTER_CLASSES` — the *class-level* registry consumed by the
+  whole-program ``counter-ownership`` rule. Keys are
+  ``"module_path::ClassName"``; values are the modules allowed to
+  mutate instances of that class. Counter *fields* are discovered from
+  the class definition itself (numeric-defaulted dataclass fields and
+  ``self.x = 0`` initializers), so adding a counter to a registered
+  class is automatically covered without touching this file.
+* :data:`COUNTER_OWNERS` — the *attribute-name* approximation used by
+  the per-file ``acct-mutation`` rule (which cannot see types). It
+  stays useful because it runs on every ``repro lint`` without the
+  project graph, at the cost of keying on attribute names.
+
+A class outside this registry can opt in by declaring
+``__counter_class__ = True`` in its class body; its owning module is
+then the module that defines it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.analysis.project.graph import ClassInfo
+
+#: ``module_path::ClassName`` -> modules allowed to mutate instances.
+COUNTER_CLASSES: Dict[str, FrozenSet[str]] = {
+    # Access-mix accounting behind the Figure 2 characterization and
+    # the replay-equivalence checks.
+    "repro/memstore/store.py::AccessSummary": frozenset(
+        {"repro/memstore/store.py"}
+    ),
+    # Fault-injection / retry counters (reliability reporting).
+    "repro/memstore/faults.py::FaultStats": frozenset(
+        {"repro/memstore/faults.py"}
+    ),
+    # Hot-node cache hit/miss/invalidation counters (calibration).
+    "repro/framework/cache.py::HotNodeCache": frozenset(
+        {"repro/framework/cache.py"}
+    ),
+    # Online-mutation ingest counters.
+    "repro/memstore/ingest.py::IngestStats": frozenset(
+        {"repro/memstore/ingest.py"}
+    ),
+    # AxE coalescing-cache line counters.
+    "repro/axe/cache.py::CacheStats": frozenset({"repro/axe/cache.py"}),
+}
+
+#: Counter attribute name -> modules allowed to mutate it (the per-file
+#: approximation; see module docstring).
+COUNTER_OWNERS: Dict[str, FrozenSet[str]] = {
+    # AccessSummary (repro/memstore/store.py): _record/_record_batch/
+    # _record_gather only.
+    "structure_count": frozenset({"repro/memstore/store.py"}),
+    "structure_bytes": frozenset({"repro/memstore/store.py"}),
+    "attribute_count": frozenset({"repro/memstore/store.py"}),
+    "attribute_bytes": frozenset({"repro/memstore/store.py"}),
+    "remote_count": frozenset({"repro/memstore/store.py"}),
+    "remote_bytes": frozenset({"repro/memstore/store.py"}),
+    "gather_nodes": frozenset({"repro/memstore/store.py"}),
+    "gather_runs": frozenset({"repro/memstore/store.py"}),
+    "gather_span_bytes": frozenset({"repro/memstore/store.py"}),
+    # FaultStats (repro/memstore/faults.py); retry counters are shared
+    # with the closed-loop service model's own _RetryCounters.
+    "reads": frozenset({"repro/memstore/faults.py"}),
+    "attempts": frozenset({"repro/memstore/faults.py"}),
+    "retries": frozenset(
+        {"repro/memstore/faults.py", "repro/framework/service.py"}
+    ),
+    "timeouts": frozenset(
+        {"repro/memstore/faults.py", "repro/framework/service.py"}
+    ),
+    "hedges": frozenset(
+        {"repro/memstore/faults.py", "repro/framework/service.py"}
+    ),
+    "hedge_wins": frozenset(
+        {"repro/memstore/faults.py", "repro/framework/service.py"}
+    ),
+    "failovers": frozenset({"repro/memstore/faults.py"}),
+    "failed_reads": frozenset({"repro/memstore/faults.py"}),
+    # HotNodeCache hit/miss/invalidation counters (repro/framework/cache.py).
+    "neighbor_hits": frozenset({"repro/framework/cache.py"}),
+    "neighbor_misses": frozenset({"repro/framework/cache.py"}),
+    "attribute_hits": frozenset({"repro/framework/cache.py"}),
+    "attribute_misses": frozenset({"repro/framework/cache.py"}),
+    "invalidations": frozenset({"repro/framework/cache.py"}),
+    # Online-mutation ingest counters (repro/memstore/ingest.py).
+    "delta_hits": frozenset({"repro/memstore/ingest.py"}),
+    "delta_edges_read": frozenset({"repro/memstore/ingest.py"}),
+    "cache_invalidations": frozenset({"repro/memstore/ingest.py"}),
+    # CoalescingCache stats (repro/axe/cache.py).
+    "line_hits": frozenset({"repro/axe/cache.py"}),
+    "line_misses": frozenset({"repro/axe/cache.py"}),
+    "element_accesses": frozenset({"repro/axe/cache.py"}),
+}
+
+
+def registry_signature() -> str:
+    """Stable text form of both registries, for rule cache signatures."""
+    parts: List[str] = []
+    for key in sorted(COUNTER_CLASSES):
+        parts.append(f"{key}={','.join(sorted(COUNTER_CLASSES[key]))}")
+    for attr in sorted(COUNTER_OWNERS):
+        parts.append(f"{attr}={','.join(sorted(COUNTER_OWNERS[attr]))}")
+    return ";".join(parts)
+
+
+def counter_fields(cinfo: ClassInfo) -> FrozenSet[str]:
+    """Counter attribute names discovered from a class definition.
+
+    A field counts if it is a class-level annotated assignment with a
+    numeric (int/float/bool-free) constant default — the dataclass
+    counter idiom — or a ``self.x = <numeric constant>`` initializer in
+    ``__init__``. Private (``_``-prefixed) names are excluded.
+    """
+    fields: List[str] = []
+    for stmt in cinfo.node.body:
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and not stmt.target.id.startswith("_")
+            and _is_numeric_const(stmt.value)
+        ):
+            fields.append(stmt.target.id)
+    init = cinfo.methods.get("__init__")
+    if init is not None and not isinstance(init.node, ast.Module):
+        for node in ast.walk(init.node):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign) and _is_numeric_const(node.value):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AnnAssign) and _is_numeric_const(
+                node.value
+            ):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and not target.attr.startswith("_")
+                ):
+                    fields.append(target.attr)
+    return frozenset(fields)
+
+
+def _is_numeric_const(value: Optional[ast.expr]) -> bool:
+    return (
+        isinstance(value, ast.Constant)
+        and isinstance(value.value, (int, float))
+        and not isinstance(value.value, bool)
+    )

@@ -86,6 +86,9 @@ class WallClockRule(Rule):
         "else takes time from the deterministic event kernel."
     )
 
+    def signature(self) -> str:
+        return f"{self.rule_id}:{','.join(sorted(WALLCLOCK_ALLOWLIST))}"
+
     def check(self, ctx: FileContext) -> List[Finding]:
         if ctx.module_path in WALLCLOCK_ALLOWLIST:
             return []

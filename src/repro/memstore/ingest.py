@@ -237,7 +237,9 @@ class DynamicPartitionedStore(PartitionedStore):
                 self._last_sample_epochs = tuple(sorted(self._sample_epochs))
                 touched = self._touched_since_pin
                 self._touched_since_pin = set()
-                for node in touched:
+                # Sorted sweep: cache_invalidations is occurrence-
+                # accounted, and set order varies per process.
+                for node in sorted(touched):
                     self._invalidate_node(node)
                 self.graph = self.dynamic.view()
 

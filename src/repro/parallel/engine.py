@@ -384,9 +384,12 @@ class ParallelSampler:
         result.layers.append(entry.request.roots.copy())
         result.layers.extend(entry.layers)
         if entry.request.with_attributes:
-            result.attributes = [
-                self._gather_attributes(layer) for layer in result.layers
-            ]
+            # One pinned snapshot for the whole gather: on a mutable
+            # store the per-layer batches must not straddle epochs.
+            with self.store.read_view():
+                result.attributes = [
+                    self._gather_attributes(layer) for layer in result.layers
+                ]
         return result
 
     def _gather_attributes(self, layer: np.ndarray) -> np.ndarray:
