@@ -47,6 +47,10 @@ COUNTER_CLASSES: Dict[str, FrozenSet[str]] = {
     ),
     # AxE coalescing-cache line counters.
     "repro/axe/cache.py::CacheStats": frozenset({"repro/axe/cache.py"}),
+    # Multi-hop neighborhood cache hit/miss counters (pipelined trainer).
+    "repro/gnn/pipeline.py::NeighborhoodCache": frozenset(
+        {"repro/gnn/pipeline.py"}
+    ),
 }
 
 #: Counter attribute name -> modules allowed to mutate it (the per-file
@@ -95,6 +99,13 @@ COUNTER_OWNERS: Dict[str, FrozenSet[str]] = {
     "line_hits": frozenset({"repro/axe/cache.py"}),
     "line_misses": frozenset({"repro/axe/cache.py"}),
     "element_accesses": frozenset({"repro/axe/cache.py"}),
+    # NeighborhoodCache occurrence counters (repro/gnn/pipeline.py).
+    "root_hits": frozenset({"repro/gnn/pipeline.py"}),
+    "root_misses": frozenset({"repro/gnn/pipeline.py"}),
+    # AccessSummary neighborhood-cache counters: mutate only via
+    # PartitionedStore.record_neighborhood.
+    "neighborhood_hits": frozenset({"repro/memstore/store.py"}),
+    "neighborhood_misses": frozenset({"repro/memstore/store.py"}),
 }
 
 

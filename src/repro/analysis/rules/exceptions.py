@@ -35,6 +35,11 @@ FAULT_PATH_MODULES = frozenset(
         # recorded (get_kernels reports it), never silently dropped.
         # (repro/memstore/locality.py is covered by the prefix above.)
         "repro/framework/kernels.py",
+        # Pipelined trainer: a failed micro-batch must drain the
+        # pipeline (counted in drain_failures) and propagate, never be
+        # swallowed mid-epoch.
+        "repro/gnn/pipeline.py",
+        "repro/parallel/pipeline.py",
     }
 )
 

@@ -31,6 +31,11 @@ SIM_MODULES = frozenset(
         # only; the modules themselves must stay clock-free.
         "repro/memstore/locality.py",
         "repro/framework/kernels.py",
+        # Pipelined trainer: epoch wall-clock is measured by the
+        # train-bench CLI via bench_timer; the trainer itself (and its
+        # neighborhood cache) must stay clock-free so runs are a pure
+        # function of the seed.
+        "repro/gnn/pipeline.py",
     }
 )
 

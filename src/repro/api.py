@@ -30,6 +30,7 @@ from repro.graph.csr import CSRGraph
 from repro.graph.dynamic import DynamicGraph
 from repro.graph.partition import HashPartitioner
 from repro.gnn.models import GraphSageEncoder
+from repro.gnn.pipeline import PipelinedTrainer, TrainReport
 from repro.gnn.train import Trainer
 from repro.memstore.faults import ReliableReadPath
 from repro.memstore.ingest import DynamicPartitionedStore, Mutation, growth_trace
@@ -215,6 +216,7 @@ class GnnSession:
         engine_graph = graph.base if self.dynamic is not None else graph
         self.engine = AxeEngine(engine_graph, engine_config)
         self._seed = seed
+        self._sampling_method = sampling_method
 
     # -------------------------------------------------------- mutation level
     def mutate(self, mutations: Sequence[Mutation]) -> int:
@@ -486,3 +488,64 @@ class GnnSession:
         return Trainer(
             self.sampler, encoder, num_labels=num_labels, lr=lr, seed=self._seed
         )
+
+    def train(
+        self,
+        labels: np.ndarray,
+        fanouts: Tuple[int, ...],
+        roots: Optional[np.ndarray] = None,
+        epochs: int = 1,
+        embedding_dim: int = 16,
+        hidden_dim: int = 16,
+        lr: float = 0.05,
+        batch_size: int = 32,
+        pipeline_depth: int = 2,
+        cached_epochs: int = 0,
+        sampling_method: Optional[str] = None,
+    ) -> TrainReport:
+        """Pipelined supervised training over this session's graph.
+
+        Builds a :class:`~repro.gnn.pipeline.PipelinedTrainer` — shard
+        workers hop-sample micro-batch *k+1* while the coordinator runs
+        micro-batch *k*'s forward/backward against a sharded embedding
+        table — runs ``epochs`` passes, and returns its
+        :class:`~repro.gnn.pipeline.TrainReport`. Losses and final
+        weights are bit-identical at every session ``workers`` count.
+
+        ``roots`` defaults to every node; ``cached_epochs >= 1``
+        enables the multi-hop :class:`~repro.gnn.pipeline.
+        NeighborhoodCache` for repeated-epoch training. Requires a
+        static session (shard workers attach an immutable graph plane)
+        without a locality layout (the trainer speaks store IDs).
+        """
+        if self.dynamic is not None:
+            raise ConfigurationError(
+                "train() requires a static graph session; shard workers "
+                "attach an immutable shared-memory graph plane"
+            )
+        if self.relabeling is not None:
+            raise ConfigurationError(
+                "train() is incompatible with a locality layout; the "
+                "pipelined trainer addresses embeddings by store ID"
+            )
+        if roots is None:
+            roots = np.arange(self.graph.num_nodes, dtype=np.int64)
+        with PipelinedTrainer(
+            self.store,
+            labels,
+            fanouts,
+            embedding_dim=embedding_dim,
+            hidden_dim=hidden_dim,
+            lr=lr,
+            seed=self._seed,
+            workers=self.workers,
+            pipeline_depth=pipeline_depth,
+            batch_size=batch_size,
+            sampling_method=(
+                self._sampling_method
+                if sampling_method is None
+                else sampling_method
+            ),
+            cached_epochs=cached_epochs,
+        ) as trainer:
+            return trainer.train(roots, epochs=epochs)

@@ -14,6 +14,7 @@ Usage::
     python -m repro bench-sampler      # batched vs reference sampler speedup
     python -m repro layout-bench       # locality layout vs hash baseline
     python -m repro mutate-bench       # sampling throughput vs mutation rate
+    python -m repro train-bench        # pipelined sample→train engine
     python -m repro serve              # online SLO-aware serving gateway
     python -m repro faults             # fault-tolerant remote-memory path
     python -m repro lint               # AST-based invariant linter
@@ -422,6 +423,199 @@ def _cmd_bench_sampler(args) -> None:
                 "hop (see docs/ARCHITECTURE.md section 5d). Retry with a "
                 "larger capacity or --cache-nodes 0."
             )
+        raise SystemExit(1)
+
+
+def _cmd_train_bench(args) -> None:
+    """Pipelined sample→train engine: throughput, parity, cache win.
+
+    For every worker count the same training schedule runs twice —
+    without and with the multi-hop neighborhood cache — timing each
+    epoch. Hard failures (exit 1): losses/weights not bit-identical
+    across worker counts, store accounting divergence, nonzero
+    neighborhood counters at cache-off, or (on >= 4 cores) missing the
+    wall-clock speedup floor at 4 workers.
+    """
+    import json
+    import os
+
+    import numpy as np
+
+    from repro.bench import bench_timer
+    from repro.gnn.pipeline import PipelinedTrainer
+    from repro.graph.generators import power_law_graph
+    from repro.graph.partition import HashPartitioner
+    from repro.memstore.store import PartitionedStore
+
+    max_nodes = args.max_nodes
+    epochs = args.epochs
+    batch_size = args.batch_size
+    if args.smoke:
+        max_nodes = min(max_nodes, 400)
+        epochs = min(epochs, 2)
+        batch_size = min(batch_size, 32)
+    fanouts = tuple(int(f) for f in args.fanouts.split(","))
+    if args.workers is None:
+        worker_counts = [0, 1, 2, 4]
+    else:
+        worker_counts = sorted({0, args.workers})
+    cores = len(os.sched_getaffinity(0))
+
+    graph = power_law_graph(
+        max_nodes, args.avg_degree, attr_len=0, seed=args.seed
+    )
+    label_rng = np.random.default_rng(args.seed)
+    labels = (
+        label_rng.random((graph.num_nodes, args.num_labels)) < 0.3
+    ).astype(np.float32)
+    roots = np.arange(graph.num_nodes, dtype=np.int64)
+
+    def run(workers: int, cached: bool):
+        """One training schedule: warm-up epoch untimed, then timed epochs.
+
+        The warm-up epoch absorbs pool startup and arena allocation
+        (and, with the cache, is the miss epoch that fills it); it runs
+        identically at every worker count, so the loss/weight parity
+        bar covers it too.
+        """
+        store = PartitionedStore(graph, HashPartitioner(args.partitions))
+        with PipelinedTrainer(
+            store,
+            labels,
+            fanouts,
+            embedding_dim=args.embedding_dim,
+            hidden_dim=args.hidden_dim,
+            seed=args.seed,
+            workers=workers,
+            pipeline_depth=args.pipeline_depth,
+            batch_size=batch_size,
+            cached_epochs=(epochs + 1) if cached else 0,
+        ) as trainer:
+            losses = [trainer.train_epoch(roots)]
+            epoch_s = []
+            for _ in range(epochs):
+                with bench_timer() as timer:
+                    losses.append(trainer.train_epoch(roots))
+                epoch_s.append(timer.elapsed_s)
+            digest = trainer.weights_digest()
+            cache_hits = trainer.cache.root_hits if cached else 0
+            cache_misses = trainer.cache.root_misses if cached else 0
+        mean_epoch_s = float(np.mean(epoch_s))
+        return {
+            "workers": workers,
+            "cached": cached,
+            "losses": losses,
+            "epoch_s": epoch_s,
+            "mean_epoch_s": mean_epoch_s,
+            "samples_per_s": float(roots.size / mean_epoch_s),
+            "weights_digest": digest,
+            "cache_hits": cache_hits,
+            "cache_misses": cache_misses,
+            "summary": store.summary,
+        }
+
+    rows = []
+    for cached in (False, True):
+        for workers in worker_counts:
+            rows.append(run(workers, cached))
+
+    failures = []
+    for cached in (False, True):
+        variant = [r for r in rows if r["cached"] is cached]
+        reference = variant[0]
+        for row in variant[1:]:
+            if (
+                row["losses"] != reference["losses"]
+                or row["weights_digest"] != reference["weights_digest"]
+            ):
+                failures.append(
+                    f"parity: workers={row['workers']} cached={cached} "
+                    "diverges from workers=0 (losses/weights not "
+                    "bit-identical)"
+                )
+            if row["summary"] != reference["summary"]:
+                failures.append(
+                    f"accounting: workers={row['workers']} cached={cached} "
+                    "store summary diverges from workers=0"
+                )
+    for row in rows:
+        if not row["cached"] and (
+            row["summary"].neighborhood_hits
+            or row["summary"].neighborhood_misses
+        ):
+            failures.append(
+                f"accounting: workers={row['workers']} cache-off run has "
+                "nonzero neighborhood counters"
+            )
+
+    def mean_epoch(workers: int, cached: bool):
+        for row in rows:
+            if row["workers"] == workers and row["cached"] is cached:
+                return row["mean_epoch_s"]
+        return None
+
+    speedup_4w = None
+    base_s = mean_epoch(0, False)
+    top_s = mean_epoch(4, False)
+    if top_s is not None:
+        speedup_4w = base_s / top_s
+        if cores >= args.min_cores and speedup_4w < args.speedup_floor:
+            failures.append(
+                f"speedup: {speedup_4w:.2f}x at 4 workers is below the "
+                f"{args.speedup_floor:.1f}x floor on {cores} cores"
+            )
+    cached_speedups = {
+        w: mean_epoch(w, False) / mean_epoch(w, True) for w in worker_counts
+    }
+
+    report = {
+        "num_nodes": int(graph.num_nodes),
+        "batch_size": batch_size,
+        "fanouts": list(fanouts),
+        "partitions": args.partitions,
+        "epochs": epochs,
+        "pipeline_depth": args.pipeline_depth,
+        "embedding_dim": args.embedding_dim,
+        "hidden_dim": args.hidden_dim,
+        "seed": args.seed,
+        "cores": cores,
+        "rows": [
+            {k: v for k, v in row.items() if k != "summary"} for row in rows
+        ],
+        "speedup_4w": speedup_4w,
+        "speedup_floor": args.speedup_floor,
+        "cached_speedups": {str(w): s for w, s in cached_speedups.items()},
+        "parity": not failures,
+        "failures": failures,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(
+            f"train-bench: {graph.num_nodes} nodes, batch {batch_size}, "
+            f"fanouts {'x'.join(str(f) for f in fanouts)}, "
+            f"{epochs} timed epochs (+1 warm-up), depth "
+            f"{args.pipeline_depth}, {cores} cores"
+        )
+        for row in rows:
+            label = "cached" if row["cached"] else "fresh "
+            print(
+                f"  workers={row['workers']} {label}: "
+                f"{row['mean_epoch_s'] * MS_PER_S:8.1f} ms/epoch "
+                f"{row['samples_per_s']:10.0f} samples/s "
+                f"loss {row['losses'][-1]:.4f}"
+            )
+        if speedup_4w is not None:
+            gate = "gated" if cores >= args.min_cores else "ungated (<4 cores)"
+            print(f"speedup at 4 workers: {speedup_4w:.2f}x ({gate})")
+        for w in worker_counts:
+            print(f"cached-epoch speedup at workers={w}: "
+                  f"{cached_speedups[w]:.2f}x")
+        print(f"parity (losses/weights/accounting): "
+              f"{'yes' if not failures else 'NO'}")
+        for failure in failures:
+            print(f"FAIL: {failure}")
+    if failures:
         raise SystemExit(1)
 
 
@@ -997,6 +1191,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the report as JSON (see "
                              "benchmarks/bench_record.py)")
     mutate.set_defaults(fn=_cmd_mutate_bench)
+    trainb = sub.add_parser(
+        "train-bench",
+        help="pipelined sample→train engine: throughput + parity + cache",
+    )
+    trainb.add_argument("--max-nodes", type=int, default=3000)
+    trainb.add_argument("--avg-degree", type=float, default=8.0)
+    trainb.add_argument("--batch-size", type=int, default=64)
+    trainb.add_argument("--fanouts", type=str, default="4,3")
+    trainb.add_argument("--partitions", type=int, default=4)
+    trainb.add_argument("--epochs", type=int, default=3,
+                        help="timed epochs per run (one warm-up on top)")
+    trainb.add_argument("--workers", type=int, default=None,
+                        help="bench [0, N] instead of the default 0/1/2/4 "
+                             "sweep (0 is always kept as the parity "
+                             "reference)")
+    trainb.add_argument("--pipeline-depth", type=int, default=2)
+    trainb.add_argument("--embedding-dim", type=int, default=16)
+    trainb.add_argument("--hidden-dim", type=int, default=16)
+    trainb.add_argument("--num-labels", type=int, default=4)
+    trainb.add_argument("--speedup-floor", type=float, default=2.0,
+                        help="required epoch wall-clock speedup at 4 "
+                             "workers (enforced on >= --min-cores cores)")
+    trainb.add_argument("--min-cores", type=int, default=4)
+    trainb.add_argument("--seed", type=int, default=0)
+    trainb.add_argument("--smoke", action="store_true",
+                        help="small fast configuration for CI")
+    trainb.add_argument("--json", action="store_true",
+                        help="emit the report as JSON (see "
+                             "benchmarks/bench_record.py)")
+    trainb.set_defaults(fn=_cmd_train_bench)
     faults = sub.add_parser(
         "faults", help="fault-tolerant remote-memory path demo"
     )

@@ -11,11 +11,22 @@ from repro.gnn.layers import (
 )
 from repro.gnn.models import DSSM, GraphSageEncoder
 from repro.gnn.gcn import GcnEncoder, GcnLayer
-from repro.gnn.embedding import EmbeddingTable
+from repro.gnn.embedding import (
+    EmbeddingShard,
+    EmbeddingTable,
+    ShardedEmbeddingTable,
+)
+from repro.gnn.pipeline import (
+    NeighborhoodCache,
+    PipelinedTrainer,
+    TrainReport,
+)
 from repro.gnn.train import (
     Trainer,
     link_prediction_loss,
+    link_prediction_loss64,
     multilabel_loss,
+    multilabel_loss64,
 )
 from repro.gnn.metrics import micro_f1, accuracy
 from repro.gnn.e2e import EndToEndModel, StageBreakdown
@@ -32,10 +43,17 @@ __all__ = [
     "GraphSageEncoder",
     "GcnEncoder",
     "GcnLayer",
+    "EmbeddingShard",
     "EmbeddingTable",
+    "ShardedEmbeddingTable",
+    "NeighborhoodCache",
+    "PipelinedTrainer",
+    "TrainReport",
     "Trainer",
     "link_prediction_loss",
+    "link_prediction_loss64",
     "multilabel_loss",
+    "multilabel_loss64",
     "micro_f1",
     "accuracy",
     "EndToEndModel",

@@ -29,10 +29,16 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
     return out
 
 
-def multilabel_loss(
+def multilabel_loss64(
     logits: np.ndarray, labels: np.ndarray
 ) -> Tuple[float, np.ndarray]:
-    """Mean sigmoid binary cross-entropy; returns (loss, grad_logits)."""
+    """:func:`multilabel_loss` with the gradient left in float64.
+
+    Every intermediate (sigmoid, log, mean, the gradient itself) stays
+    in float64; callers that feed deterministic float32 accumulators
+    (the pipelined trainer's embedding scatter-add) take this form and
+    cast exactly once, at their own boundary.
+    """
     logits = np.asarray(logits, dtype=np.float64)
     labels = np.asarray(labels, dtype=np.float64)
     if logits.shape != labels.shape:
@@ -45,12 +51,24 @@ def multilabel_loss(
         labels * np.log(probs + eps) + (1 - labels) * np.log(1 - probs + eps)
     )
     grad = (probs - labels) / logits.size
-    return float(loss), grad.astype(np.float32)
+    return float(loss), grad
 
 
-def link_prediction_loss(scores: np.ndarray) -> Tuple[float, np.ndarray]:
-    """Sampled-softmax loss: column 0 is the positive pair's score,
-    remaining columns are negatives. Returns (loss, grad_scores)."""
+def multilabel_loss(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean sigmoid binary cross-entropy; returns (loss, grad_logits).
+
+    The gradient is computed in float64 end-to-end and cast to float32
+    exactly once, here at the public boundary — the historical float32
+    values are pinned by regression test.
+    """
+    loss, grad = multilabel_loss64(logits, labels)
+    return loss, grad.astype(np.float32)
+
+
+def link_prediction_loss64(scores: np.ndarray) -> Tuple[float, np.ndarray]:
+    """:func:`link_prediction_loss` with the gradient left in float64."""
     scores = np.asarray(scores, dtype=np.float64)
     if scores.ndim != 2 or scores.shape[1] < 2:
         raise ConfigurationError("scores must be (batch, 1 + num_negatives)")
@@ -61,6 +79,17 @@ def link_prediction_loss(scores: np.ndarray) -> Tuple[float, np.ndarray]:
     grad = probs.copy()
     grad[:, 0] -= 1.0
     grad /= scores.shape[0]
+    return loss, grad
+
+
+def link_prediction_loss(scores: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Sampled-softmax loss: column 0 is the positive pair's score,
+    remaining columns are negatives. Returns (loss, grad_scores).
+
+    Float64 internally (:func:`link_prediction_loss64`), cast to
+    float32 once at this boundary.
+    """
+    loss, grad = link_prediction_loss64(scores)
     return loss, grad.astype(np.float32)
 
 

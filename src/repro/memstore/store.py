@@ -64,6 +64,14 @@ class AccessSummary:
     gather_nodes: int = 0
     gather_runs: int = 0
     gather_span_bytes: int = 0
+    #: Neighborhood-cache accounting (populated only when the pipelined
+    #: trainer runs with a ``NeighborhoodCache``; zero otherwise so
+    #: summary equality against cache-off runs still holds). Counted per
+    #: root occurrence: a root whose multi-hop layers were served from
+    #: the cache contributes one ``neighborhood_hits``; one that had to
+    #: be re-sampled contributes one ``neighborhood_misses``.
+    neighborhood_hits: int = 0
+    neighborhood_misses: int = 0
 
     def add(self, other: "AccessSummary") -> "AccessSummary":
         """Accumulate ``other`` into this summary (shard-merge support).
@@ -82,6 +90,8 @@ class AccessSummary:
         self.gather_nodes += other.gather_nodes
         self.gather_runs += other.gather_runs
         self.gather_span_bytes += other.gather_span_bytes
+        self.neighborhood_hits += other.neighborhood_hits
+        self.neighborhood_misses += other.neighborhood_misses
         return self
 
     @property
@@ -274,6 +284,21 @@ class PartitionedStore:
         only).
         """
         self._summary.add(delta)
+
+    def record_neighborhood(self, hits: int, misses: int) -> None:
+        """Fold neighborhood-cache hit/miss counts into the summary.
+
+        The :class:`~repro.gnn.pipeline.NeighborhoodCache` owns its own
+        occurrence-accurate counters; accounting counters on
+        :class:`AccessSummary` only mutate inside this module, so the
+        trainer reports per-epoch deltas through here.
+        """
+        if hits < 0 or misses < 0:
+            raise ConfigurationError(
+                f"hit/miss deltas must be non-negative, got {hits}/{misses}"
+            )
+        self._summary.neighborhood_hits += hits
+        self._summary.neighborhood_misses += misses
 
     def _record(self, kind: AccessKind, nbytes: int, local: bool) -> None:
         if kind is AccessKind.STRUCTURE:

@@ -19,7 +19,7 @@ Three pieces, mirroring the paper's concurrency story:
 from repro.parallel.engine import ParallelSampler
 from repro.parallel.pipeline import PipelinedExecutor, micro_batches
 from repro.parallel.shm import GraphPlane, attach_graph, export_graph
-from repro.parallel.worker import ShardRuntime, shard_seed
+from repro.parallel.worker import ShardRuntime, region_bytes, shard_seed
 
 __all__ = [
     "ParallelSampler",
@@ -29,5 +29,6 @@ __all__ = [
     "export_graph",
     "attach_graph",
     "ShardRuntime",
+    "region_bytes",
     "shard_seed",
 ]

@@ -27,7 +27,7 @@ from __future__ import annotations
 import multiprocessing
 import queue as queue_mod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -42,8 +42,8 @@ from repro.parallel.worker import (
     ShardRuntime,
     ShardTask,
     WorkerConfig,
-    hop_elements,
     read_layers,
+    region_bytes,
     worker_main,
 )
 
@@ -251,6 +251,23 @@ class ParallelSampler:
             self._plane.unlink()
             self._plane = None
 
+    def reserve(self, max_roots: int, fanouts: Sequence[int]) -> None:
+        """Pre-provision worker arenas for requests up to ``max_roots``.
+
+        The pool only restarts when a request outgrows its arenas, and
+        it cannot restart while micro-batches are in flight — so a
+        pipelined caller whose request sizes vary (e.g. cache-deduped
+        micro-batches) must size the arenas for its largest request
+        before streaming begins.
+        """
+        if self._closed:
+            raise ParallelExecutionError("engine is closed")
+        if max_roots < 1:
+            raise ConfigurationError(
+                f"max_roots must be >= 1, got {max_roots}"
+            )
+        self._ensure_pool(region_bytes(max_roots, tuple(fanouts)))
+
     # ------------------------------------------------------------ submission
     def submit(self, request: SampleRequest) -> int:
         """Dispatch a micro-batch to the shard workers; returns its seq.
@@ -267,7 +284,7 @@ class ParallelSampler:
             or roots.min(initial=0) < 0
         ):
             raise GraphError("request roots outside [0, num_nodes)")
-        region = roots.size * hop_elements(request.fanouts) * np.dtype(np.int64).itemsize
+        region = region_bytes(roots.size, request.fanouts)
         self._ensure_pool(region)
         seq = self._seq
         self._seq += 1
@@ -410,6 +427,28 @@ class ParallelSampler:
             unique, self.worker_partition, counts=counts
         )
         return batch.rows[inverse].reshape(layer.shape + (attr_len,))
+
+    def discard(self, seq: int) -> None:
+        """Abandon in-flight micro-batch ``seq`` without consuming it.
+
+        Waits out its remaining shard completions (their arena regions
+        are only reusable once every shard has reported), then drops the
+        pending entry — freeing the arena slot without the attribute
+        gather. Used by :meth:`PipelinedExecutor.drain` to flush the
+        pipeline after a failed compute step. Shard accounting that
+        already merged stays in the store summary: the sampling work
+        really happened.
+        """
+        entry = self._pending.get(seq)
+        if entry is None:
+            raise ParallelExecutionError(f"unknown micro-batch {seq}")
+        try:
+            while entry.remaining:
+                self._pump(block=True)
+        finally:
+            # Even if a shard reported an error, the slot must not stay
+            # occupied by a batch nobody will ever collect.
+            del self._pending[seq]
 
     # -------------------------------------------------------------- sampling
     def sample(self, request: SampleRequest) -> SampleResult:

@@ -17,9 +17,9 @@ benchmarks assert.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Deque, Iterable, Iterator, List, Optional, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ParallelExecutionError
 from repro.framework.requests import SampleRequest, SampleResult
 from repro.parallel.engine import ParallelSampler
 
@@ -46,6 +46,13 @@ class PipelinedExecutor:
             )
         self.sampler = sampler
         self.depth = depth
+        #: Sequence numbers submitted but not yet collected. Owned by
+        #: the executor (one stream at a time) so :meth:`drain` can
+        #: flush the pipeline after a failed compute step.
+        self._in_flight: Deque[int] = deque()
+        #: In-flight micro-batches whose discard itself failed during a
+        #: drain (e.g. a shard error surfaced while flushing).
+        self.drain_failures = 0
 
     def run(
         self,
@@ -67,22 +74,57 @@ class PipelinedExecutor:
         requests: Iterable[SampleRequest],
         compute: Optional[Callable[[SampleResult], object]] = None,
     ) -> Iterator[object]:
-        """Lazy variant of :meth:`run`: yields outputs in request order."""
-        it = iter(requests)
-        in_flight: deque = deque()
-        exhausted = False
-        while not exhausted and len(in_flight) < self.depth:
-            exhausted = not self._prime(it, in_flight)
-        while in_flight:
-            seq = in_flight.popleft()
-            result = self.sampler.collect(seq)
-            # Refill before the compute stage so shard workers overlap
-            # with it rather than idling until the next iteration.
-            if not exhausted:
-                exhausted = not self._prime(it, in_flight)
-            yield compute(result) if compute is not None else result
+        """Lazy variant of :meth:`run`: yields outputs in request order.
 
-    def _prime(self, it: Iterator[SampleRequest], in_flight: deque) -> bool:
+        If the compute stage raises (or the generator is closed with
+        micro-batches outstanding), the in-flight tail is drained so the
+        engine's arena slots are not leaked — the exception still
+        propagates to the caller.
+        """
+        it = iter(requests)
+        in_flight = self._in_flight
+        if in_flight:
+            raise ParallelExecutionError(
+                "executor already has micro-batches in flight; "
+                "one stream at a time"
+            )
+        try:
+            exhausted = False
+            while not exhausted and len(in_flight) < self.depth:
+                exhausted = not self._prime(it, in_flight)
+            while in_flight:
+                seq = in_flight.popleft()
+                result = self.sampler.collect(seq)
+                # Refill before the compute stage so shard workers
+                # overlap with it rather than idling until the next
+                # iteration.
+                if not exhausted:
+                    exhausted = not self._prime(it, in_flight)
+                yield compute(result) if compute is not None else result
+        finally:
+            self.drain()
+
+    def drain(self) -> None:
+        """Flush every in-flight micro-batch without consuming it.
+
+        Each outstanding sequence number is discarded on the engine
+        (which waits out its shard completions and frees its arena
+        slot). A discard that itself fails is counted in
+        :attr:`drain_failures` and draining continues — a failed compute
+        step must never leak arena slots, even when a shard error
+        surfaces mid-flush.
+        """
+        while self._in_flight:
+            seq = self._in_flight.popleft()
+            try:
+                self.sampler.discard(seq)
+            except ParallelExecutionError:
+                # Recorded, not swallowed silently: the caller's
+                # original exception is already propagating and the
+                # remaining slots still need freeing.
+                self.drain_failures += 1
+
+    def _prime(self, it: Iterator[SampleRequest], in_flight: Deque[int]) -> bool:
         try:
             request = next(it)
         except StopIteration:

@@ -107,6 +107,15 @@ def hop_elements(fanouts: Tuple[int, ...]) -> int:
     return total
 
 
+def region_bytes(count: int, fanouts: Tuple[int, ...]) -> int:
+    """Arena bytes one shard needs for ``count`` roots of a micro-batch.
+
+    Layers are packed as int64; this is the sizing contract shared by
+    the coordinator (arena provisioning) and :func:`write_layers`.
+    """
+    return count * hop_elements(tuple(fanouts)) * np.dtype(np.int64).itemsize
+
+
 def write_layers(
     buf: memoryview, offset: int, layers: List[np.ndarray]
 ) -> None:

@@ -12,7 +12,9 @@ from repro.gnn.models import GraphSageEncoder
 from repro.gnn.train import (
     Trainer,
     link_prediction_loss,
+    link_prediction_loss64,
     multilabel_loss,
+    multilabel_loss64,
     train_to_convergence,
 )
 from repro.memstore.store import PartitionedStore
@@ -86,6 +88,65 @@ class TestLinkPredictionLoss:
     def test_rejects_single_column(self):
         with pytest.raises(ConfigurationError):
             link_prediction_loss(np.zeros((2, 1)))
+
+
+class TestLossPrecisionBoundary:
+    """The float64-internal refactor must not move the public float32
+    values: these pins are the historical outputs."""
+
+    def _inputs(self):
+        rng = np.random.default_rng(42)
+        logits = rng.standard_normal((4, 3)) * 3.0
+        labels = rng.integers(0, 2, (4, 3)).astype(np.float64)
+        scores = rng.standard_normal((3, 4)) * 2.0
+        return logits, labels, scores
+
+    def test_multilabel_pinned_values(self):
+        logits, labels, _ = self._inputs()
+        loss, grad = multilabel_loss(logits, labels)
+        assert loss == 1.5677294507350439
+        assert grad.dtype == np.float32
+        assert grad[0, 0] == np.float32(-0.02384592592716217)
+        assert grad[3, 2] == np.float32(0.075966976583004)
+
+    def test_link_prediction_pinned_values(self):
+        _, _, scores = self._inputs()
+        loss, grad = link_prediction_loss(scores)
+        assert loss == 0.5370804387792235
+        assert grad.dtype == np.float32
+        assert grad[0, 0] == np.float32(-0.08073727786540985)
+        assert grad[2, 3] == np.float32(0.08196156471967697)
+
+    def test_float64_internals_cast_once(self):
+        """The public grads are exactly the float64 grads cast once."""
+        logits, labels, scores = self._inputs()
+        loss64, grad64 = multilabel_loss64(logits, labels)
+        loss32, grad32 = multilabel_loss(logits, labels)
+        assert grad64.dtype == np.float64
+        assert loss64 == loss32
+        assert np.array_equal(grad64.astype(np.float32), grad32)
+        lloss64, lgrad64 = link_prediction_loss64(scores)
+        lloss32, lgrad32 = link_prediction_loss(scores)
+        assert lgrad64.dtype == np.float64
+        assert lloss64 == lloss32
+        assert np.array_equal(lgrad64.astype(np.float32), lgrad32)
+
+    def test_large_batch_precision(self):
+        """Float64 accumulation keeps the mean stable on large batches
+        (the double-cast used to lose precision here)."""
+        rng = np.random.default_rng(7)
+        logits = rng.standard_normal((200_000, 2))
+        labels = rng.integers(0, 2, (200_000, 2)).astype(np.float64)
+        loss, grad = multilabel_loss(logits, labels)
+        loss64, grad64 = multilabel_loss64(logits, labels)
+        assert loss == loss64
+        assert np.array_equal(grad, grad64.astype(np.float32))
+
+    def test_float64_validation_matches_public(self):
+        with pytest.raises(ConfigurationError):
+            multilabel_loss64(np.zeros((2, 2)), np.zeros((2, 3)))
+        with pytest.raises(ConfigurationError):
+            link_prediction_loss64(np.zeros((2, 1)))
 
 
 def _make_learnable_task(num_nodes=300, num_labels=4, seed=0):
